@@ -1,0 +1,90 @@
+; program heat (entry @main)
+; A 1-D explicit heat-equation solver in textual PIR: `steps` sweeps over
+; a grid of `n` cells with a halo exchange per sweep.  Used by
+; examples/custom_program.ml to demonstrate the textual frontend.
+func @main(n, steps) {
+entry:
+  %n1 = prim !taint:n(%n)
+  %steps1 = prim !taint:steps(%steps)
+  %p = prim !mpi_comm_size()
+  %local = div %n1, %p
+  %grid = alloc %local
+  call @init(%grid, %local)
+  %s = 0
+  jump loop.header
+loop.header:
+  %c = lt %s, %steps1
+  br %c ? loop.body : loop.exit
+loop.body:
+  call @exchange_halo()
+  call @sweep(%grid, %local)
+  %s = add %s, 1
+  jump loop.header
+loop.exit:
+  call @checksum(%grid, %local)
+  ret ()
+}
+
+func @init(grid, local) {
+entry:
+  %i = 0
+  jump loop.header
+loop.header:
+  %c = lt %i, %local
+  br %c ? loop.body : loop.exit
+loop.body:
+  store %grid[%i] := 0
+  %i = add %i, 1
+  jump loop.header
+loop.exit:
+  ret ()
+}
+
+func @sweep(grid, local) {
+entry:
+  %i = 1
+  %stop = sub %local, 1
+  jump loop.header
+loop.header:
+  %c = lt %i, %stop
+  br %c ? loop.body : loop.exit
+loop.body:
+  %left = sub %i, 1
+  %right = add %i, 1
+  %a = load %grid[%left]
+  %b = load %grid[%right]
+  %sum = add %a, %b
+  store %grid[%i] := %sum
+  prim !work(3)
+  %i = add %i, 1
+  jump loop.header
+loop.exit:
+  ret ()
+}
+
+func @exchange_halo() {
+entry:
+  prim !mpi_isend(1)
+  prim !mpi_irecv(1)
+  prim !mpi_wait()
+  prim !mpi_wait()
+  ret ()
+}
+
+func @checksum(grid, local) {
+entry:
+  %acc = 0
+  %i = 0
+  jump loop.header
+loop.header:
+  %c = lt %i, %local
+  br %c ? loop.body : loop.exit
+loop.body:
+  %v = load %grid[%i]
+  %acc = add %acc, %v
+  %i = add %i, 1
+  jump loop.header
+loop.exit:
+  %r = prim !mpi_allreduce(1)
+  ret %acc
+}
