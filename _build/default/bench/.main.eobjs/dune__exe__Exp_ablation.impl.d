@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Apps Exp_common Fmt Interp Ir Lazy List Perf_taint Static_an String

@@ -1,0 +1,1 @@
+bench/exp_c2.ml: Apps Exp_common Fmt Lazy List Measure Model Mpi_sim Perf_taint String

@@ -1,0 +1,1 @@
+bench/exp_catalog.ml: Apps Exp_common Fmt Lazy List Measure Model Perf_taint String

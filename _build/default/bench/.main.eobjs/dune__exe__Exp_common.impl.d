@@ -1,0 +1,1 @@
+bench/exp_common.ml: Apps Float Fmt Ir Lazy List Measure Model Mpi_sim Perf_taint

@@ -1,0 +1,1 @@
+bench/exp_cost.ml: Apps Exp_common Lazy Measure Perf_taint

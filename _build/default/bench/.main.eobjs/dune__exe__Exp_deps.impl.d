@@ -1,0 +1,1 @@
+bench/exp_deps.ml: Exp_common Fmt Ir Lazy List Perf_taint Printf String

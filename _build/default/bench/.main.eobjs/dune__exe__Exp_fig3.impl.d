@@ -1,0 +1,1 @@
+bench/exp_fig3.ml: Apps Exp_common Float Fmt Lazy List Measure Option Perf_taint String

@@ -1,0 +1,1 @@
+bench/exp_fig4.ml: Apps Exp_common Exp_fig3 Lazy

@@ -1,0 +1,1 @@
+bench/exp_fig5.ml: Apps Exp_common Fmt Lazy List Measure Model Perf_taint

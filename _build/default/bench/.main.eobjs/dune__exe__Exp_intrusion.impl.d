@@ -1,0 +1,1 @@
+bench/exp_intrusion.ml: Apps Exp_common Lazy List Measure Model

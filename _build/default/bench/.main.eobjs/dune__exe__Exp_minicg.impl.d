@@ -1,0 +1,1 @@
+bench/exp_minicg.ml: Apps Exp_common Exp_quality Fmt Ir Lazy List Measure Model Perf_taint String

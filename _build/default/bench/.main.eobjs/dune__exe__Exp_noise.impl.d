@@ -1,0 +1,1 @@
+bench/exp_noise.ml: Apps Exp_common Exp_quality Fmt Lazy List Measure

@@ -1,0 +1,1 @@
+bench/exp_table2.ml: Apps Exp_common Fmt Lazy List Perf_taint

@@ -1,0 +1,1 @@
+bench/exp_table3.ml: Exp_common Fmt Ir Lazy List Perf_taint String

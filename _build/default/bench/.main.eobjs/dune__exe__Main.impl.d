@@ -1,0 +1,1 @@
+bench/main.ml: Exp_ablation Exp_c2 Exp_catalog Exp_cost Exp_deps Exp_fig3 Exp_fig4 Exp_fig5 Exp_intrusion Exp_minicg Exp_noise Exp_quality Exp_scaling Exp_table2 Exp_table3 Fmt List Micro Sys

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Apps Bechamel Benchmark Exp_common Fmt Hashtbl Instance Interp Ir List Measure Model Mpi_sim Perf_taint Staged Static_an Taint Test Time Toolkit

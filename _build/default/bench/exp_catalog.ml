@@ -1,0 +1,53 @@
+(** The model catalog: every fitted hybrid model for both paper
+    applications with quality statistics — the artefact a performance
+    engineer actually consumes (Extra-P's per-function output), plus the
+    JSON export exercised end to end. *)
+
+let catalog name (t : Perf_taint.Pipeline.t) app ~selective ~designf
+    ~model_params ~aliases ~config =
+  let design = designf ~mode:(Measure.Instrument.Selective selective) in
+  let runs = Measure.Experiment.run_design app Exp_common.machine design in
+  let entries =
+    List.filter_map
+      (fun fname ->
+        let data =
+          Measure.Experiment.kernel_dataset runs ~params:model_params
+            ~kernel:fname
+        in
+        if data.Model.Dataset.points = [] then None
+        else
+          let c =
+            Perf_taint.Modeling.constraints_aliased t
+              Perf_taint.Modeling.Tainted ~model_params ~aliases fname
+          in
+          let r = Model.Search.multi ~config ~constraints:c data in
+          Some (fname, r, data))
+      (Measure.Instrument.SSet.elements selective)
+  in
+  Fmt.pr "  %s (%d functions):@." name (List.length entries);
+  List.iter
+    (fun (fname, (r : Model.Search.result), data) ->
+      let st = Model.Stats.summarize r.Model.Search.model data in
+      Fmt.pr "    %-36s %-52s R2=%.3f SMAPE=%.1f%%@." fname
+        (Model.Expr.to_string r.Model.Search.model)
+        st.Model.Stats.s_r2 r.Model.Search.error)
+    entries;
+  (* The JSON export of the same catalog (checked, not printed). *)
+  let json = Perf_taint.Export.models_json entries in
+  let len = String.length (Perf_taint.Export.to_string json) in
+  Exp_common.note "JSON export: %d bytes (Export.models_json)" len
+
+let run () =
+  Exp_common.section "Model catalog: every fitted hybrid model";
+  catalog "lulesh"
+    (Lazy.force Exp_common.lulesh_analysis)
+    Apps.Lulesh_spec.app
+    ~selective:(Lazy.force Exp_common.lulesh_selective)
+    ~designf:Exp_common.lulesh_design ~model_params:[ "p"; "size" ] ~aliases:[]
+    ~config:Model.Search.default_config;
+  catalog "milc"
+    (Lazy.force Exp_common.milc_analysis)
+    Apps.Milc_spec.app
+    ~selective:(Lazy.force Exp_common.milc_selective)
+    ~designf:Exp_common.milc_design ~model_params:[ "p"; "size" ]
+    ~aliases:Exp_common.milc_aliases ~config:Model.Search.extended_config

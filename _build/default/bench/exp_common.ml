@@ -1,0 +1,93 @@
+(** Shared infrastructure for the experiment reproductions: the analysis
+    runs (memoised), selective-instrumentation sets, experiment designs,
+    and table printing. *)
+
+module SSet = Measure.Instrument.SSet
+
+let machine = Mpi_sim.Machine.skylake_cluster
+
+(* -- memoised taint analyses ---------------------------------------------- *)
+
+let lulesh_analysis =
+  lazy
+    (Perf_taint.Pipeline.analyze ~world:Apps.Lulesh.taint_world
+       Apps.Lulesh.program ~args:Apps.Lulesh.taint_args)
+
+let milc_analysis =
+  lazy
+    (Perf_taint.Pipeline.analyze ~world:Apps.Milc.taint_world
+       Apps.Milc.program ~args:Apps.Milc.taint_args)
+
+(* MILC models in (p, size) while the program's parameters are the four
+   lattice extents. *)
+let milc_aliases = [ ("size", [ "nx"; "ny"; "nz"; "nt" ]) ]
+
+(** Taint-derived instrumentation selection: the relevant application
+    functions plus the MPI routines they use. *)
+let selective_set (t : Perf_taint.Pipeline.t) ~model_params =
+  let funcs = Perf_taint.Pipeline.relevant_functions t ~model_params in
+  let mpi =
+    Ir.Cfg.SSet.elements (Perf_taint.Pipeline.mpi_routines_used t)
+  in
+  SSet.of_list (funcs @ mpi)
+
+let lulesh_selective =
+  lazy
+    (selective_set (Lazy.force lulesh_analysis)
+       ~model_params:Apps.Lulesh.all_params)
+
+let milc_selective =
+  lazy
+    (selective_set (Lazy.force milc_analysis) ~model_params:Apps.Milc.all_params)
+
+(* -- experiment designs ---------------------------------------------------- *)
+
+(** The paper's 5x5 grid with 5 repetitions; ranks-per-node pinned to 8 so
+    that hardware contention stays constant across the design (the paper
+    notes models are hardware-independent only at such saturation levels). *)
+let design ?(reps = 5) ?(sigma = 0.02) ?(seed = 42) ~mode ~p_values
+    ~size_values () =
+  {
+    Measure.Experiment.grid =
+      [ ("p", p_values); ("size", size_values); ("r", [ 8. ]) ];
+    reps;
+    mode;
+    sigma;
+    seed;
+  }
+
+let lulesh_design ~mode =
+  design ~mode ~p_values:Apps.Lulesh_spec.p_values
+    ~size_values:Apps.Lulesh_spec.size_values ()
+
+let milc_design ~mode =
+  design ~mode ~p_values:Apps.Milc_spec.p_values
+    ~size_values:Apps.Milc_spec.size_values ()
+
+(* -- formatting ------------------------------------------------------------ *)
+
+let section title =
+  Fmt.pr "@.=== %s ===@." title
+
+let note fmt = Fmt.pr ("    " ^^ fmt ^^ "@.")
+
+let paper_vs fmt = Fmt.pr ("  paper:    " ^^ fmt ^^ "@.")
+let measured fmt = Fmt.pr ("  measured: " ^^ fmt ^^ "@.")
+
+let geomean = function
+  | [] -> 0.
+  | xs ->
+    exp (List.fold_left (fun a x -> a +. Float.log (Float.max 1e-12 x)) 0. xs
+         /. float_of_int (List.length xs))
+
+(** Run an experiment design and return runs plus per-kernel datasets. *)
+let run_and_collect app design ~params ~kernels =
+  let runs = Measure.Experiment.run_design app machine design in
+  let datasets =
+    List.filter_map
+      (fun k ->
+        let d = Measure.Experiment.kernel_dataset runs ~params ~kernel:k in
+        if d.Model.Dataset.points = [] then None else Some (k, d))
+      kernels
+  in
+  (runs, datasets)

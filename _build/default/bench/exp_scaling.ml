@@ -1,0 +1,71 @@
+(** Scalability-bug hunting (the SC'13 use case the paper's introduction
+    cites as a primary application of empirical models): fit hybrid
+    models from the standard LULESH campaign, extrapolate every function
+    to an exascale-style rank count, and rank by projected share.  The
+    communication routines — invisible in the measured range — climb the
+    ranking because of their sqrt(p)/log(p) terms. *)
+
+let run () =
+  Exp_common.section
+    "Extension: scalability-bug hunt with the fitted models";
+  let t = Lazy.force Exp_common.lulesh_analysis in
+  let selective = Lazy.force Exp_common.lulesh_selective in
+  let design =
+    Exp_common.lulesh_design ~mode:(Measure.Instrument.Selective selective)
+  in
+  let runs =
+    Measure.Experiment.run_design Apps.Lulesh_spec.app Exp_common.machine
+      design
+  in
+  let models =
+    List.filter_map
+      (fun fname ->
+        let data =
+          Measure.Experiment.kernel_dataset runs ~params:[ "p"; "size" ]
+            ~kernel:fname
+        in
+        if data.Model.Dataset.points = [] then None
+        else
+          let c =
+            Perf_taint.Modeling.constraints t Perf_taint.Modeling.Tainted
+              ~model_params:[ "p"; "size" ] fname
+          in
+          let r = Model.Search.multi ~constraints:c data in
+          Some (fname, r.Model.Search.model))
+      (Measure.Instrument.SSet.elements selective)
+  in
+  let baseline = [ ("p", 64.); ("size", 30.) ] in
+  let target = [ ("p", 1048576.); ("size", 30.) ] in
+  let ranking = Perf_taint.Scaling.rank ~baseline ~target models in
+  Exp_common.measured
+    "projections from p=64 to p=2^20 at size=30 (per-invocation time):";
+  List.iteri
+    (fun i e ->
+      if i < 8 then Fmt.pr "    %a@." Perf_taint.Scaling.pp_entry e)
+    ranking.Perf_taint.Scaling.entries;
+  let bugs =
+    Perf_taint.Scaling.bugs ~share:0.2 ~measured_below:0.05 ranking
+  in
+  Exp_common.measured
+    "%d function(s) below 5%% of time at p=64 but above 20%% at p=2^20:"
+    (List.length bugs);
+  List.iter
+    (fun (e : Perf_taint.Scaling.entry) ->
+      Fmt.pr "    %s (share %.1f%% -> %.1f%%)@." e.e_func
+        (100. *. e.e_share_measured)
+        (100. *. e.e_share_projected))
+    bugs;
+  (* Model-quality statistics for the top kernels. *)
+  Exp_common.note "model quality of the top kernels (stats module):";
+  List.iter
+    (fun fname ->
+      let data =
+        Measure.Experiment.kernel_dataset runs ~params:[ "p"; "size" ]
+          ~kernel:fname
+      in
+      match List.assoc_opt fname models with
+      | Some m when data.Model.Dataset.points <> [] ->
+        Fmt.pr "    %-32s %a@." fname Model.Stats.pp_summary
+          (Model.Stats.summarize m data)
+      | _ -> ())
+    [ "integrate_stress_for_elems"; "calc_q_for_elems"; "comm_reduce_dt" ]

@@ -1,0 +1,83 @@
+(** Bechamel microbenchmarks of the infrastructure itself: taint-label
+    operations, a full tainted run of a didactic program, trip-count
+    analysis, and PMNF model search. *)
+
+module Sim = Measure.Simulator
+module Instr = Measure.Instrument
+
+open Bechamel
+open Toolkit
+
+let label_union_test =
+  Test.make ~name:"label-union"
+    (Staged.stage (fun () ->
+         let tbl = Taint.Label.create () in
+         let a = Taint.Label.base tbl "a" in
+         let b = Taint.Label.base tbl "b" in
+         let c = Taint.Label.base tbl "c" in
+         let ab = Taint.Label.union tbl a b in
+         ignore (Taint.Label.union tbl ab c)))
+
+let tainted_run_test =
+  Test.make ~name:"tainted-run-iterate"
+    (Staged.stage (fun () ->
+         let m = Interp.Machine.create Apps.Didactic.iterate_example in
+         ignore (Interp.Machine.run m [ Ir.Types.VInt 10; Ir.Types.VInt 2 ])))
+
+let tripcount_test =
+  Test.make ~name:"static-tripcount-lulesh"
+    (Staged.stage (fun () ->
+         List.iter
+           (fun f -> ignore (Static_an.Tripcount.analyze_function f))
+           Apps.Lulesh.program.Ir.Types.funcs))
+
+let pmnf_search_test =
+  let samples =
+    List.map (fun x -> (x, 1. +. (0.5 *. x *. sqrt x))) [ 4.; 8.; 16.; 32.; 64. ]
+  in
+  Test.make ~name:"pmnf-single-search"
+    (Staged.stage (fun () -> ignore (Model.Search.single ~param:"p" samples)))
+
+let full_analysis_test =
+  Test.make ~name:"full-taint-analysis-lulesh"
+    (Staged.stage (fun () ->
+         ignore
+           (Perf_taint.Pipeline.analyze ~world:Apps.Lulesh.taint_world
+              Apps.Lulesh.program ~args:Apps.Lulesh.taint_args)))
+
+let simulator_test =
+  Test.make ~name:"simulated-run-lulesh"
+    (Staged.stage (fun () ->
+         ignore
+           (Sim.measure Apps.Lulesh_spec.app Mpi_sim.Machine.skylake_cluster
+              ~params:[ ("p", 64.); ("size", 30.) ]
+              ~mode:Instr.Full)))
+
+let tests =
+  Test.make_grouped ~name:"perf-taint"
+    [ label_union_test; tainted_run_test; tripcount_test; pmnf_search_test;
+      simulator_test; full_analysis_test ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  results
+
+let run () =
+  Exp_common.section "microbenchmarks (bechamel)";
+  let results = benchmark () in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Fmt.pr "  %-32s %12.1f ns/run@." name est
+      | Some ests ->
+        Fmt.pr "  %-32s %a@." name Fmt.(list ~sep:comma float) ests
+      | None -> Fmt.pr "  %-32s (no estimate)@." name)
+    results

@@ -1,0 +1,463 @@
+(** The perf-taint command-line interface.
+
+    Mirrors the workflow of the original tool: run the static + dynamic
+    taint analysis over a program (a bundled mini-app or a .pir file),
+    inspect the per-function parameter dependencies, derive the
+    instrumentation selection, fit hybrid models from simulated
+    measurement campaigns, and validate experiment designs. *)
+
+open Cmdliner
+
+(* -- program selection ------------------------------------------------------ *)
+
+type target = {
+  program : Ir.Types.program;
+  args : Ir.Types.value list;
+  world : Mpi_sim.Runtime.world;
+  model_params : string list;
+  spec : Measure.Spec.app option;
+  aliases : (string * string list) list;
+}
+
+let bundled = [ "lulesh"; "milc"; "minicg"; "iterate"; "foo"; "matrix"; "select" ]
+
+let target_of_app ?ranks ?params name =
+  let override_args named =
+    match params with
+    | None -> List.map snd named
+    | Some bindings ->
+      List.map
+        (fun (pname, v) ->
+          match List.assoc_opt pname bindings with
+          | Some x -> Ir.Types.VInt x
+          | None -> v)
+        named
+  in
+  let world default =
+    match ranks with
+    | Some r -> { Mpi_sim.Runtime.ranks = r; rank = 0 }
+    | None -> default
+  in
+  let entry_params (p : Ir.Types.program) =
+    (Ir.Types.find_func p p.Ir.Types.entry).Ir.Types.fparams
+  in
+  let with_defaults program defaults w mp spec aliases =
+    let named = List.combine (entry_params program) defaults in
+    {
+      program;
+      args = override_args named;
+      world = world w;
+      model_params = mp;
+      spec;
+      aliases;
+    }
+  in
+  match name with
+  | "lulesh" ->
+    Ok
+      (with_defaults Apps.Lulesh.program Apps.Lulesh.taint_args
+         Apps.Lulesh.taint_world Apps.Lulesh.model_params
+         (Some Apps.Lulesh_spec.app) [])
+  | "milc" ->
+    Ok
+      (with_defaults Apps.Milc.program Apps.Milc.taint_args
+         Apps.Milc.taint_world Apps.Milc.model_params (Some Apps.Milc_spec.app)
+         [ ("size", [ "nx"; "ny"; "nz"; "nt" ]) ])
+  | "minicg" ->
+    Ok
+      (with_defaults Apps.Minicg.program Apps.Minicg.taint_args
+         Apps.Minicg.taint_world Apps.Minicg.model_params
+         (Some Apps.Minicg_spec.app) [])
+  | "iterate" ->
+    Ok
+      (with_defaults Apps.Didactic.iterate_example
+         [ VInt 10; VInt 2 ] Mpi_sim.Runtime.default_world [ "size"; "step" ]
+         None [])
+  | "foo" ->
+    Ok
+      (with_defaults Apps.Didactic.foo_example
+         [ VInt 3; VInt 1; VInt 0 ] Mpi_sim.Runtime.default_world
+         [ "a"; "b"; "c" ] None [])
+  | "matrix" ->
+    Ok
+      (with_defaults Apps.Didactic.matrix_init
+         [ VInt 6; VInt 8 ] Mpi_sim.Runtime.default_world [ "rows"; "cols" ]
+         None [])
+  | "select" ->
+    Ok
+      (with_defaults Apps.Didactic.algorithm_selection
+         [ VInt 2 ] Mpi_sim.Runtime.default_world [ "a" ] None [])
+  | other ->
+    if Sys.file_exists other then begin
+      let program = Ir.Parser.parse_file other in
+      let formals = entry_params program in
+      (* Unset parameters of a user-supplied program default to 4. *)
+      let defaults = List.map (fun _ -> Ir.Types.VInt 4) formals in
+      Ok
+        (with_defaults program defaults Mpi_sim.Runtime.default_world formals
+           None [])
+    end
+    else
+      Error
+        (Printf.sprintf "unknown app %s (bundled: %s, or a .pir file path)"
+           other
+           (String.concat ", " bundled))
+
+(* -- common arguments ------------------------------------------------------- *)
+
+let app_arg =
+  let doc =
+    "Program to analyze: a bundled mini-app (lulesh, milc, minicg, iterate, \
+     foo, matrix, select) or a path to a .pir file."
+  in
+  Arg.(value & pos 0 string "lulesh" & info [] ~docv:"APP" ~doc)
+
+let ranks_arg =
+  let doc = "MPI communicator size for the tainted run." in
+  Arg.(value & opt (some int) None & info [ "ranks"; "p" ] ~doc)
+
+let param_arg =
+  let doc = "Override an entry parameter, e.g. --set size=8 (repeatable)." in
+  Arg.(value & opt_all (pair ~sep:'=' string int) [] & info [ "set" ] ~doc)
+
+let resolve name ranks params =
+  match target_of_app ?ranks ~params name with
+  | Ok t -> t
+  | Error msg ->
+    Fmt.epr "error: %s@." msg;
+    exit 2
+
+let analyze_target t =
+  Perf_taint.Pipeline.analyze ~world:t.world t.program ~args:t.args
+
+(* -- commands ---------------------------------------------------------------- *)
+
+let json_arg =
+  let doc = "Emit the report as JSON instead of text." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let analyze_cmd =
+  let run name ranks params json =
+    let t = resolve name ranks params in
+    let a = analyze_target t in
+    if json then
+      Fmt.pr "%a@."
+        Perf_taint.Export.pp
+        (Perf_taint.Export.analysis_json a ~model_params:t.model_params)
+    else begin
+    let ov = Perf_taint.Report.overview a ~model_params:t.model_params in
+    Fmt.pr "%a@.@." Perf_taint.Report.pp_overview ov;
+    Fmt.pr "tainted run: %d instructions, %d taint labels@." a.steps
+      (Taint.Label.label_count a.labels);
+    List.iter
+      (fun w -> Fmt.pr "warning: %s@." w)
+      a.static.Static_an.Classify.warnings;
+    Fmt.pr "@.per-function dependencies:@.@[<v>%a@]@." Perf_taint.Report.pp_deps
+      a
+    end
+  in
+  let doc = "Run the static + dynamic taint analysis and print the report." in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(const run $ app_arg $ ranks_arg $ param_arg $ json_arg)
+
+let select_cmd =
+  let run name ranks params =
+    let t = resolve name ranks params in
+    let a = analyze_target t in
+    let relevant =
+      Perf_taint.Pipeline.relevant_functions a ~model_params:t.model_params
+    in
+    Fmt.pr "instrumentation selection (%d functions):@." (List.length relevant);
+    List.iter (Fmt.pr "  %s@.") (List.sort compare relevant);
+    let mpi = Perf_taint.Pipeline.mpi_routines_used a in
+    Fmt.pr "MPI routines: %s@."
+      (String.concat ", " (Ir.Cfg.SSet.elements mpi))
+  in
+  let doc = "Print the taint-derived instrumentation selection." in
+  Cmd.v (Cmd.info "select" ~doc)
+    Term.(const run $ app_arg $ ranks_arg $ param_arg)
+
+let print_cmd =
+  let run name ranks params =
+    let t = resolve name ranks params in
+    Fmt.pr "%s@." (Ir.Pp.program_to_string t.program)
+  in
+  let doc = "Print the program in textual PIR syntax." in
+  Cmd.v (Cmd.info "print" ~doc)
+    Term.(const run $ app_arg $ ranks_arg $ param_arg)
+
+let coverage_cmd =
+  let run name ranks params =
+    let t = resolve name ranks params in
+    let a = analyze_target t in
+    let all = Ir.Cfg.SSet.elements (Perf_taint.Pipeline.observed_params a) in
+    Fmt.pr "per-parameter coverage:@.";
+    List.iter
+      (fun (r : Perf_taint.Report.coverage_row) ->
+        Fmt.pr "  %-10s functions=%3d loops=%3d@." r.cov_param r.cov_functions
+          r.cov_loops)
+      (Perf_taint.Report.coverage a ~params:all)
+  in
+  let doc = "Print per-parameter function/loop coverage (Table 3 style)." in
+  Cmd.v (Cmd.info "coverage" ~doc)
+    Term.(const run $ app_arg $ ranks_arg $ param_arg)
+
+let volume_cmd =
+  let func_arg =
+    let doc = "Function whose iteration volume to print (default: all)." in
+    Arg.(value & opt (some string) None & info [ "func" ] ~doc)
+  in
+  let run name ranks params func =
+    let t = resolve name ranks params in
+    let a = analyze_target t in
+    (match func with
+    | Some f ->
+      Fmt.pr "%-36s %s@." f
+        (Perf_taint.Volume.to_string (Perf_taint.Volume.of_function a f))
+    | None ->
+      List.iter
+        (fun (f : Ir.Types.func) ->
+          let v = Perf_taint.Volume.of_function a f.Ir.Types.fname in
+          if not (Perf_taint.Volume.is_constant v) then
+            Fmt.pr "%-36s %s@." f.Ir.Types.fname
+              (Perf_taint.Volume.to_string v))
+        t.program.Ir.Types.funcs);
+    Fmt.pr "@.program compute volume:@.  %s@."
+      (Perf_taint.Volume.to_string (Perf_taint.Volume.of_program a))
+  in
+  let doc =
+    "Print symbolic iteration volumes (paper Sections 4.2/4.3): the \
+     scaffolding the empirical modeler parametrises."
+  in
+  Cmd.v (Cmd.info "volume" ~doc)
+    Term.(const run $ app_arg $ ranks_arg $ param_arg $ func_arg)
+
+let mode_arg =
+  let doc = "Modeling mode: tainted (hybrid) or black-box." in
+  Arg.(
+    value
+    & opt (enum [ ("tainted", Perf_taint.Modeling.Tainted);
+                  ("black-box", Perf_taint.Modeling.Black_box) ])
+        Perf_taint.Modeling.Tainted
+    & info [ "mode" ] ~doc)
+
+let func_arg =
+  let doc = "Function to model (default: every selected function)." in
+  Arg.(value & opt (some string) None & info [ "func" ] ~doc)
+
+let model_cmd =
+  let run name ranks params mode func =
+    let t = resolve name ranks params in
+    let spec =
+      match t.spec with
+      | Some s -> s
+      | None ->
+        Fmt.epr "error: %s has no measurement spec (use lulesh or milc)@." name;
+        exit 2
+    in
+    let a = analyze_target t in
+    let machine = Mpi_sim.Machine.skylake_cluster in
+    let selective =
+      Measure.Instrument.SSet.of_list
+        (Perf_taint.Pipeline.relevant_functions a ~model_params:t.model_params
+        @ Ir.Cfg.SSet.elements (Perf_taint.Pipeline.mpi_routines_used a))
+    in
+    let grid =
+      if name = "milc" then
+        [ ("p", Apps.Milc_spec.p_values); ("size", Apps.Milc_spec.size_values);
+          ("r", [ 8. ]) ]
+      else
+        [ ("p", Apps.Lulesh_spec.p_values);
+          ("size", Apps.Lulesh_spec.size_values); ("r", [ 8. ]) ]
+    in
+    let design =
+      { Measure.Experiment.grid; reps = 5;
+        mode = Measure.Instrument.Selective selective; sigma = 0.02; seed = 42 }
+    in
+    let runs = Measure.Experiment.run_design spec machine design in
+    let config =
+      if name = "milc" then Model.Search.extended_config
+      else Model.Search.default_config
+    in
+    let fit fname =
+      let data =
+        Measure.Experiment.kernel_dataset runs ~params:t.model_params
+          ~kernel:fname
+      in
+      if data.Model.Dataset.points = [] then
+        Fmt.pr "  %-36s (not measured)@." fname
+      else begin
+        let c =
+          Perf_taint.Modeling.constraints_aliased a mode
+            ~model_params:t.model_params ~aliases:t.aliases fname
+        in
+        let r = Model.Search.multi ~config ~constraints:c data in
+        Fmt.pr "  %-36s %s  (SMAPE %.1f%%)@." fname
+          (Model.Expr.to_string r.Model.Search.model)
+          r.Model.Search.error
+      end
+    in
+    Fmt.pr "%s models (%s mode):@." name (Perf_taint.Modeling.mode_name mode);
+    (match func with
+    | Some f -> fit f
+    | None ->
+      List.iter fit (Measure.Instrument.SSet.elements selective))
+  in
+  let doc =
+    "Run a simulated measurement campaign and fit per-function performance \
+     models."
+  in
+  Cmd.v (Cmd.info "model" ~doc)
+    Term.(const run $ app_arg $ ranks_arg $ param_arg $ mode_arg $ func_arg)
+
+let profile_cmd =
+  let run name ranks params =
+    let t = resolve name ranks params in
+    let a = analyze_target t in
+    let rows =
+      Interp.Observations.func_list a.Perf_taint.Pipeline.obs
+      |> List.sort (fun x y ->
+             compare y.Interp.Observations.fo_instrs
+               x.Interp.Observations.fo_instrs)
+    in
+    Fmt.pr "%-36s %10s %12s %10s@." "function" "calls" "instructions" "work";
+    List.iter
+      (fun (fo : Interp.Observations.func_obs) ->
+        Fmt.pr "%-36s %10d %12d %10d@." fo.fo_func fo.fo_calls fo.fo_instrs
+          fo.fo_work)
+      rows;
+    Fmt.pr "@.total interpreted instructions: %d@." a.steps
+  in
+  let doc = "Per-function statistics of the tainted run (the analysis cost)." in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(const run $ app_arg $ ranks_arg $ param_arg)
+
+let contention_cmd =
+  let run name ranks params =
+    let t = resolve name ranks params in
+    let spec =
+      match t.spec with
+      | Some s -> s
+      | None ->
+        Fmt.epr "error: %s has no measurement spec@." name;
+        exit 2
+    in
+    let a = analyze_target t in
+    let selective =
+      Measure.Instrument.SSet.of_list
+        (Perf_taint.Pipeline.relevant_functions a ~model_params:t.model_params
+        @ Ir.Cfg.SSet.elements (Perf_taint.Pipeline.mpi_routines_used a))
+    in
+    let design =
+      {
+        Measure.Experiment.grid =
+          [ ("p", [ 64. ]);
+            ((match name with "milc" -> "size" | "minicg" -> "n" | _ -> "size"),
+             [ (match name with "minicg" -> 1.0e6 | _ -> 30.) ]);
+            ("r", [ 2.; 4.; 6.; 8.; 10.; 12.; 14.; 16.; 18. ]) ];
+        reps = 5;
+        mode = Measure.Instrument.Selective selective;
+        sigma = 0.02;
+        seed = 7;
+      }
+    in
+    let runs =
+      Measure.Experiment.run_design spec Mpi_sim.Machine.skylake_cluster design
+    in
+    let datasets =
+      List.filter_map
+        (fun k ->
+          let d =
+            Measure.Experiment.kernel_dataset runs ~params:[ "r" ] ~kernel:k
+          in
+          if d.Model.Dataset.points = [] then None else Some (k, d))
+        (Measure.Instrument.SSet.elements selective)
+    in
+    let findings = Perf_taint.Validation.detect_contention a datasets in
+    Fmt.pr
+      "%d of %d measured functions grow with ranks-per-node although taint \
+       proves they cannot:@."
+      (List.length findings) (List.length datasets);
+    List.iter
+      (fun (f : Perf_taint.Validation.contention_finding) ->
+        Fmt.pr "  %-36s %s@." f.cf_func (Model.Expr.to_string f.cf_model))
+      findings
+  in
+  let doc =
+    "Sweep ranks-per-node at a fixed configuration and report functions      whose growth contradicts the taint analysis (Figure 5 / C1)."
+  in
+  Cmd.v (Cmd.info "contention" ~doc)
+    Term.(const run $ app_arg $ ranks_arg $ param_arg)
+
+let design_cmd =
+  let reps_arg =
+    let doc = "Repetitions per configuration." in
+    Arg.(value & opt int 5 & info [ "reps" ] ~doc)
+  in
+  let run name ranks params reps =
+    let t = resolve name ranks params in
+    let a = analyze_target t in
+    (* Five-point axes over every parameter the program declares. *)
+    let entry =
+      Ir.Types.find_func t.program t.program.Ir.Types.entry
+    in
+    let axes =
+      List.map
+        (fun p -> { Perf_taint.Design.param = p; values = [ 1.; 2.; 4.; 8.; 16. ] })
+        ("p" :: entry.Ir.Types.fparams)
+    in
+    let plan = Perf_taint.Design.propose a ~axes ~reps in
+    Fmt.pr "%a@." Perf_taint.Design.pp_plan plan
+  in
+  let doc =
+    "Propose an experiment design from the taint results: which parameters      to fix, sweep alone, or sweep jointly (A1/A2)."
+  in
+  Cmd.v (Cmd.info "design" ~doc)
+    Term.(const run $ app_arg $ ranks_arg $ param_arg $ reps_arg)
+
+let validate_cmd =
+  let at_arg =
+    let doc = "Rank count to analyze at (repeatable), e.g. --at 4 --at 32." in
+    Arg.(value & opt_all int [ 4; 32 ] & info [ "at" ] ~doc)
+  in
+  let run name ranks params ats =
+    let t = resolve name ranks params in
+    let runs =
+      List.map
+        (fun p ->
+          Perf_taint.Pipeline.analyze
+            ~world:{ Mpi_sim.Runtime.ranks = p; rank = 0 }
+            t.program ~args:t.args)
+        ats
+    in
+    let findings =
+      Perf_taint.Validation.validate_design ~model_params:[ "p" ] runs
+    in
+    if findings = [] then
+      Fmt.pr "no qualitative behavior changes across p in {%s}@."
+        (String.concat ", " (List.map string_of_int ats))
+    else begin
+      Fmt.pr "%d parameter-dependent branches change behavior:@."
+        (List.length findings);
+      List.iter
+        (fun (f : Perf_taint.Validation.design_finding) ->
+          Fmt.pr "  %s/%s on {%s}: %s@." f.df_func f.df_block
+            (String.concat "," f.df_params)
+            (String.concat " "
+               (List.map
+                  (fun (_, b) -> Perf_taint.Validation.behavior_name b)
+                  f.df_behaviors)))
+        findings
+    end
+  in
+  let doc = "Compare taint runs across rank counts (C2-style validation)." in
+  Cmd.v (Cmd.info "validate" ~doc)
+    Term.(const run $ app_arg $ ranks_arg $ param_arg $ at_arg)
+
+let main_cmd =
+  let doc = "tainted performance modeling (Perf-Taint reproduction)" in
+  Cmd.group (Cmd.info "perf-taint" ~version:"1.0.0" ~doc)
+    [ analyze_cmd; select_cmd; coverage_cmd; volume_cmd; print_cmd; model_cmd;
+      profile_cmd; contention_cmd; design_cmd; validate_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/custom_program.ml: Array Filename Fmt Ir List Mpi_sim Perf_taint Static_an String Sys

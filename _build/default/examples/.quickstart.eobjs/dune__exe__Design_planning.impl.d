@@ -1,0 +1,1 @@
+examples/design_planning.ml: Apps Fmt Perf_taint

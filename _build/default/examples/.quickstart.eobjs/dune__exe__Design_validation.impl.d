@@ -1,0 +1,1 @@
+examples/design_validation.ml: Apps Fmt List Measure Model Mpi_sim Perf_taint Printf String

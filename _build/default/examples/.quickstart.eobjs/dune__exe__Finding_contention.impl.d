@@ -1,0 +1,1 @@
+examples/finding_contention.ml: Apps Fmt Ir List Measure Model Mpi_sim Perf_taint

@@ -1,0 +1,1 @@
+examples/finding_contention.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Apps Fmt Ir List Model Perf_taint Random

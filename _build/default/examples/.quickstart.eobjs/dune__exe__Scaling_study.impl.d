@@ -1,0 +1,1 @@
+examples/scaling_study.ml: Apps Fmt Ir List Measure Model Mpi_sim Perf_taint

@@ -1,0 +1,1 @@
+lib/apps/didactic.ml: Dsl Ir

@@ -1,0 +1,1 @@
+lib/apps/dsl.ml: Ir List

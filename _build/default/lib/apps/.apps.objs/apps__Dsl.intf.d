@@ -1,0 +1,1 @@
+lib/apps/dsl.mli: Ir

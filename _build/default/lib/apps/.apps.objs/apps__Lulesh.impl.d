@@ -1,0 +1,1 @@
+lib/apps/lulesh.ml: Dsl Ir List Mpi_sim

@@ -1,0 +1,1 @@
+lib/apps/lulesh.mli: Ir Mpi_sim

@@ -1,0 +1,1 @@
+lib/apps/lulesh_spec.ml: Float List Measure Mpi_sim

@@ -1,0 +1,1 @@
+lib/apps/lulesh_spec.mli: Measure

@@ -1,0 +1,1 @@
+lib/apps/milc.ml: Dsl Ir Mpi_sim

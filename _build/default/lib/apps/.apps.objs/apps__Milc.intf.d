@@ -1,0 +1,1 @@
+lib/apps/milc.mli: Ir Mpi_sim

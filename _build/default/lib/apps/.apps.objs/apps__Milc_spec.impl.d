@@ -1,0 +1,1 @@
+lib/apps/milc_spec.ml: Float List Measure Mpi_sim

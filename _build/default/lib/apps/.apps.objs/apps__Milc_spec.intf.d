@@ -1,0 +1,1 @@
+lib/apps/milc_spec.mli: Measure

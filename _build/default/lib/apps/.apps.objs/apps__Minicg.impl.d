@@ -1,0 +1,1 @@
+lib/apps/minicg.ml: Dsl Ir Mpi_sim

@@ -1,0 +1,1 @@
+lib/apps/minicg.mli: Ir Mpi_sim

@@ -1,0 +1,1 @@
+lib/apps/minicg_spec.ml: Float List Measure Mpi_sim

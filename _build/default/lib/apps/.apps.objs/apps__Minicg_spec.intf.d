@@ -1,0 +1,1 @@
+lib/apps/minicg_spec.mli: Measure

@@ -1,0 +1,222 @@
+(** The small programs used as running examples in the paper, expressed in
+    PIR.  They serve as documentation, as unit-test subjects, and as the
+    quickstart example's target. *)
+
+open Ir.Types
+module B = Ir.Builder
+
+(** Section 4.1's listing:
+
+    {v
+    struct params = parse_args();
+    write_label(&params.size, "size", &params.step, "step");
+    iterate(pow(params.size, 2), optimize_step(params));
+    void iterate(int size, int step) {
+      for (int i = 0; i < size; i += step) { compute(); }
+    }
+    v}
+
+    The loop count of [iterate] must depend on both [size] (through the
+    squared argument) and [step] (through the optimised stride). *)
+let iterate_example =
+  let compute = Dsl.leaf_helper ~units:8 "compute" in
+  let optimize_step =
+    B.define "optimize_step" ~params:[ "step" ] (fun b ->
+        (* A data-flow transformation of the step: 2*step - step. *)
+        let doubled = B.mul b (Reg "step") (Int 2) in
+        B.ret b (B.sub b doubled (Reg "step")))
+  in
+  let iterate =
+    B.define "iterate" ~params:[ "size"; "step" ] (fun b ->
+        B.for_ b "i" ~from:(Int 0) ~below:(Reg "size") ~step:(Reg "step")
+          (fun i -> B.call_unit b "compute" [ i ]);
+        B.ret_unit b)
+  in
+  let main =
+    B.define "main" ~params:[ "size"; "step" ] (fun b ->
+        let size = Dsl.register b "size" (Reg "size") in
+        let step = Dsl.register b "step" (Reg "step") in
+        let size2 = B.mul b size size in
+        let opt = B.call b "optimize_step" [ step ] in
+        B.call_unit b "iterate" [ size2; opt ];
+        B.ret_unit b)
+  in
+  B.program "iterate-example" ~entry:"main" [ main; iterate; optimize_step; compute ]
+
+(** Section 3.2's propagation-policy listing:
+
+    {v
+    int foo(int a, int b, int c) {
+      int d = 2 * a;            // data-flow taint "a"
+      if (b) d++; else d--;     // explicit control-flow taint "b"
+      if (c) d = pow(d, 2);     // (implicit) taint "c"
+      return d;
+    }
+    v}
+
+    With data- and control-flow propagation the return value carries
+    labels a, b, and (when the branch executes) c. *)
+let foo_example =
+  let foo =
+    B.define "foo" ~params:[ "a"; "b"; "c" ] (fun b ->
+        B.set b "d" (B.mul b (Int 2) (Reg "a"));
+        let bnz = B.ne b (Reg "b") (Int 0) in
+        B.if_ b bnz
+          ~then_:(fun () -> B.set b "d" (B.add b (Reg "d") (Int 1)))
+          ~else_:(fun () -> B.set b "d" (B.sub b (Reg "d") (Int 1)))
+          ();
+        let cnz = B.ne b (Reg "c") (Int 0) in
+        B.if_ b cnz
+          ~then_:(fun () -> B.set b "d" (B.mul b (Reg "d") (Reg "d")))
+          ();
+        B.ret b (Reg "d"))
+  in
+  let main =
+    B.define "main" ~params:[ "a"; "b"; "c" ] (fun b ->
+        let a = Dsl.register b "a" (Reg "a") in
+        let bb = Dsl.register b "b" (Reg "b") in
+        let c = Dsl.register b "c" (Reg "c") in
+        B.ret b (B.call b "foo" [ a; bb; c ]))
+  in
+  B.program "foo-example" ~entry:"main" [ main; foo ]
+
+(** Section C2's algorithm-selection listing: a routine that switches
+    implementation at a parameter threshold, making measurements across
+    the threshold qualitatively inconsistent.
+
+    {v
+    int foo(int a) {
+      if (a < 4) kernel_linear(a);
+      else       kernel_log(a);
+    }
+    v} *)
+let algorithm_selection =
+  let kernel_linear = Dsl.elem_kernel ~units:2 "kernel_linear" in
+  let kernel_log =
+    B.define "kernel_log" ~params:[ "n" ] (fun b ->
+        (* while (m > 1) m /= 2 : a log2(n)-trip loop. *)
+        B.set b "m" (Reg "n");
+        B.while_ b
+          ~cond:(fun () -> B.gt b (Reg "m") (Int 1))
+          ~body:(fun () ->
+            B.work b (Int 4);
+            B.set b "m" (B.div b (Reg "m") (Int 2)));
+        B.ret_unit b)
+  in
+  let select =
+    B.define "select" ~params:[ "a" ] (fun b ->
+        let small = B.lt b (Reg "a") (Int 4) in
+        B.if_ b small
+          ~then_:(fun () -> B.call_unit b "kernel_linear" [ Reg "a" ])
+          ~else_:(fun () -> B.call_unit b "kernel_log" [ Reg "a" ])
+          ();
+        B.ret_unit b)
+  in
+  let main =
+    B.define "main" ~params:[ "a" ] (fun b ->
+        let a = Dsl.register b "a" (Reg "a") in
+        B.call_unit b "select" [ a ];
+        B.ret_unit b)
+  in
+  B.program "algorithm-selection" ~entry:"main"
+    [ main; select; kernel_linear; kernel_log ]
+
+(** The matrix-initialisation pair from Section 3.1, in its C99 flavour: a
+    doubly nested loop whose volume is rows * columns — the canonical
+    multiplicative dependency. *)
+let matrix_init =
+  let init =
+    B.define "init" ~params:[ "rows"; "cols" ] (fun b ->
+        let a = B.alloc b (B.mul b (Reg "rows") (Reg "cols")) in
+        B.for_ b "i" ~from:(Int 0) ~below:(Reg "rows") (fun i ->
+            B.for_ b "j" ~from:(Int 0) ~below:(Reg "cols") (fun j ->
+                let idx = B.add b (B.mul b i (Reg "cols")) j in
+                B.store b a idx (Int 0)));
+        B.ret_unit b)
+  in
+  let main =
+    B.define "main" ~params:[ "rows"; "cols" ] (fun b ->
+        let rows = Dsl.register b "rows" (Reg "rows") in
+        let cols = Dsl.register b "cols" (Reg "cols") in
+        B.call_unit b "init" [ rows; cols ];
+        B.ret_unit b)
+  in
+  B.program "matrix-init" ~entry:"main" [ main; init ]
+
+(** The C++ flavour of the same initialisation (Section 3.1): the matrix
+    dimensions live in memory behind a pointer (class members accessed
+    through getters), so the static trip-count analysis cannot resolve
+    the bounds — but the dynamic taint analysis still recovers the
+    {rows, cols} dependency.  This is the paper's argument for why purely
+    static performance modeling fails on abstraction-heavy code. *)
+let matrix_init_cpp =
+  (* struct matrix { int rows, cols; float *a; } — slot 0: rows, 1: cols. *)
+  let get_rows =
+    B.define "get_rows" ~params:[ "m" ] (fun b ->
+        B.ret b (B.load b (Reg "m") (Int 0)))
+  in
+  let get_cols =
+    B.define "get_cols" ~params:[ "m" ] (fun b ->
+        B.ret b (B.load b (Reg "m") (Int 1)))
+  in
+  let at =
+    B.define "at" ~params:[ "m"; "i"; "j" ] (fun b ->
+        let cols = B.call b "get_cols" [ Reg "m" ] in
+        B.ret b (B.add b (B.mul b (Reg "i") cols) (Reg "j")))
+  in
+  let init =
+    B.define "init_cpp" ~params:[ "m" ] (fun b ->
+        B.for_ b "i" ~from:(Int 0)
+          ~below:(B.call b "get_rows" [ Reg "m" ])
+          (fun i ->
+            (* The inner bound is re-fetched through the getter each
+               iteration, exactly like the C++ listing. *)
+            B.for_ b "j" ~from:(Int 0)
+              ~below:(B.call b "get_cols" [ Reg "m" ])
+              (fun j -> ignore (B.call b "at" [ Reg "m"; i; j ])));
+        B.ret_unit b)
+  in
+  let main =
+    B.define "main" ~params:[ "rows"; "cols" ] (fun b ->
+        let rows = Dsl.register b "rows" (Reg "rows") in
+        let cols = Dsl.register b "cols" (Reg "cols") in
+        B.set b "m" (B.alloc b (Int 2));
+        B.store b (Reg "m") (Int 0) rows;
+        B.store b (Reg "m") (Int 1) cols;
+        B.call_unit b "init_cpp" [ Reg "m" ];
+        B.ret_unit b)
+  in
+  B.program "matrix-init-cpp" ~entry:"main" [ main; init; at; get_rows; get_cols ]
+
+(** The LULESH control-dependence example from Section 5.2: the region
+    sizes are computed by counting elements, so their values depend on the
+    loop trip count [numElem] only through control flow.
+
+    {v
+    for (Index_t i = 0; i < numElem(); ++i) {
+      int r = regNumList(i) - 1;
+      regElemSize(r)++;
+    }
+    v} *)
+let control_dependence =
+  let count_regions =
+    B.define "count_regions" ~params:[ "numelem"; "nreg" ] (fun b ->
+        let sizes = B.alloc b (Reg "nreg") in
+        B.for_ b "i" ~from:(Int 0) ~below:(Reg "numelem") (fun i ->
+            let r = B.rem b i (Reg "nreg") in
+            let cur = B.load b sizes r in
+            B.store b sizes r (B.add b cur (Int 1)));
+        (* Iterate one region: its bound is control-tainted by numelem. *)
+        let r0 = B.load b sizes (Int 0) in
+        B.for_ b "j" ~from:(Int 0) ~below:r0 (fun _ -> B.work b (Int 1));
+        B.ret_unit b)
+  in
+  let main =
+    B.define "main" ~params:[ "size"; "regions" ] (fun b ->
+        let size = Dsl.register b "size" (Reg "size") in
+        let regions = Dsl.register b "regions" (Reg "regions") in
+        let numelem = B.mul b size (B.mul b size size) in
+        B.call_unit b "count_regions" [ numelem; regions ];
+        B.ret_unit b)
+  in
+  B.program "control-dependence" ~entry:"main" [ main; count_regions ]

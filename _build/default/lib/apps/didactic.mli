@@ -1,0 +1,22 @@
+(** The small example programs from the paper's listings. *)
+
+val iterate_example : Ir.Types.program
+(** Section 4.1: [iterate(pow(size,2), optimize_step(step))]. *)
+
+val foo_example : Ir.Types.program
+(** Section 3.2: data-flow label a, control-flow label b, implicit c. *)
+
+val algorithm_selection : Ir.Types.program
+(** Section C2: an implementation switch at a parameter threshold. *)
+
+val matrix_init : Ir.Types.program
+(** Section 3.1, C99 flavour: the rows x columns doubly nested
+    initialisation with scalar bounds. *)
+
+val matrix_init_cpp : Ir.Types.program
+(** Section 3.1, C++ flavour: the dimensions hide behind pointer
+    indirection and getters, defeating the static analysis while the
+    dynamic taint analysis still succeeds. *)
+
+val control_dependence : Ir.Types.program
+(** Section 5.2: region sizes counted under a size-bounded loop. *)

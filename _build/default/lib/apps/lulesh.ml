@@ -1,0 +1,639 @@
+(** Mini-LULESH: a PIR reconstruction of the LULESH 2.0 hydrodynamics
+    proxy app used throughout the paper's evaluation.
+
+    The reconstruction preserves what the analyses observe: the function
+    inventory (many tiny C++-style helpers around ~40 computational
+    kernels and a handful of communication routines), the loop structure
+    (element loops over size^3, node loops over (size+1)^3, region loops
+    with cost/balance-dependent repetition, the iters time loop enclosing
+    everything), and the parameter set {size, iters, regions, balance,
+    cost} plus the implicit communicator size p.
+
+    Physics is reduced to synthetic [work]: the taint analysis never looks
+    at arithmetic results, only at which values reach loop bounds and
+    branch conditions. *)
+
+open Ir.Types
+module B = Ir.Builder
+
+(* Domain layout: a single "domain" array of array handles, mirroring the
+   C++ Domain class whose members live behind a pointer (the paper's
+   Section 3.1 argument for why static analysis fails here). *)
+let d_x = 0
+let d_xd = 1
+let d_xdd = 2
+let d_force = 3
+let d_energy = 4
+let d_pressure = 5
+let d_q = 6
+let d_vol = 7
+let d_volo = 8
+let d_delv = 9
+let d_arealg = 10
+let d_ss = 11
+let d_nodelist = 12
+let d_regnum = 13
+let d_regsize = 14
+let d_dtcourant = 15
+let d_slots = 16
+
+(* -- tiny helper functions (statically prunable) ------------------------- *)
+
+let leaf = Dsl.leaf_helper
+let cloop = Dsl.const_loop_helper
+
+(* Second-tier math utilities: the long tail of tiny C++ functions that
+   dominates the original LULESH function count (356 functions, 296
+   statically pruned). *)
+let math_helpers =
+  List.map
+    (fun name -> leaf ~units:1 name)
+    [
+      "det2x2"; "cross_x"; "cross_y"; "cross_z"; "dot3"; "norm3"; "scale3";
+      "add3"; "sub3"; "lerp"; "abs_val"; "square_of"; "cube_of"; "half_of";
+      "twice_of"; "fmadd"; "reciprocal"; "guard_nonzero"; "wrap_index";
+      "saturate"; "node_x"; "node_y"; "node_z"; "elem_index"; "sym_index";
+      "face_index"; "corner_offset"; "region_of"; "volume_guard"; "dt_scale";
+    ]
+
+(* Geometry helpers that themselves call the math tier, mirroring the C++
+   abstraction layers of Section 3.1. *)
+let area_face =
+  B.define "area_face" ~params:[ "f" ] (fun b ->
+      ignore (B.call b "dot3" [ Reg "f" ]);
+      ignore (B.call b "norm3" [ Reg "f" ]);
+      B.work b (Int 1);
+      B.ret b (Reg "f"))
+
+let triple_product =
+  B.define "triple_product" ~params:[ "x" ] (fun b ->
+      ignore (B.call b "det2x2" [ Reg "x" ]);
+      ignore (B.call b "cross_x" [ Reg "x" ]);
+      B.work b (Int 1);
+      B.ret b (Reg "x"))
+
+let dot8 =
+  B.define "dot8" ~params:[ "x" ] (fun b ->
+      B.for_ b "c" ~from:(Int 0) ~below:(Int 8) (fun c ->
+          ignore (B.call b "fmadd" [ c ]));
+      B.ret b (Reg "x"))
+
+let helpers =
+  math_helpers
+  @ [
+    area_face;
+    triple_product;
+    dot8;
+    cloop ~trip:3 ~units:1 "cbrt_newton";
+    cloop ~trip:3 ~units:1 "sqrt_newton";
+    leaf ~units:1 "clamp_value";
+    cloop ~trip:8 ~units:1 "gather_elem_nodes";
+    cloop ~trip:8 ~units:1 "scatter_elem_force";
+    cloop ~trip:8 ~units:2 "calc_elem_shape_derivs";
+    cloop ~trip:6 ~units:1 "calc_elem_velocity_gradient";
+    cloop ~trip:4 ~units:1 "hourglass_mode_sums";
+    leaf ~units:1 "voln_ratio";
+    leaf ~units:1 "elem_mass";
+    leaf ~units:1 "node_mass";
+    leaf ~units:1 "init_stress_terms";
+    leaf ~units:1 "vdov_term";
+    leaf ~units:1 "q_limiter";
+    leaf ~units:1 "pressure_eos_leaf";
+    leaf ~units:1 "energy_eos_leaf";
+    leaf ~units:1 "sound_speed_leaf";
+    leaf ~units:1 "material_index";
+    cloop ~trip:8 ~units:1 "copy_block";
+    leaf ~units:1 "min3";
+    leaf ~units:1 "max3";
+    leaf ~units:1 "sign_of";
+    leaf ~units:1 "elem_delta_v";
+    leaf ~units:1 "elem_area_ratio";
+    cloop ~trip:8 ~units:1 "init_single_elem";
+    leaf ~units:1 "time_step_scale";
+    leaf ~units:1 "boundary_flag";
+  ]
+
+(* calc_elem_volume calls triple_product three times over the 8 corners:
+   a helper calling helpers, all constant. *)
+let calc_elem_volume =
+  B.define "calc_elem_volume" ~params:[ "e" ] (fun b ->
+      B.for_ b "c" ~from:(Int 0) ~below:(Int 8) (fun c ->
+          ignore (B.call b "triple_product" [ c ]));
+      B.ret b (Reg "e"))
+
+let sum_elem_face_normal =
+  B.define "sum_elem_face_normal" ~params:[ "f" ] (fun b ->
+      ignore (B.call b "area_face" [ Reg "f" ]);
+      B.work b (Int 1);
+      B.ret b (Reg "f"))
+
+let calc_elem_node_normals =
+  B.define "calc_elem_node_normals" ~params:[ "e" ] (fun b ->
+      B.for_ b "f" ~from:(Int 0) ~below:(Int 6) (fun f ->
+          ignore (B.call b "sum_elem_face_normal" [ f ]));
+      B.ret b (Reg "e"))
+
+let calc_elem_char_length =
+  B.define "calc_elem_char_length" ~params:[ "e" ] (fun b ->
+      B.for_ b "f" ~from:(Int 0) ~below:(Int 6) (fun f ->
+          ignore (B.call b "area_face" [ f ]));
+      ignore (B.call b "sqrt_newton" [ Reg "e" ]);
+      B.ret b (Reg "e"))
+
+(* The per-region repetition count: pure data flow from cost and balance,
+   no loops — the value later bounds the EOS loop. *)
+let region_rep_count =
+  B.define "region_rep_count" ~params:[ "r"; "balance"; "cost" ] (fun b ->
+      let bucket = B.rem b (Reg "r") (B.imax b (Reg "balance") (Int 1)) in
+      let extra = B.mul b bucket (Reg "cost") in
+      B.ret b (B.add b (Int 1) extra))
+
+let more_helpers =
+  [
+    calc_elem_volume;
+    sum_elem_face_normal;
+    calc_elem_node_normals;
+    calc_elem_char_length;
+    region_rep_count;
+  ]
+
+(* -- communication routines ---------------------------------------------- *)
+
+(* Halo exchange of node-centred fields: 6 faces of size^2 values.  The
+   message count is tainted by size; the routine's model additionally
+   depends on the implicit p through the library database. *)
+let comm_halo_nodes =
+  B.define "comm_halo_nodes" ~params:[ "facesize" ] (fun b ->
+      B.for_ b "n" ~from:(Int 0) ~below:(Int 6) (fun _ ->
+          Dsl.irecv b (Reg "facesize"));
+      B.for_ b "n" ~from:(Int 0) ~below:(Int 6) (fun _ ->
+          Dsl.isend b (Reg "facesize"));
+      B.for_ b "n" ~from:(Int 0) ~below:(Int 12) (fun _ -> Dsl.wait b);
+      B.ret_unit b)
+
+let comm_reduce_dt =
+  B.define "comm_reduce_dt" ~params:[ "dt" ] (fun b ->
+      Dsl.allreduce b (Int 1);
+      B.ret b (Reg "dt"))
+
+(* -- element and node kernels -------------------------------------------- *)
+
+let get dom idx b = B.load b dom (Int idx)
+
+let init_stress_terms_for_elems =
+  B.define "init_stress_terms_for_elems" ~params:[ "dom"; "numelem" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "numelem") (fun i ->
+          ignore (B.call b "init_stress_terms" [ i ]);
+          B.work b (Int 2));
+      B.ret_unit b)
+
+let collect_domain_nodes_to_elem_nodes =
+  B.define "collect_domain_nodes_to_elem_nodes" ~params:[ "dom"; "numelem" ]
+    (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "numelem") (fun i ->
+          ignore (B.call b "gather_elem_nodes" [ i ]);
+          B.work b (Int 2));
+      B.ret_unit b)
+
+let integrate_stress_for_elems =
+  B.define "integrate_stress_for_elems" ~params:[ "dom"; "numelem" ] (fun b ->
+      let force = get (Reg "dom") d_force b in
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "numelem") (fun i ->
+          ignore (B.call b "gather_elem_nodes" [ i ]);
+          ignore (B.call b "dot8" [ i ]);
+          ignore (B.call b "scatter_elem_force" [ i ]);
+          let idx = B.rem b i (Int 64) in
+          B.store b force idx i;
+          B.work b (Int 6));
+      B.ret_unit b)
+
+let calc_fb_hourglass_force_for_elems =
+  B.define "calc_fb_hourglass_force_for_elems" ~params:[ "dom"; "numelem" ]
+    (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "numelem") (fun i ->
+          ignore (B.call b "hourglass_mode_sums" [ i ]);
+          ignore (B.call b "scatter_elem_force" [ i ]);
+          B.work b (Int 8));
+      B.ret_unit b)
+
+let calc_hourglass_control_for_elems =
+  B.define "calc_hourglass_control_for_elems" ~params:[ "dom"; "numelem" ]
+    (fun b ->
+      B.call_unit b "calc_elem_volume_derivative" [ Reg "dom"; Reg "numelem" ];
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "numelem") (fun i ->
+          ignore (B.call b "calc_elem_shape_derivs" [ i ]);
+          ignore (B.call b "calc_elem_volume" [ i ]);
+          B.work b (Int 4));
+      B.call_unit b "calc_fb_hourglass_force_for_elems"
+        [ Reg "dom"; Reg "numelem" ];
+      B.ret_unit b)
+
+let calc_volume_force_for_elems =
+  B.define "calc_volume_force_for_elems" ~params:[ "dom"; "numelem" ] (fun b ->
+      B.call_unit b "init_stress_terms_for_elems" [ Reg "dom"; Reg "numelem" ];
+      B.call_unit b "collect_domain_nodes_to_elem_nodes"
+        [ Reg "dom"; Reg "numelem" ];
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "numelem") (fun i ->
+          ignore (B.call b "calc_elem_volume" [ i ]);
+          ignore (B.call b "calc_elem_node_normals" [ i ]);
+          B.work b (Int 2));
+      B.call_unit b "integrate_stress_for_elems" [ Reg "dom"; Reg "numelem" ];
+      B.call_unit b "calc_hourglass_control_for_elems"
+        [ Reg "dom"; Reg "numelem" ];
+      B.ret_unit b)
+
+let calc_force_for_nodes =
+  B.define "calc_force_for_nodes" ~params:[ "dom"; "numelem"; "numnode"; "facesize" ]
+    (fun b ->
+      let force = get (Reg "dom") d_force b in
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "numnode") (fun i ->
+          let idx = B.rem b i (Int 64) in
+          B.store b force idx (Int 0));
+      B.call_unit b "calc_volume_force_for_elems" [ Reg "dom"; Reg "numelem" ];
+      B.call_unit b "comm_halo_nodes" [ Reg "facesize" ];
+      B.ret_unit b)
+
+let calc_accel_for_nodes =
+  B.define "calc_accel_for_nodes" ~params:[ "dom"; "numnode" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "numnode") (fun i ->
+          ignore (B.call b "node_mass" [ i ]);
+          B.work b (Int 3));
+      B.ret_unit b)
+
+let apply_accel_bc_for_nodes =
+  B.define "apply_accel_bc_for_nodes" ~params:[ "dom"; "facesize" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "facesize") (fun i ->
+          ignore (B.call b "boundary_flag" [ i ]);
+          B.work b (Int 1));
+      B.ret_unit b)
+
+let calc_vel_for_nodes =
+  B.define "calc_vel_for_nodes" ~params:[ "dom"; "numnode" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "numnode") (fun i ->
+          ignore (B.call b "clamp_value" [ i ]);
+          B.work b (Int 3));
+      B.ret_unit b)
+
+let calc_pos_for_nodes =
+  B.define "calc_pos_for_nodes" ~params:[ "dom"; "numnode" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "numnode") (fun _ ->
+          B.work b (Int 3));
+      B.ret_unit b)
+
+let lagrange_nodal =
+  B.define "lagrange_nodal"
+    ~params:[ "dom"; "numelem"; "numnode"; "facesize" ] (fun b ->
+      B.call_unit b "calc_force_for_nodes"
+        [ Reg "dom"; Reg "numelem"; Reg "numnode"; Reg "facesize" ];
+      B.call_unit b "calc_accel_for_nodes" [ Reg "dom"; Reg "numnode" ];
+      B.call_unit b "apply_accel_bc_for_nodes" [ Reg "dom"; Reg "facesize" ];
+      B.call_unit b "calc_vel_for_nodes" [ Reg "dom"; Reg "numnode" ];
+      B.call_unit b "calc_pos_for_nodes" [ Reg "dom"; Reg "numnode" ];
+      B.ret_unit b)
+
+let calc_kinematics_for_elems =
+  B.define "calc_kinematics_for_elems" ~params:[ "dom"; "numelem" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "numelem") (fun i ->
+          ignore (B.call b "calc_elem_volume" [ i ]);
+          ignore (B.call b "calc_elem_char_length" [ i ]);
+          ignore (B.call b "calc_elem_velocity_gradient" [ i ]);
+          B.work b (Int 4));
+      B.ret_unit b)
+
+let calc_lagrange_elements =
+  B.define "calc_lagrange_elements" ~params:[ "dom"; "numelem" ] (fun b ->
+      B.call_unit b "calc_kinematics_for_elems" [ Reg "dom"; Reg "numelem" ];
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "numelem") (fun i ->
+          ignore (B.call b "vdov_term" [ i ]);
+          B.work b (Int 2));
+      B.ret_unit b)
+
+let calc_monotonic_q_gradients_for_elems =
+  B.define "calc_monotonic_q_gradients_for_elems" ~params:[ "dom"; "numelem" ]
+    (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "numelem") (fun i ->
+          ignore (B.call b "elem_delta_v" [ i ]);
+          B.work b (Int 5));
+      B.ret_unit b)
+
+(* Region-based Q calculation: loops over each region's element count,
+   which is control-tainted by size (the Section 5.2 example). *)
+let calc_monotonic_q_region_for_elems =
+  B.define "calc_monotonic_q_region_for_elems" ~params:[ "dom"; "nreg" ]
+    (fun b ->
+      let regsize = get (Reg "dom") d_regsize b in
+      B.for_ b "r" ~from:(Int 0) ~below:(Reg "nreg") (fun r ->
+          let relems = B.load b regsize r in
+          B.for_ b "j" ~from:(Int 0) ~below:relems (fun j ->
+              ignore (B.call b "q_limiter" [ j ]);
+              B.work b (Int 3)));
+      B.ret_unit b)
+
+(* CalcQForElems — the B2 example.  It mixes a per-element pass with the
+   monotonic-Q halo exchange, so its true model multiplies a communication
+   surface factor with the element volume: c * p^0.25 * size^3. *)
+let calc_q_for_elems =
+  B.define "calc_q_for_elems" ~params:[ "dom"; "numelem"; "nreg"; "facesize" ]
+    (fun b ->
+      B.call_unit b "calc_monotonic_q_gradients_for_elems"
+        [ Reg "dom"; Reg "numelem" ];
+      B.for_ b "n" ~from:(Int 0) ~below:(Int 6) (fun _ ->
+          Dsl.irecv b (Reg "facesize");
+          Dsl.isend b (Reg "facesize"));
+      B.for_ b "n" ~from:(Int 0) ~below:(Int 12) (fun _ -> Dsl.wait b);
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "numelem") (fun i ->
+          ignore (B.call b "q_limiter" [ i ]);
+          B.work b (Int 2));
+      B.call_unit b "calc_monotonic_q_region_for_elems" [ Reg "dom"; Reg "nreg" ];
+      B.ret_unit b)
+
+let calc_pressure_for_elems =
+  B.define "calc_pressure_for_elems" ~params:[ "relems" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "relems") (fun i ->
+          ignore (B.call b "pressure_eos_leaf" [ i ]);
+          B.work b (Int 2));
+      B.ret_unit b)
+
+let calc_pbvc_for_elems =
+  B.define "calc_pbvc_for_elems" ~params:[ "relems" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "relems") (fun i ->
+          ignore (B.call b "vdov_term" [ i ]);
+          B.work b (Int 1));
+      B.ret_unit b)
+
+let calc_work_for_elems =
+  B.define "calc_work_for_elems" ~params:[ "relems" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "relems") (fun i ->
+          ignore (B.call b "elem_delta_v" [ i ]);
+          B.work b (Int 2));
+      B.ret_unit b)
+
+let calc_energy_for_elems =
+  B.define "calc_energy_for_elems" ~params:[ "relems" ] (fun b ->
+      B.call_unit b "calc_pbvc_for_elems" [ Reg "relems" ];
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "relems") (fun i ->
+          ignore (B.call b "energy_eos_leaf" [ i ]);
+          B.work b (Int 3));
+      B.call_unit b "calc_pressure_for_elems" [ Reg "relems" ];
+      B.call_unit b "calc_work_for_elems" [ Reg "relems" ];
+      B.ret_unit b)
+
+let calc_sound_speed_for_elems =
+  B.define "calc_sound_speed_for_elems" ~params:[ "relems" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "relems") (fun i ->
+          ignore (B.call b "sound_speed_leaf" [ i ]);
+          ignore (B.call b "sqrt_newton" [ i ]);
+          B.work b (Int 2));
+      B.ret_unit b)
+
+(* EOS evaluation: per region, repeated rep(r) times where rep is a pure
+   function of cost and balance — the loops here depend on {size (via the
+   region size), regions, cost, balance}. *)
+let eval_eos_for_elems =
+  B.define "eval_eos_for_elems" ~params:[ "relems"; "reps" ] (fun b ->
+      B.for_ b "rep" ~from:(Int 0) ~below:(Reg "reps") (fun _ ->
+          B.call_unit b "calc_energy_for_elems" [ Reg "relems" ]);
+      B.call_unit b "calc_sound_speed_for_elems" [ Reg "relems" ];
+      B.ret_unit b)
+
+let apply_material_properties_for_elems =
+  B.define "apply_material_properties_for_elems"
+    ~params:[ "dom"; "nreg"; "balance"; "cost" ] (fun b ->
+      let regsize = get (Reg "dom") d_regsize b in
+      B.for_ b "r" ~from:(Int 0) ~below:(Reg "nreg") (fun r ->
+          let relems = B.load b regsize r in
+          let reps =
+            B.call b "region_rep_count" [ r; Reg "balance"; Reg "cost" ]
+          in
+          B.call_unit b "eval_eos_for_elems" [ relems; reps ]);
+      B.ret_unit b)
+
+let update_volumes_for_elems =
+  B.define "update_volumes_for_elems" ~params:[ "dom"; "numelem" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "numelem") (fun i ->
+          ignore (B.call b "voln_ratio" [ i ]);
+          B.work b (Int 1));
+      B.ret_unit b)
+
+let lagrange_elements =
+  B.define "lagrange_elements"
+    ~params:[ "dom"; "numelem"; "nreg"; "balance"; "cost"; "facesize" ]
+    (fun b ->
+      B.call_unit b "calc_lagrange_elements" [ Reg "dom"; Reg "numelem" ];
+      B.call_unit b "calc_q_for_elems"
+        [ Reg "dom"; Reg "numelem"; Reg "nreg"; Reg "facesize" ];
+      B.call_unit b "apply_material_properties_for_elems"
+        [ Reg "dom"; Reg "nreg"; Reg "balance"; Reg "cost" ];
+      B.call_unit b "update_volumes_for_elems" [ Reg "dom"; Reg "numelem" ];
+      B.ret_unit b)
+
+let calc_courant_constraint =
+  B.define "calc_courant_constraint" ~params:[ "numelem" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "numelem") (fun i ->
+          ignore (B.call b "min3" [ i ]);
+          B.work b (Int 1));
+      B.ret b (Int 1))
+
+let calc_hydro_constraint =
+  B.define "calc_hydro_constraint" ~params:[ "numelem" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "numelem") (fun i ->
+          ignore (B.call b "vdov_term" [ i ]);
+          B.work b (Int 1));
+      B.ret b (Int 1))
+
+let time_increment =
+  B.define "time_increment" ~params:[ "dom" ] (fun b ->
+      ignore (B.call b "time_step_scale" [ Int 0 ]);
+      ignore (B.call b "comm_reduce_dt" [ Int 1 ]);
+      B.ret_unit b)
+
+let calc_time_constraints =
+  B.define "calc_time_constraints" ~params:[ "dom"; "numelem" ] (fun b ->
+      let dtc = B.call b "calc_courant_constraint" [ Reg "numelem" ] in
+      let dth = B.call b "calc_hydro_constraint" [ Reg "numelem" ] in
+      let dt = B.imin b dtc dth in
+      ignore (B.call b "comm_reduce_dt" [ dt ]);
+      B.ret_unit b)
+
+let lagrange_leap_frog =
+  B.define "lagrange_leap_frog"
+    ~params:
+      [ "dom"; "numelem"; "numnode"; "nreg"; "balance"; "cost"; "facesize" ]
+    (fun b ->
+      B.call_unit b "lagrange_nodal"
+        [ Reg "dom"; Reg "numelem"; Reg "numnode"; Reg "facesize" ];
+      B.call_unit b "lagrange_elements"
+        [ Reg "dom"; Reg "numelem"; Reg "nreg"; Reg "balance"; Reg "cost";
+          Reg "facesize" ];
+      B.call_unit b "calc_time_constraints" [ Reg "dom"; Reg "numelem" ];
+      B.ret_unit b)
+
+(* -- setup ---------------------------------------------------------------- *)
+
+let init_mesh_coords =
+  B.define "init_mesh_coords" ~params:[ "dom"; "numnode" ] (fun b ->
+      let x = get (Reg "dom") d_x b in
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "numnode") (fun i ->
+          let idx = B.rem b i (Int 64) in
+          B.store b x idx i);
+      B.ret_unit b)
+
+let init_elem_connectivity =
+  B.define "init_elem_connectivity" ~params:[ "dom"; "numelem" ] (fun b ->
+      let nodelist = get (Reg "dom") d_nodelist b in
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "numelem") (fun i ->
+          ignore (B.call b "init_single_elem" [ i ]);
+          let idx = B.rem b i (Int 64) in
+          B.store b nodelist idx i);
+      B.ret_unit b)
+
+(* The paper's control-dependence poster child: region sizes are counted
+   by iterating over elements, so their values are only control-dependent
+   on size. *)
+let build_region_index_sets =
+  B.define "build_region_index_sets" ~params:[ "dom"; "numelem"; "nreg" ]
+    (fun b ->
+      let regnum = get (Reg "dom") d_regnum b in
+      let regsize = get (Reg "dom") d_regsize b in
+      B.for_ b "r" ~from:(Int 0) ~below:(Reg "nreg") (fun r ->
+          B.store b regsize r (Int 0));
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "numelem") (fun i ->
+          let idx = B.rem b i (Int 64) in
+          let rn = B.load b regnum idx in
+          let r = B.rem b (B.add b rn i) (Reg "nreg") in
+          let cur = B.load b regsize r in
+          B.store b regsize r (B.add b cur (Int 1)));
+      B.ret_unit b)
+
+(* Mesh construction wrapper and boundary setup, as in LULESH 2.0's
+   Domain constructor. *)
+let setup_symmetry_planes =
+  B.define "setup_symmetry_planes" ~params:[ "facesize" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "facesize") (fun i ->
+          ignore (B.call b "boundary_flag" [ i ]));
+      B.ret_unit b)
+
+let setup_boundary_conditions =
+  B.define "setup_boundary_conditions" ~params:[ "numelem" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "numelem") (fun i ->
+          ignore (B.call b "face_index" [ i ]);
+          B.work b (Int 1));
+      B.ret_unit b)
+
+let build_mesh =
+  B.define "build_mesh" ~params:[ "dom"; "numelem"; "numnode"; "facesize" ]
+    (fun b ->
+      B.call_unit b "init_mesh_coords" [ Reg "dom"; Reg "numnode" ];
+      B.call_unit b "init_elem_connectivity" [ Reg "dom"; Reg "numelem" ];
+      B.call_unit b "setup_symmetry_planes" [ Reg "facesize" ];
+      B.call_unit b "setup_boundary_conditions" [ Reg "numelem" ];
+      B.ret_unit b)
+
+(* Volume derivatives for the hourglass force, per element. *)
+let calc_elem_volume_derivative =
+  B.define "calc_elem_volume_derivative" ~params:[ "dom"; "numelem" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "numelem") (fun i ->
+          ignore (B.call b "calc_elem_volume" [ i ]);
+          ignore (B.call b "cross_x" [ i ]);
+          B.work b (Int 3));
+      B.ret_unit b)
+
+let setup_comm_buffers =
+  B.define "setup_comm_buffers" ~params:[ "facesize" ] (fun b ->
+      B.for_ b "n" ~from:(Int 0) ~below:(Int 6) (fun _ -> B.work b (Int 2));
+      B.ret b (Reg "facesize"))
+
+let main =
+  B.define "main"
+    ~params:[ "size"; "iters"; "regions"; "balance"; "cost" ] (fun b ->
+      (* register_variable(...) for every command-line parameter. *)
+      let size = Dsl.register b "size" (Reg "size") in
+      let iters = Dsl.register b "iters" (Reg "iters") in
+      let regions = Dsl.register b "regions" (Reg "regions") in
+      let balance = Dsl.register b "balance" (Reg "balance") in
+      let cost = Dsl.register b "cost" (Reg "cost") in
+      let _p = Dsl.comm_size b in
+      let _rank = Dsl.comm_rank b in
+      let numelem = B.mul b size (B.mul b size size) in
+      let size1 = B.add b size (Int 1) in
+      let numnode = B.mul b size1 (B.mul b size1 size1) in
+      let facesize = B.mul b size1 size1 in
+      (* Domain: one 64-cell backing array per field (the taint analysis
+         cares about the handles and the region-size cells only). *)
+      B.set b "dom" (B.alloc b (Int d_slots));
+      List.iter
+        (fun slot -> B.store b (Reg "dom") (Int slot) (B.alloc b (Int 64)))
+        [ d_x; d_xd; d_xdd; d_force; d_energy; d_pressure; d_q; d_vol; d_volo;
+          d_delv; d_arealg; d_ss; d_nodelist; d_regnum ];
+      B.store b (Reg "dom") (Int d_regsize) (B.alloc b regions);
+      B.store b (Reg "dom") (Int d_dtcourant) (B.alloc b (Int 4));
+      B.call_unit b "build_mesh" [ Reg "dom"; numelem; numnode; facesize ];
+      B.call_unit b "build_region_index_sets" [ Reg "dom"; numelem; regions ];
+      let fs = B.call b "setup_comm_buffers" [ facesize ] in
+      B.for_ b "it" ~from:(Int 0) ~below:iters (fun _ ->
+          B.call_unit b "time_increment" [ Reg "dom" ];
+          B.call_unit b "lagrange_leap_frog"
+            [ Reg "dom"; numelem; numnode; regions; balance; cost; fs ]);
+      B.ret_unit b)
+
+let kernels =
+  [
+    main;
+    lagrange_leap_frog;
+    lagrange_nodal;
+    lagrange_elements;
+    calc_force_for_nodes;
+    calc_volume_force_for_elems;
+    init_stress_terms_for_elems;
+    collect_domain_nodes_to_elem_nodes;
+    integrate_stress_for_elems;
+    calc_hourglass_control_for_elems;
+    calc_fb_hourglass_force_for_elems;
+    calc_accel_for_nodes;
+    apply_accel_bc_for_nodes;
+    calc_vel_for_nodes;
+    calc_pos_for_nodes;
+    calc_lagrange_elements;
+    calc_kinematics_for_elems;
+    calc_monotonic_q_gradients_for_elems;
+    calc_monotonic_q_region_for_elems;
+    calc_q_for_elems;
+    apply_material_properties_for_elems;
+    eval_eos_for_elems;
+    calc_energy_for_elems;
+    calc_pbvc_for_elems;
+    calc_work_for_elems;
+    calc_pressure_for_elems;
+    calc_sound_speed_for_elems;
+    update_volumes_for_elems;
+    calc_courant_constraint;
+    calc_hydro_constraint;
+    calc_time_constraints;
+    time_increment;
+    build_region_index_sets;
+    build_mesh;
+    setup_symmetry_planes;
+    setup_boundary_conditions;
+    calc_elem_volume_derivative;
+    init_mesh_coords;
+    init_elem_connectivity;
+    setup_comm_buffers;
+  ]
+
+let comm_routines = [ comm_halo_nodes; comm_reduce_dt ]
+
+let program =
+  B.program "lulesh" ~entry:"main" (kernels @ comm_routines @ more_helpers @ helpers)
+
+(** Default arguments of the tainted run: the paper uses size 5 on 8 MPI
+    ranks, other parameters at their defaults. *)
+let taint_args =
+  [ VInt 5 (* size *); VInt 3 (* iters *); VInt 4 (* regions *);
+    VInt 2 (* balance *); VInt 1 (* cost *) ]
+
+let taint_world = { Mpi_sim.Runtime.ranks = 8; rank = 0 }
+
+(** The two model parameters of the paper's LULESH study. *)
+let model_params = [ "p"; "size" ]
+
+let all_params = [ "p"; "size"; "iters"; "regions"; "balance"; "cost" ]

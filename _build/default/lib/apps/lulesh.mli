@@ -1,0 +1,18 @@
+(** Mini-LULESH: a PIR reconstruction of the LULESH 2.0 hydrodynamics
+    proxy app — ~30 computational kernels over a size^3 element mesh, a
+    region-based EOS phase driven by {regions, balance, cost}, halo
+    exchange and dt reduction, an iters time loop enclosing everything,
+    and the long tail of tiny C++ helpers. *)
+
+val program : Ir.Types.program
+
+val taint_args : Ir.Types.value list
+(** The paper's tainted-run configuration: size 5, 3 iterations. *)
+
+val taint_world : Mpi_sim.Runtime.world
+(** 8 MPI ranks, as in the paper. *)
+
+val model_params : string list
+(** The two modeling parameters of the paper's study: p and size. *)
+
+val all_params : string list

@@ -1,0 +1,13 @@
+(** Ground-truth performance specification of mini-LULESH for the cluster
+    simulator (weak scaling: size is the per-rank edge). *)
+
+val defaults : (string * float) list
+(** Parameter defaults merged under every configuration. *)
+
+val app : Measure.Spec.app
+
+val p_values : float list
+(** The paper's 5 rank counts. *)
+
+val size_values : float list
+(** The paper's 5 problem sizes (25..45). *)

@@ -1,0 +1,504 @@
+(** Mini-MILC: a PIR reconstruction of the su3_rmd application from the
+    MIMD Lattice Computation suite (lattice QCD with staggered fermions),
+    the second evaluation target of the paper.
+
+    Preserved structure: the four lattice-extent parameters nx, ny, nz, nt
+    whose product (divided by p) bounds every site loop — a multi-label
+    exit condition that the analysis conservatively reports as
+    multiplicative; the molecular-dynamics trajectory structure (warms +
+    trajecs trajectories of steps MD steps); the conjugate-gradient solver
+    bounded by niter with restart loops; a gather communication layer that
+    switches algorithm at a rank-count threshold (the C2 experiment); and
+    the physics parameters mass, beta, nflavors, u0 with their narrow loop
+    footprint (Table 3's last column). *)
+
+open Ir.Types
+module B = Ir.Builder
+
+(* -- tiny helpers: SU(3) algebra etc. (statically prunable) --------------- *)
+
+let leaf = Dsl.leaf_helper
+let cloop = Dsl.const_loop_helper
+
+let helpers =
+  [
+    cloop ~trip:9 ~units:2 "su3_mat_mul";
+    cloop ~trip:9 ~units:1 "su3_mat_vec";
+    cloop ~trip:9 ~units:1 "su3_adjoint";
+    cloop ~trip:3 ~units:1 "su3_rdot";
+    cloop ~trip:3 ~units:1 "add_su3_vector";
+    cloop ~trip:9 ~units:1 "scalar_mult_su3";
+    cloop ~trip:9 ~units:1 "make_anti_hermitian";
+    cloop ~trip:9 ~units:1 "uncompress_anti_hermitian";
+    leaf ~units:2 "rand_gauss";
+    leaf ~units:1 "site_index";
+    leaf ~units:1 "neighbor_index";
+    leaf ~units:1 "ks_phase";
+    leaf ~units:1 "boundary_phase";
+    cloop ~trip:3 ~units:1 "clear_su3_vector";
+    cloop ~trip:3 ~units:1 "copy_su3_vector";
+    cloop ~trip:3 ~units:1 "magsq_su3_vector";
+    leaf ~units:1 "z2_random";
+    cloop ~trip:9 ~units:1 "set_su3_identity";
+    cloop ~trip:3 ~units:1 "trace_su3";
+    leaf ~units:1 "realtrace_su3";
+    leaf ~units:1 "complex_mul";
+    leaf ~units:1 "complex_add";
+    leaf ~units:1 "complex_conjugate";
+    leaf ~units:1 "mom_update_leaf";
+    leaf ~units:1 "dirac_phase";
+    cloop ~trip:4 ~units:1 "path_product";
+    leaf ~units:1 "momentum_twist";
+    cloop ~trip:3 ~units:1 "su3_vec_scale";
+    leaf ~units:1 "lattice_coordinate";
+    leaf ~units:1 "parity_of_site";
+  ]
+
+(* Functions present in the binary but never executed by the taint run:
+   the dynamic phase reports them as not visited (Section 4.4).  MILC
+   carries a lot of these — alternative actions, IO formats, measurement
+   routines for other physics — which is why the paper's dynamic phase
+   prunes 188 functions. *)
+let unexecuted =
+  [
+    Dsl.elem_kernel ~units:2 "reload_lattice_from_file";
+    Dsl.elem_kernel ~units:2 "save_lattice_to_file";
+    Dsl.elem_kernel ~units:3 "gauge_fix_coulomb";
+    Dsl.leaf_helper ~units:1 "io_detect_format";
+    Dsl.elem_kernel ~units:2 "spectrum_measurement";
+    Dsl.elem_kernel ~units:2 "meson_propagator";
+    Dsl.elem_kernel ~units:2 "baryon_propagator";
+    Dsl.elem_kernel ~units:2 "wilson_loop_measure";
+    Dsl.elem_kernel ~units:2 "smear_links";
+    Dsl.elem_kernel ~units:2 "ape_smearing";
+    Dsl.elem_kernel ~units:2 "fuzzy_links";
+    Dsl.elem_kernel ~units:3 "eigenvalue_measure";
+    Dsl.elem_kernel ~units:2 "topological_charge";
+    Dsl.leaf_helper ~units:1 "io_swap_bytes";
+    Dsl.leaf_helper ~units:1 "io_checksum";
+    Dsl.leaf_helper ~units:1 "io_read_header";
+    Dsl.leaf_helper ~units:1 "io_write_header";
+    Dsl.leaf_helper ~units:1 "terse_output_mode";
+    Dsl.leaf_helper ~units:1 "ask_starting_lattice";
+    Dsl.leaf_helper ~units:1 "ask_ending_lattice";
+    Dsl.const_loop_helper ~trip:4 ~units:1 "reunit_report";
+    Dsl.const_loop_helper ~trip:4 ~units:1 "check_unitarity_strict";
+    Dsl.leaf_helper ~units:1 "print_lattice_info";
+  ]
+
+(* -- communication layer -------------------------------------------------- *)
+
+(* The gather with an algorithm switch: at small rank counts a cheap
+   nearest-neighbour exchange suffices; beyond the threshold a general
+   (qualitatively different) path runs.  The branch condition is tainted
+   by the implicit parameter p — exactly the C2 situation. *)
+let start_gather =
+  B.define "start_gather" ~params:[ "msgsize" ] (fun b ->
+      let p = Dsl.comm_size b in
+      let small = B.le b p (Int 8) in
+      B.if_ b small
+        ~then_:(fun () ->
+          (* Nearest-neighbour path: 2 directions. *)
+          B.for_ b "d" ~from:(Int 0) ~below:(Int 2) (fun _ ->
+              Dsl.irecv b (Reg "msgsize");
+              Dsl.isend b (Reg "msgsize")))
+        ~else_:(fun () ->
+          (* General path: all 8 directions plus a handshake. *)
+          B.for_ b "d" ~from:(Int 0) ~below:(Int 8) (fun _ ->
+              Dsl.irecv b (Reg "msgsize");
+              Dsl.isend b (Reg "msgsize"));
+          Dsl.barrier b)
+        ();
+      B.ret_unit b)
+
+let wait_gather =
+  B.define "wait_gather" ~params:[ "msgsize" ] (fun b ->
+      let p = Dsl.comm_size b in
+      let small = B.le b p (Int 8) in
+      B.if_ b small
+        ~then_:(fun () ->
+          B.for_ b "d" ~from:(Int 0) ~below:(Int 4) (fun _ -> Dsl.wait b))
+        ~else_:(fun () ->
+          B.for_ b "d" ~from:(Int 0) ~below:(Int 16) (fun _ -> Dsl.wait b))
+        ();
+      B.ret_unit b)
+
+let global_sum =
+  B.define "global_sum" ~params:[ "x" ] (fun b ->
+      Dsl.allreduce b (Int 1);
+      B.ret b (Reg "x"))
+
+let bcast_parameters =
+  B.define "bcast_parameters" ~params:[ "n" ] (fun b ->
+      Dsl.bcast b (Reg "n");
+      B.ret_unit b)
+
+let plaq_reduce =
+  B.define "plaq_reduce" ~params:[ "x" ] (fun b ->
+      Dsl.allreduce b (Int 2);
+      B.ret b (Reg "x"))
+
+let comm_routines =
+  [ start_gather; wait_gather; global_sum; bcast_parameters; plaq_reduce ]
+
+(* -- solver and force kernels --------------------------------------------- *)
+
+(* Fat/long link construction: recomputed per MD step in improved
+   staggered actions — heavy su3 site loops. *)
+let load_fatlinks =
+  B.define "load_fatlinks" ~params:[ "sites" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "sites") (fun i ->
+          ignore (B.call b "su3_mat_mul" [ i ]);
+          ignore (B.call b "su3_mat_mul" [ i ]);
+          ignore (B.call b "path_product" [ i ]);
+          B.work b (Int 16));
+      B.ret_unit b)
+
+let load_longlinks =
+  B.define "load_longlinks" ~params:[ "sites" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "sites") (fun i ->
+          ignore (B.call b "su3_mat_mul" [ i ]);
+          ignore (B.call b "path_product" [ i ]);
+          B.work b (Int 10));
+      B.ret_unit b)
+
+(* KS phase application over the local lattice. *)
+let rephase =
+  B.define "rephase" ~params:[ "sites" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "sites") (fun i ->
+          ignore (B.call b "ks_phase" [ i ]);
+          B.work b (Int 2));
+      B.ret_unit b)
+
+(* Lattice-wide vector utilities used by the CG driver. *)
+let clear_latvec =
+  B.define "clear_latvec" ~params:[ "sites" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "sites") (fun i ->
+          ignore (B.call b "clear_su3_vector" [ i ]));
+      B.ret_unit b)
+
+let copy_latvec =
+  B.define "copy_latvec" ~params:[ "sites" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "sites") (fun i ->
+          ignore (B.call b "copy_su3_vector" [ i ]));
+      B.ret_unit b)
+
+let scalar_mult_latvec =
+  B.define "scalar_mult_latvec" ~params:[ "sites" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "sites") (fun i ->
+          ignore (B.call b "su3_vec_scale" [ i ]));
+      B.ret_unit b)
+
+(* Unitarity check over the gauge field, once per trajectory. *)
+let check_unitarity =
+  B.define "check_unitarity" ~params:[ "sites" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "sites") (fun i ->
+          ignore (B.call b "su3_adjoint" [ i ]);
+          ignore (B.call b "realtrace_su3" [ i ]);
+          B.work b (Int 4));
+      B.ret_unit b)
+
+(* Staggered Dslash: the hot loop over local sites with a halo gather.
+   The site count is vol/p, so the exit condition carries all of
+   {nx, ny, nz, nt, p}. *)
+let dslash =
+  B.define "dslash" ~params:[ "sites"; "msgsize" ] (fun b ->
+      B.call_unit b "start_gather" [ Reg "msgsize" ];
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "sites") (fun i ->
+          ignore (B.call b "su3_mat_vec" [ i ]);
+          ignore (B.call b "add_su3_vector" [ i ]);
+          B.work b (Int 8));
+      B.call_unit b "wait_gather" [ Reg "msgsize" ];
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "sites") (fun i ->
+          ignore (B.call b "su3_mat_vec" [ i ]);
+          B.work b (Int 4));
+      B.ret_unit b)
+
+(* CG vector updates over local sites. *)
+let axpy_sites =
+  B.define "axpy_sites" ~params:[ "sites" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "sites") (fun i ->
+          ignore (B.call b "su3_vec_scale" [ i ]);
+          B.work b (Int 2));
+      B.ret_unit b)
+
+let dot_product_sites =
+  B.define "dot_product_sites" ~params:[ "sites" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "sites") (fun i ->
+          ignore (B.call b "magsq_su3_vector" [ i ]);
+          B.work b (Int 2));
+      ignore (B.call b "global_sum" [ Int 1 ]);
+      B.ret b (Int 1))
+
+(* The Kogut-Susskind conjugate gradient: restart loop whose count is a
+   pure function of mass and beta (the narrow mass/beta loop of Table 3),
+   and an inner iteration loop bounded by niter. *)
+let ks_congrad =
+  B.define "ks_congrad" ~params:[ "sites"; "niter"; "restarts"; "msgsize" ]
+    (fun b ->
+      B.call_unit b "clear_latvec" [ Reg "sites" ];
+      B.call_unit b "copy_latvec" [ Reg "sites" ];
+      B.for_ b "r" ~from:(Int 0) ~below:(Reg "restarts") (fun _ ->
+          B.call_unit b "scalar_mult_latvec" [ Reg "sites" ];
+          B.for_ b "it" ~from:(Int 0) ~below:(Reg "niter") (fun _ ->
+              B.call_unit b "dslash" [ Reg "sites"; Reg "msgsize" ];
+              B.call_unit b "dslash" [ Reg "sites"; Reg "msgsize" ];
+              B.call_unit b "axpy_sites" [ Reg "sites" ];
+              ignore (B.call b "dot_product_sites" [ Reg "sites" ])));
+      B.ret_unit b)
+
+(* Gaussian random source, once per flavor: the nflavors loop. *)
+let grsource_imp =
+  B.define "grsource_imp" ~params:[ "sites"; "nflavors" ] (fun b ->
+      B.for_ b "fl" ~from:(Int 0) ~below:(Reg "nflavors") (fun _ ->
+          B.for_ b "i" ~from:(Int 0) ~below:(Reg "sites") (fun i ->
+              ignore (B.call b "rand_gauss" [ i ]);
+              B.work b (Int 2)));
+      B.ret_unit b)
+
+let fermion_force =
+  B.define "fermion_force" ~params:[ "sites"; "msgsize" ] (fun b ->
+      B.call_unit b "start_gather" [ Reg "msgsize" ];
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "sites") (fun i ->
+          ignore (B.call b "su3_mat_mul" [ i ]);
+          ignore (B.call b "make_anti_hermitian" [ i ]);
+          B.work b (Int 10));
+      B.call_unit b "wait_gather" [ Reg "msgsize" ];
+      B.ret_unit b)
+
+let gauge_force =
+  B.define "gauge_force" ~params:[ "sites" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "sites") (fun i ->
+          ignore (B.call b "path_product" [ i ]);
+          ignore (B.call b "su3_mat_mul" [ i ]);
+          B.work b (Int 12));
+      B.ret_unit b)
+
+(* Reunitarisation: the per-site Newton iteration count is a (synthetic)
+   pure function of u0 — giving u0 its small loop footprint. *)
+let reunitarize =
+  B.define "reunitarize" ~params:[ "sites"; "u0" ] (fun b ->
+      let extra = B.rem b (Reg "u0") (Int 3) in
+      let iters = B.add b (Int 1) extra in
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "sites") (fun i ->
+          B.for_ b "k" ~from:(Int 0) ~below:iters (fun _ ->
+              ignore (B.call b "su3_adjoint" [ i ]);
+              B.work b (Int 3)));
+      B.ret_unit b)
+
+let ranmom =
+  B.define "ranmom" ~params:[ "sites" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "sites") (fun i ->
+          ignore (B.call b "rand_gauss" [ i ]);
+          B.work b (Int 2));
+      B.ret_unit b)
+
+let update_u =
+  B.define "update_u" ~params:[ "sites" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "sites") (fun i ->
+          ignore (B.call b "uncompress_anti_hermitian" [ i ]);
+          ignore (B.call b "su3_mat_mul" [ i ]);
+          B.work b (Int 6));
+      B.ret_unit b)
+
+let update_h =
+  B.define "update_h" ~params:[ "sites"; "nflavors"; "msgsize" ] (fun b ->
+      B.call_unit b "load_fatlinks" [ Reg "sites" ];
+      B.call_unit b "load_longlinks" [ Reg "sites" ];
+      B.call_unit b "gauge_force" [ Reg "sites" ];
+      B.for_ b "fl" ~from:(Int 0) ~below:(Reg "nflavors") (fun _ ->
+          B.call_unit b "fermion_force" [ Reg "sites"; Reg "msgsize" ]);
+      B.ret_unit b)
+
+(* One MD trajectory: steps leapfrog steps, each ending in a CG solve. *)
+let update =
+  B.define "update"
+    ~params:[ "sites"; "steps"; "niter"; "restarts"; "nflavors"; "u0"; "msgsize" ]
+    (fun b ->
+      B.call_unit b "ranmom" [ Reg "sites" ];
+      B.for_ b "s" ~from:(Int 0) ~below:(Reg "steps") (fun _ ->
+          B.call_unit b "update_u" [ Reg "sites" ];
+          B.call_unit b "update_h"
+            [ Reg "sites"; Reg "nflavors"; Reg "msgsize" ];
+          B.call_unit b "grsource_imp" [ Reg "sites"; Reg "nflavors" ];
+          B.call_unit b "ks_congrad"
+            [ Reg "sites"; Reg "niter"; Reg "restarts"; Reg "msgsize" ]);
+      B.call_unit b "reunitarize" [ Reg "sites"; Reg "u0" ];
+      B.ret_unit b)
+
+(* Momentum and gauge action measurements, once per trajectory. *)
+let gauge_action =
+  B.define "gauge_action" ~params:[ "sites" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "sites") (fun i ->
+          ignore (B.call b "su3_mat_mul" [ i ]);
+          ignore (B.call b "trace_su3" [ i ]);
+          B.work b (Int 8));
+      ignore (B.call b "global_sum" [ Int 1 ]);
+      B.ret b (Int 1))
+
+let mom_action =
+  B.define "mom_action" ~params:[ "sites" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "sites") (fun i ->
+          ignore (B.call b "su3_rdot" [ i ]);
+          B.work b (Int 3));
+      ignore (B.call b "global_sum" [ Int 1 ]);
+      B.ret b (Int 1))
+
+let d_action =
+  B.define "d_action" ~params:[ "sites" ] (fun b ->
+      ignore (B.call b "gauge_action" [ Reg "sites" ]);
+      ignore (B.call b "mom_action" [ Reg "sites" ]);
+      B.ret b (Int 1))
+
+(* Antiperiodic boundary flip in the time direction, once at setup. *)
+let boundary_flip =
+  B.define "boundary_flip" ~params:[ "sites" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "sites") (fun i ->
+          ignore (B.call b "boundary_phase" [ i ]);
+          B.work b (Int 1));
+      B.ret_unit b)
+
+(* -- observables ----------------------------------------------------------- *)
+
+let plaquette =
+  B.define "plaquette" ~params:[ "sites" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "sites") (fun i ->
+          ignore (B.call b "su3_mat_mul" [ i ]);
+          ignore (B.call b "realtrace_su3" [ i ]);
+          B.work b (Int 6));
+      ignore (B.call b "plaq_reduce" [ Int 1 ]);
+      B.ret b (Int 1))
+
+let ploop =
+  B.define "ploop" ~params:[ "sites" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "sites") (fun i ->
+          ignore (B.call b "su3_mat_mul" [ i ]);
+          B.work b (Int 4));
+      ignore (B.call b "global_sum" [ Int 1 ]);
+      B.ret b (Int 1))
+
+let f_measure =
+  B.define "f_measure" ~params:[ "sites"; "niter"; "restarts"; "msgsize" ]
+    (fun b ->
+      B.call_unit b "ks_congrad"
+        [ Reg "sites"; Reg "niter"; Reg "restarts"; Reg "msgsize" ];
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "sites") (fun i ->
+          ignore (B.call b "su3_rdot" [ i ]);
+          B.work b (Int 3));
+      B.ret b (Int 1))
+
+(* -- setup ------------------------------------------------------------------ *)
+
+let setup_layout =
+  B.define "setup_layout" ~params:[ "sites" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "sites") (fun i ->
+          ignore (B.call b "site_index" [ i ]);
+          ignore (B.call b "lattice_coordinate" [ i ]));
+      B.ret_unit b)
+
+let make_lattice =
+  B.define "make_lattice" ~params:[ "sites" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "sites") (fun i ->
+          ignore (B.call b "set_su3_identity" [ i ]);
+          ignore (B.call b "ks_phase" [ i ]));
+      B.ret_unit b)
+
+let main =
+  B.define "main"
+    ~params:
+      [ "nx"; "ny"; "nz"; "nt"; "warms"; "trajecs"; "steps"; "niter"; "mass";
+        "beta"; "nflavors"; "u0" ] (fun b ->
+      let nx = Dsl.register b "nx" (Reg "nx") in
+      let ny = Dsl.register b "ny" (Reg "ny") in
+      let nz = Dsl.register b "nz" (Reg "nz") in
+      let nt = Dsl.register b "nt" (Reg "nt") in
+      let warms = Dsl.register b "warms" (Reg "warms") in
+      let trajecs = Dsl.register b "trajecs" (Reg "trajecs") in
+      let steps = Dsl.register b "steps" (Reg "steps") in
+      let niter = Dsl.register b "niter" (Reg "niter") in
+      let mass = Dsl.register b "mass" (Reg "mass") in
+      let beta = Dsl.register b "beta" (Reg "beta") in
+      let nflavors = Dsl.register b "nflavors" (Reg "nflavors") in
+      let u0 = Dsl.register b "u0" (Reg "u0") in
+      let p = Dsl.comm_size b in
+      let _rank = Dsl.comm_rank b in
+      B.call_unit b "bcast_parameters" [ Int 16 ];
+      let vol = B.mul b (B.mul b nx ny) (B.mul b nz nt) in
+      let sites = B.div b vol p in
+      (* Halo message size: a surface slice of the local volume. *)
+      let msgsize = B.div b sites (B.imax b nt (Int 1)) in
+      (* CG restart count: a pure function of mass and beta. *)
+      let restarts = B.add b (Int 1) (B.rem b (B.add b mass beta) (Int 2)) in
+      B.call_unit b "setup_layout" [ sites ];
+      B.call_unit b "make_lattice" [ sites ];
+      B.for_ b "w" ~from:(Int 0) ~below:warms (fun _ ->
+          B.call_unit b "update"
+            [ sites; steps; niter; restarts; nflavors; u0; msgsize ]);
+      B.call_unit b "rephase" [ sites ];
+      B.call_unit b "boundary_flip" [ sites ];
+      B.for_ b "tr" ~from:(Int 0) ~below:trajecs (fun _ ->
+          B.call_unit b "update"
+            [ sites; steps; niter; restarts; nflavors; u0; msgsize ];
+          B.call_unit b "check_unitarity" [ sites ];
+          ignore (B.call b "d_action" [ sites ]);
+          ignore (B.call b "plaquette" [ sites ]);
+          ignore (B.call b "ploop" [ sites ]);
+          ignore
+            (B.call b "f_measure" [ sites; niter; restarts; msgsize ]));
+      B.ret_unit b)
+
+let kernels =
+  [
+    main;
+    update;
+    update_h;
+    update_u;
+    ranmom;
+    grsource_imp;
+    ks_congrad;
+    dslash;
+    load_fatlinks;
+    load_longlinks;
+    rephase;
+    clear_latvec;
+    copy_latvec;
+    scalar_mult_latvec;
+    check_unitarity;
+    gauge_action;
+    mom_action;
+    d_action;
+    boundary_flip;
+    axpy_sites;
+    dot_product_sites;
+    fermion_force;
+    gauge_force;
+    reunitarize;
+    plaquette;
+    ploop;
+    f_measure;
+    setup_layout;
+    make_lattice;
+  ]
+
+let program =
+  B.program "milc" ~entry:"main"
+    (kernels @ comm_routines @ helpers @ unexecuted)
+
+(** Taint-run configuration: the paper analyses MILC with size 128 on 32
+    ranks (4 sites per rank). *)
+let taint_args =
+  [ VInt 4 (* nx *); VInt 4 (* ny *); VInt 2 (* nz *); VInt 4 (* nt *);
+    VInt 1 (* warms *); VInt 2 (* trajecs *); VInt 2 (* steps *);
+    VInt 5 (* niter *); VInt 2 (* mass *); VInt 6 (* beta *);
+    VInt 2 (* nflavors *); VInt 8 (* u0 *) ]
+
+let taint_world = { Mpi_sim.Runtime.ranks = 32; rank = 0 }
+
+(** The paper's two modeling parameters: the domain size (nx*ny*nz*nt) and
+    the rank count.  In the measurement harness the four extents are swept
+    together through a single [size] value. *)
+let model_params = [ "p"; "size" ]
+
+let all_params =
+  [ "p"; "nx"; "ny"; "nz"; "nt"; "warms"; "trajecs"; "steps"; "niter";
+    "mass"; "beta"; "nflavors"; "u0" ]

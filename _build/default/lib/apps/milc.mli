@@ -1,0 +1,16 @@
+(** Mini-MILC (su3_rmd): lattice QCD with the nx*ny*nz*nt/p site loops,
+    the warms/trajecs/steps molecular-dynamics structure, the
+    niter-bounded CG solver with mass/beta-dependent restarts, the gather
+    layer with its rank-count algorithm switch (C2), and a tail of
+    never-executed alternative actions. *)
+
+val program : Ir.Types.program
+
+val taint_args : Ir.Types.value list
+(** The paper's configuration: lattice volume 128 (4x4x2x4). *)
+
+val taint_world : Mpi_sim.Runtime.world
+(** 32 MPI ranks, as in the paper. *)
+
+val model_params : string list
+val all_params : string list

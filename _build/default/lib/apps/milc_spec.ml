@@ -1,0 +1,272 @@
+(** Ground-truth performance specification of mini-MILC (su3_rmd).
+
+    The modeling parameter [size] is the space-time domain size swept in
+    the paper (32..512); the local per-rank site count is
+    L = size * 2048 / p, so every site loop carries the {size, p}
+    multiplicative dependency.  MILC is C code with few trivially
+    inlinable functions, so — unlike LULESH — the default Score-P filter
+    instruments nearly everything and provides "little to no benefit"
+    over full instrumentation (paper Figure 4), while the taint-based
+    selection keeps only the ~60 relevant routines. *)
+
+module Spec = Measure.Spec
+module Machine = Mpi_sim.Machine
+
+let defaults =
+  [ ("p", 32.); ("size", 128.); ("warms", 2.); ("trajecs", 10.);
+    ("steps", 15.); ("niter", 300.); ("mass", 2.); ("beta", 6.);
+    ("nflavors", 2.); ("u0", 8.); ("r", 8.) ]
+
+let g ps name =
+  match List.assoc_opt name ps with
+  | Some v -> v
+  | None -> List.assoc name defaults
+
+let log2 x = Float.log x /. Float.log 2.
+
+(** Local lattice sites per rank. *)
+let sites ps = g ps "size" *. 2048. /. g ps "p"
+
+(** Halo message size in elements: one hypersurface slice. *)
+let msg ps = sites ps /. 8.
+
+let restarts ps = 1. +. Float.rem (g ps "mass" +. g ps "beta") 2.
+
+(* MD steps across warmup and measured trajectories. *)
+let md_steps ps = (g ps "warms" +. g ps "trajecs") *. g ps "steps"
+
+(* CG solves: one per MD step plus one per measured trajectory. *)
+let solves ps = md_steps ps +. g ps "trajecs"
+
+let cg_iters ps = solves ps *. g ps "niter" *. restarts ps
+
+let dslash_calls ps = 2. *. cg_iters ps
+
+let gather_calls ps = dslash_calls ps +. (md_steps ps *. g ps "nflavors")
+
+let site_kernel ?(memory_bound = 0.5) ?(tiny = false) name ~calls ~per_site
+    deps =
+  Spec.kernel ~kind:Spec.Compute ~memory_bound ~tiny ~calls
+    ~base_time:(fun ps _ -> calls ps *. per_site *. sites ps)
+    ~truth_deps:deps name
+
+(* C helper: not tiny (the compiler will not inline across translation
+   units), so the default filter instruments it — MILC's Figure 4 story. *)
+let helper ?(unit_time = 3.0e-8) ?(rate = 8.) name =
+  Spec.kernel ~kind:Spec.Helper ~tiny:false
+    ~calls:(fun ps -> rate *. sites ps *. md_steps ps)
+    ~base_time:(fun ps _ -> unit_time *. rate *. sites ps *. md_steps ps)
+    ~truth_deps:[] name
+
+let const_time c = fun _ _ -> c
+
+let gather_small_path ps = g ps "p" <= 8.
+
+let kernels =
+  [
+    (* -- the CG solver: the dominant cost ---------------------------------- *)
+    site_kernel ~memory_bound:0.6 "dslash" ~calls:dslash_calls ~per_site:3.0e-7
+      [ "p"; "size"; "niter" ];
+    site_kernel ~memory_bound:0.8 "axpy_sites" ~calls:cg_iters ~per_site:6.0e-8
+      [ "p"; "size"; "niter" ];
+    site_kernel ~memory_bound:0.7 "dot_product_sites" ~calls:cg_iters
+      ~per_site:5.0e-8 [ "p"; "size"; "niter" ];
+    (* ks_congrad's exclusive time: the iteration loop itself. *)
+    Spec.kernel ~kind:Spec.Compute ~calls:solves
+      ~base_time:(fun ps _ ->
+        1.0e-7 *. g ps "niter" *. restarts ps *. solves ps)
+      ~truth_deps:[ "niter"; "mass"; "beta" ] "ks_congrad";
+    site_kernel ~memory_bound:0.5 "load_fatlinks" ~calls:md_steps
+      ~per_site:6.0e-7 [ "p"; "size" ];
+    site_kernel ~memory_bound:0.5 "load_longlinks" ~calls:md_steps
+      ~per_site:4.0e-7 [ "p"; "size" ];
+    site_kernel ~memory_bound:0.8 "rephase" ~calls:(fun _ -> 1.)
+      ~per_site:5.0e-8 [ "p"; "size" ];
+    site_kernel ~memory_bound:0.9 "clear_latvec" ~calls:solves
+      ~per_site:2.0e-8 [ "p"; "size" ];
+    site_kernel ~memory_bound:0.9 "copy_latvec" ~calls:solves
+      ~per_site:3.0e-8 [ "p"; "size" ];
+    site_kernel ~memory_bound:0.9 "scalar_mult_latvec"
+      ~calls:(fun ps -> solves ps *. restarts ps)
+      ~per_site:3.0e-8 [ "p"; "size" ];
+    site_kernel ~memory_bound:0.4 "check_unitarity"
+      ~calls:(fun ps -> g ps "trajecs")
+      ~per_site:1.5e-7 [ "p"; "size" ];
+    (* -- force computation and MD updates ---------------------------------- *)
+    site_kernel ~memory_bound:0.4 "fermion_force"
+      ~calls:(fun ps -> md_steps ps *. g ps "nflavors")
+      ~per_site:4.0e-7 [ "p"; "size"; "nflavors" ];
+    site_kernel ~memory_bound:0.4 "gauge_force" ~calls:md_steps ~per_site:5.0e-7
+      [ "p"; "size" ];
+    site_kernel ~memory_bound:0.6 "update_u" ~calls:md_steps ~per_site:2.5e-7
+      [ "p"; "size" ];
+    site_kernel "grsource_imp" ~calls:md_steps ~per_site:4.0e-8
+      [ "p"; "size"; "nflavors" ];
+    Spec.kernel ~kind:Spec.Compute
+      ~calls:(fun ps -> g ps "warms" +. g ps "trajecs")
+      ~base_time:(fun ps _ ->
+        1.0e-7 *. sites ps *. (g ps "warms" +. g ps "trajecs"))
+      ~truth_deps:[ "p"; "size" ] "ranmom";
+    Spec.kernel ~kind:Spec.Compute
+      ~calls:(fun ps -> g ps "warms" +. g ps "trajecs")
+      ~base_time:(fun ps _ ->
+        1.2e-7 *. sites ps
+        *. (1. +. Float.rem (g ps "u0") 3.)
+        *. (g ps "warms" +. g ps "trajecs"))
+      ~truth_deps:[ "p"; "size"; "u0" ] "reunitarize";
+    Spec.kernel ~kind:Spec.Helper
+      ~calls:(fun ps -> g ps "warms" +. g ps "trajecs")
+      ~base_time:(fun ps _ -> 3.0e-7 *. (g ps "warms" +. g ps "trajecs"))
+      ~truth_deps:[] "update";
+    Spec.kernel ~kind:Spec.Helper ~calls:md_steps
+      ~base_time:(fun ps _ -> 2.0e-7 *. md_steps ps)
+      ~truth_deps:[] "update_h";
+    site_kernel ~memory_bound:0.3 "gauge_action"
+      ~calls:(fun ps -> g ps "trajecs")
+      ~per_site:2.5e-7 [ "p"; "size" ];
+    site_kernel ~memory_bound:0.4 "mom_action"
+      ~calls:(fun ps -> g ps "trajecs")
+      ~per_site:8.0e-8 [ "p"; "size" ];
+    Spec.kernel ~kind:Spec.Helper
+      ~calls:(fun ps -> g ps "trajecs")
+      ~base_time:(fun ps _ -> 3.0e-7 *. g ps "trajecs")
+      ~truth_deps:[] "d_action";
+    site_kernel ~memory_bound:0.8 "boundary_flip" ~calls:(fun _ -> 1.)
+      ~per_site:3.0e-8 [ "p"; "size" ];
+    (* -- observables -------------------------------------------------------- *)
+    site_kernel ~memory_bound:0.3 "plaquette"
+      ~calls:(fun ps -> g ps "trajecs")
+      ~per_site:3.0e-7 [ "p"; "size" ];
+    site_kernel ~memory_bound:0.3 "ploop"
+      ~calls:(fun ps -> g ps "trajecs")
+      ~per_site:2.0e-7 [ "p"; "size" ];
+    site_kernel "f_measure"
+      ~calls:(fun ps -> g ps "trajecs")
+      ~per_site:1.0e-7 [ "p"; "size" ];
+    (* -- setup --------------------------------------------------------------- *)
+    site_kernel "setup_layout" ~calls:(fun _ -> 1.) ~per_site:4.0e-8
+      [ "p"; "size" ];
+    site_kernel "make_lattice" ~calls:(fun _ -> 1.) ~per_site:6.0e-8
+      [ "p"; "size" ];
+    Spec.kernel ~kind:Spec.Helper ~calls:(fun _ -> 1.)
+      ~base_time:(const_time 1.0e-5) ~truth_deps:[] "main";
+    (* -- communication: the gather layer with its algorithm switch ---------- *)
+    Spec.kernel ~kind:Spec.Communication ~calls:gather_calls
+      ~base_time:(fun ps m ->
+        let bytes = msg ps *. 8. in
+        let per_call =
+          if gather_small_path ps then
+            4. *. (m.Machine.net_latency_s +. (bytes *. m.Machine.net_byte_time))
+          else
+            (16.
+             *. (m.Machine.net_latency_s +. (bytes *. m.Machine.net_byte_time)))
+            +. (2. *. m.Machine.net_latency_s *. log2 (Float.max 2. (g ps "p")))
+        in
+        gather_calls ps *. per_call)
+      ~truth_deps:[ "p"; "size" ] "start_gather";
+    Spec.kernel ~kind:Spec.Communication ~calls:gather_calls
+      ~base_time:(fun ps m ->
+        let waits = if gather_small_path ps then 4. else 16. in
+        gather_calls ps *. waits *. m.Machine.net_latency_s *. 0.5)
+      ~truth_deps:[ "p" ] "wait_gather";
+    Spec.kernel ~kind:Spec.Communication ~calls:cg_iters
+      ~base_time:(fun ps m ->
+        cg_iters ps *. 2. *. m.Machine.net_latency_s
+        *. log2 (Float.max 2. (g ps "p")))
+      ~truth_deps:[ "p" ] "global_sum";
+    Spec.kernel ~kind:Spec.Communication
+      ~calls:(fun ps -> g ps "trajecs")
+      ~base_time:(fun ps m ->
+        g ps "trajecs" *. m.Machine.net_latency_s
+        *. log2 (Float.max 2. (g ps "p")))
+      ~truth_deps:[ "p" ] "plaq_reduce";
+    Spec.kernel ~kind:Spec.Communication ~calls:(fun _ -> 1.)
+      ~base_time:(fun ps m ->
+        m.Machine.net_latency_s *. log2 (Float.max 2. (g ps "p")))
+      ~truth_deps:[ "p" ] "bcast_parameters";
+    (* -- MPI routines -------------------------------------------------------- *)
+    Spec.kernel ~kind:Spec.Mpi
+      ~calls:(fun ps ->
+        gather_calls ps *. if gather_small_path ps then 2. else 8.)
+      ~base_time:(fun ps m ->
+        gather_calls ps
+        *. (if gather_small_path ps then 2. else 8.)
+        *. (m.Machine.net_latency_s +. (msg ps *. 8. *. m.Machine.net_byte_time)))
+      ~truth_deps:[ "p"; "size" ] "mpi_isend";
+    Spec.kernel ~kind:Spec.Mpi
+      ~calls:(fun ps ->
+        gather_calls ps *. if gather_small_path ps then 2. else 8.)
+      ~base_time:(fun ps m ->
+        gather_calls ps
+        *. (if gather_small_path ps then 2. else 8.)
+        *. m.Machine.net_latency_s)
+      ~truth_deps:[] "mpi_irecv";
+    Spec.kernel ~kind:Spec.Mpi
+      ~calls:(fun ps ->
+        gather_calls ps *. if gather_small_path ps then 4. else 16.)
+      ~base_time:(fun ps m ->
+        gather_calls ps
+        *. (if gather_small_path ps then 4. else 16.)
+        *. m.Machine.net_latency_s)
+      ~truth_deps:[ "p" ] "mpi_wait";
+    Spec.kernel ~kind:Spec.Mpi ~calls:cg_iters
+      ~base_time:(fun ps m ->
+        cg_iters ps *. 2. *. m.Machine.net_latency_s
+        *. log2 (Float.max 2. (g ps "p")))
+      ~truth_deps:[ "p" ] "mpi_allreduce";
+    Spec.kernel ~kind:Spec.Mpi
+      ~calls:(fun ps -> if gather_small_path ps then 0. else gather_calls ps)
+      ~base_time:(fun ps m ->
+        if gather_small_path ps then 0.
+        else
+          gather_calls ps *. 2. *. m.Machine.net_latency_s
+          *. log2 (Float.max 2. (g ps "p")))
+      ~truth_deps:[ "p" ] "mpi_barrier";
+    Spec.kernel ~kind:Spec.Mpi ~calls:(fun _ -> 1.)
+      ~base_time:(fun ps m ->
+        2. *. m.Machine.net_latency_s *. log2 (Float.max 2. (g ps "p")))
+      ~truth_deps:[ "p" ] "mpi_bcast";
+    Spec.kernel ~kind:Spec.Mpi ~calls:(fun _ -> 4.)
+      ~base_time:(const_time 4.0e-8) ~truth_deps:[] "mpi_comm_size";
+    (* The four MPI_Comm_rank call sites of the paper's B1 discussion:
+       constant, short, and therefore noise-dominated. *)
+    Spec.kernel ~kind:Spec.Mpi ~calls:(fun _ -> 4.)
+      ~base_time:(const_time 4.0e-8) ~truth_deps:[] "mpi_comm_rank";
+    (* -- C helpers: SU(3) algebra ------------------------------------------- *)
+    helper ~rate:24. "su3_mat_mul";
+    helper ~rate:16. "su3_mat_vec";
+    helper ~rate:8. "su3_adjoint";
+    helper ~rate:6. "add_su3_vector";
+    helper ~rate:6. "su3_rdot";
+    helper ~rate:5. "scalar_mult_su3";
+    helper ~rate:4. "make_anti_hermitian";
+    helper ~rate:4. "uncompress_anti_hermitian";
+    helper ~rate:4. "su3_vec_scale";
+    helper ~rate:3. "magsq_su3_vector";
+    helper ~rate:2. "copy_su3_vector";
+    helper ~rate:2. "clear_su3_vector";
+    helper ~rate:2. "rand_gauss";
+    helper ~rate:2. "path_product";
+    helper ~rate:1. "trace_su3";
+    helper ~rate:1. "realtrace_su3";
+    helper ~rate:1. "complex_mul";
+    helper ~rate:1. "complex_add";
+    helper ~rate:0.5 "complex_conjugate";
+    helper ~rate:0.5 "site_index";
+    helper ~rate:0.5 "neighbor_index";
+    helper ~rate:0.25 "ks_phase";
+    helper ~rate:0.25 "boundary_phase";
+    helper ~rate:0.25 "set_su3_identity";
+    helper ~rate:0.1 "z2_random";
+    helper ~rate:0.1 "dirac_phase";
+    helper ~rate:0.1 "mom_update_leaf";
+    helper ~rate:0.05 "momentum_twist";
+    helper ~rate:0.05 "lattice_coordinate";
+    helper ~rate:0.05 "parity_of_site";
+  ]
+
+let app = { Spec.aname = "milc"; kernels; model_params = [ "p"; "size" ] }
+
+(** The paper's experiment grid: p = 2^n (4..64), size = 32..512. *)
+let p_values = [ 4.; 8.; 16.; 32.; 64. ]
+let size_values = [ 32.; 64.; 128.; 256.; 512. ]

@@ -1,0 +1,16 @@
+(** Ground-truth performance specification of mini-MILC: local site count
+    L = size * 2048 / p, so per-rank times shrink with p (strong-scaling
+    metrics needing the extended exponent menu). *)
+
+val defaults : (string * float) list
+
+val sites : Measure.Spec.params -> float
+(** Local lattice sites per rank. *)
+
+val app : Measure.Spec.app
+
+val p_values : float list
+(** The paper's rank counts: 2^n, 4..64. *)
+
+val size_values : float list
+(** The paper's domain sizes: 32..512. *)

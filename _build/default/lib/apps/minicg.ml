@@ -1,0 +1,129 @@
+(** MiniCG: a third, HPCG-style application — a distributed conjugate
+    gradient solver on a sparse banded matrix.
+
+    It exercises a dependency structure different from both LULESH
+    (C++ helpers, region loops) and MILC (multi-extent lattice): the
+    sparse matrix-vector product carries a clean multiplicative pair
+    (rows x nonzeros-per-row), the solver loop is bounded by maxit, the
+    dot products reduce over the communicator, and the halo exchange
+    size depends on the bandwidth parameter.  Used by the appendix bench
+    and the test suite to show the pipeline is not tuned to the two paper
+    applications. *)
+
+open Ir.Types
+module B = Ir.Builder
+
+let leaf = Dsl.leaf_helper
+let cloop = Dsl.const_loop_helper
+
+let helpers =
+  [
+    leaf ~units:1 "row_start";
+    leaf ~units:1 "row_end";
+    leaf ~units:1 "column_of";
+    leaf ~units:1 "value_of";
+    leaf ~units:1 "owner_of_row";
+    leaf ~units:1 "local_index";
+    cloop ~trip:4 ~units:1 "pack_boundary_row";
+    cloop ~trip:4 ~units:1 "unpack_halo_row";
+    leaf ~units:1 "residual_norm_leaf";
+    leaf ~units:1 "preconditioner_diag";
+    leaf ~units:1 "alpha_update";
+    leaf ~units:1 "beta_update";
+  ]
+
+(* y = A x over the local rows: the rows x nnz multiplicative pair. *)
+let spmv =
+  B.define "spmv" ~params:[ "rows"; "nnz" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "rows") (fun i ->
+          B.for_ b "j" ~from:(Int 0) ~below:(Reg "nnz") (fun j ->
+              ignore (B.call b "column_of" [ j ]);
+              ignore (B.call b "value_of" [ j ]);
+              B.work b (Int 2));
+          ignore (B.call b "row_start" [ i ]));
+      B.ret_unit b)
+
+let dot_product =
+  B.define "dot_product" ~params:[ "rows" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "rows") (fun _ ->
+          B.work b (Int 2));
+      Dsl.allreduce b (Int 1);
+      B.ret b (Int 1))
+
+let axpy =
+  B.define "axpy" ~params:[ "rows" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "rows") (fun i ->
+          ignore (B.call b "alpha_update" [ i ]);
+          B.work b (Int 2));
+      B.ret_unit b)
+
+let apply_preconditioner =
+  B.define "apply_preconditioner" ~params:[ "rows" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "rows") (fun i ->
+          ignore (B.call b "preconditioner_diag" [ i ]);
+          B.work b (Int 1));
+      B.ret_unit b)
+
+(* Neighbour halo exchange: message size scales with the matrix band. *)
+let exchange_halo =
+  B.define "exchange_halo" ~params:[ "band" ] (fun b ->
+      B.for_ b "n" ~from:(Int 0) ~below:(Int 2) (fun _ ->
+          Dsl.irecv b (Reg "band");
+          Dsl.isend b (Reg "band"));
+      B.for_ b "n" ~from:(Int 0) ~below:(Int 4) (fun _ -> Dsl.wait b);
+      B.ret_unit b)
+
+(* One CG iteration. *)
+let cg_step =
+  B.define "cg_step" ~params:[ "rows"; "nnz"; "band" ] (fun b ->
+      B.call_unit b "exchange_halo" [ Reg "band" ];
+      B.call_unit b "spmv" [ Reg "rows"; Reg "nnz" ];
+      ignore (B.call b "dot_product" [ Reg "rows" ]);
+      B.call_unit b "axpy" [ Reg "rows" ];
+      B.call_unit b "apply_preconditioner" [ Reg "rows" ];
+      ignore (B.call b "dot_product" [ Reg "rows" ]);
+      B.call_unit b "axpy" [ Reg "rows" ];
+      B.ret_unit b)
+
+let cg_solve =
+  B.define "cg_solve" ~params:[ "rows"; "nnz"; "band"; "maxit" ] (fun b ->
+      B.for_ b "it" ~from:(Int 0) ~below:(Reg "maxit") (fun _ ->
+          B.call_unit b "cg_step" [ Reg "rows"; Reg "nnz"; Reg "band" ]);
+      ignore (B.call b "dot_product" [ Reg "rows" ]);
+      B.ret_unit b)
+
+let setup_matrix =
+  B.define "setup_matrix" ~params:[ "rows"; "nnz" ] (fun b ->
+      B.for_ b "i" ~from:(Int 0) ~below:(Reg "rows") (fun i ->
+          B.for_ b "j" ~from:(Int 0) ~below:(Reg "nnz") (fun _ ->
+              B.work b (Int 1));
+          ignore (B.call b "owner_of_row" [ i ]));
+      B.ret_unit b)
+
+let main =
+  B.define "main" ~params:[ "n"; "nnz"; "band"; "maxit" ] (fun b ->
+      let n = Dsl.register b "n" (Reg "n") in
+      let nnz = Dsl.register b "nnz" (Reg "nnz") in
+      let band = Dsl.register b "band" (Reg "band") in
+      let maxit = Dsl.register b "maxit" (Reg "maxit") in
+      let p = Dsl.comm_size b in
+      let _rank = Dsl.comm_rank b in
+      let rows = B.div b n p in
+      B.call_unit b "setup_matrix" [ rows; nnz ];
+      B.call_unit b "cg_solve" [ rows; nnz; band; maxit ];
+      B.ret_unit b)
+
+let program =
+  B.program "minicg" ~entry:"main"
+    ([ main; cg_solve; cg_step; spmv; dot_product; axpy;
+       apply_preconditioner; exchange_halo; setup_matrix ]
+    @ helpers)
+
+(** Tainted-run configuration: 64 global rows on 4 ranks, 3 iterations. *)
+let taint_args = [ VInt 64; VInt 5; VInt 4; VInt 3 ]
+
+let taint_world = { Mpi_sim.Runtime.ranks = 4; rank = 0 }
+
+let model_params = [ "p"; "n"; "maxit" ]
+
+let all_params = [ "p"; "n"; "nnz"; "band"; "maxit" ]

@@ -1,0 +1,9 @@
+(** MiniCG: a third, HPCG-style application — a distributed conjugate
+    gradient solver exercising a rows x nonzeros multiplicative pair, a
+    maxit-bounded solver loop, reductions and a band-sized halo. *)
+
+val program : Ir.Types.program
+val taint_args : Ir.Types.value list
+val taint_world : Mpi_sim.Runtime.world
+val model_params : string list
+val all_params : string list

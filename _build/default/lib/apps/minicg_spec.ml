@@ -1,0 +1,115 @@
+(** Ground-truth performance specification of miniCG: per-rank rows
+    R = n/p, so compute shrinks with p (strong scaling) while the
+    reductions grow with log p — the classic CG crossover. *)
+
+module Spec = Measure.Spec
+module Machine = Mpi_sim.Machine
+
+let defaults =
+  [ ("p", 4.); ("n", 1.0e6); ("nnz", 27.); ("band", 1024.); ("maxit", 500.);
+    ("r", 8.) ]
+
+let g ps name =
+  match List.assoc_opt name ps with
+  | Some v -> v
+  | None -> List.assoc name defaults
+
+let log2 x = Float.log x /. Float.log 2.
+
+(** Local rows per rank. *)
+let rows ps = g ps "n" /. g ps "p"
+
+let iters ps = g ps "maxit"
+
+let kernels =
+  [
+    (* SpMV: the rows x nnz multiplicative kernel, heavily memory bound. *)
+    Spec.kernel ~kind:Spec.Compute ~memory_bound:0.85 ~calls:iters
+      ~base_time:(fun ps _ -> 1.2e-9 *. rows ps *. g ps "nnz" *. iters ps)
+      ~truth_deps:[ "p"; "n"; "nnz" ] "spmv";
+    (* Dot products: linear compute plus a log p reduction. *)
+    Spec.kernel ~kind:Spec.Communication ~memory_bound:0.6
+      ~calls:(fun ps -> (2. *. iters ps) +. 1.)
+      ~base_time:(fun ps m ->
+        ((2. *. iters ps) +. 1.)
+        *. ((4.0e-10 *. rows ps)
+            +. (2. *. m.Machine.net_latency_s *. log2 (Float.max 2. (g ps "p")))))
+      ~truth_deps:[ "p"; "n" ] "dot_product";
+    Spec.kernel ~kind:Spec.Compute ~memory_bound:0.9
+      ~calls:(fun ps -> 2. *. iters ps)
+      ~base_time:(fun ps _ -> 2. *. 5.0e-10 *. rows ps *. iters ps)
+      ~truth_deps:[ "p"; "n" ] "axpy";
+    Spec.kernel ~kind:Spec.Compute ~memory_bound:0.9 ~calls:iters
+      ~base_time:(fun ps _ -> 4.0e-10 *. rows ps *. iters ps)
+      ~truth_deps:[ "p"; "n" ] "apply_preconditioner";
+    Spec.kernel ~kind:Spec.Communication ~calls:iters
+      ~base_time:(fun ps m ->
+        iters ps
+        *. 4.
+        *. (m.Machine.net_latency_s
+            +. (g ps "band" *. 8. *. m.Machine.net_byte_time)))
+      ~truth_deps:[ "band" ] "exchange_halo";
+    Spec.kernel ~kind:Spec.Helper ~calls:iters
+      ~base_time:(fun ps _ -> 3.0e-7 *. iters ps)
+      ~truth_deps:[] "cg_step";
+    Spec.kernel ~kind:Spec.Helper ~calls:(fun _ -> 1.)
+      ~base_time:(fun ps _ -> 1.0e-7 *. iters ps)
+      ~truth_deps:[ "maxit" ] "cg_solve";
+    Spec.kernel ~kind:Spec.Compute ~calls:(fun _ -> 1.)
+      ~base_time:(fun ps _ -> 8.0e-10 *. rows ps *. g ps "nnz")
+      ~truth_deps:[ "p"; "n"; "nnz" ] "setup_matrix";
+    Spec.kernel ~kind:Spec.Helper ~calls:(fun _ -> 1.)
+      ~base_time:(fun _ _ -> 1.0e-5) ~truth_deps:[] "main";
+    (* MPI routines. *)
+    Spec.kernel ~kind:Spec.Mpi
+      ~calls:(fun ps -> (2. *. iters ps) +. 1.)
+      ~base_time:(fun ps m ->
+        ((2. *. iters ps) +. 1.)
+        *. 2. *. m.Machine.net_latency_s *. log2 (Float.max 2. (g ps "p")))
+      ~truth_deps:[ "p" ] "mpi_allreduce";
+    Spec.kernel ~kind:Spec.Mpi
+      ~calls:(fun ps -> 2. *. iters ps)
+      ~base_time:(fun ps m ->
+        2. *. iters ps
+        *. (m.Machine.net_latency_s
+            +. (g ps "band" *. 8. *. m.Machine.net_byte_time)))
+      ~truth_deps:[ "band" ] "mpi_isend";
+    Spec.kernel ~kind:Spec.Mpi
+      ~calls:(fun ps -> 2. *. iters ps)
+      ~base_time:(fun ps m -> 2. *. iters ps *. m.Machine.net_latency_s)
+      ~truth_deps:[] "mpi_irecv";
+    Spec.kernel ~kind:Spec.Mpi
+      ~calls:(fun ps -> 4. *. iters ps)
+      ~base_time:(fun ps m -> 4. *. iters ps *. m.Machine.net_latency_s)
+      ~truth_deps:[] "mpi_wait";
+    Spec.kernel ~kind:Spec.Mpi ~calls:(fun _ -> 1.)
+      ~base_time:(fun _ _ -> 4.0e-8) ~truth_deps:[] "mpi_comm_size";
+    Spec.kernel ~kind:Spec.Mpi ~calls:(fun _ -> 1.)
+      ~base_time:(fun _ _ -> 4.0e-8) ~truth_deps:[] "mpi_comm_rank";
+    (* C helpers (not inline candidates). *)
+    Spec.kernel ~kind:Spec.Helper
+      ~calls:(fun ps -> rows ps *. g ps "nnz" *. iters ps)
+      ~base_time:(fun ps _ -> 5.0e-10 *. rows ps *. g ps "nnz" *. iters ps)
+      ~truth_deps:[] "column_of";
+    Spec.kernel ~kind:Spec.Helper
+      ~calls:(fun ps -> rows ps *. g ps "nnz" *. iters ps)
+      ~base_time:(fun ps _ -> 5.0e-10 *. rows ps *. g ps "nnz" *. iters ps)
+      ~truth_deps:[] "value_of";
+    Spec.kernel ~kind:Spec.Helper
+      ~calls:(fun ps -> rows ps *. iters ps)
+      ~base_time:(fun ps _ -> 1.0e-9 *. rows ps *. iters ps)
+      ~truth_deps:[] "row_start";
+    Spec.kernel ~kind:Spec.Helper
+      ~calls:(fun ps -> rows ps *. iters ps)
+      ~base_time:(fun ps _ -> 1.0e-9 *. rows ps *. iters ps)
+      ~truth_deps:[] "alpha_update";
+    Spec.kernel ~kind:Spec.Helper
+      ~calls:(fun ps -> rows ps *. iters ps)
+      ~base_time:(fun ps _ -> 1.0e-9 *. rows ps *. iters ps)
+      ~truth_deps:[] "preconditioner_diag";
+  ]
+
+let app = { Spec.aname = "minicg"; kernels; model_params = [ "p"; "n" ] }
+
+let p_values = [ 2.; 4.; 8.; 16.; 32. ]
+let n_values = [ 2.5e5; 5.0e5; 1.0e6; 2.0e6; 4.0e6 ]

@@ -1,0 +1,8 @@
+(** Ground-truth performance specification of miniCG (strong scaling:
+    local rows n/p). *)
+
+val defaults : (string * float) list
+val rows : Measure.Spec.params -> float
+val app : Measure.Spec.app
+val p_values : float list
+val n_values : float list

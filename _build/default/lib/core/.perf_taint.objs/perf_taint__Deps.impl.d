@@ -1,0 +1,1 @@
+lib/core/deps.ml: Hashtbl Interp Ir List Mpi_sim Option Taint

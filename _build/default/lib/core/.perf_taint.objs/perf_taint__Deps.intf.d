@@ -1,0 +1,1 @@
+lib/core/deps.mli: Interp Ir Taint

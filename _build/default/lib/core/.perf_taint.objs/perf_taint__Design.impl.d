@@ -1,0 +1,1 @@
+lib/core/design.ml: Deps Fmt Hashtbl Ir List Option Pipeline String

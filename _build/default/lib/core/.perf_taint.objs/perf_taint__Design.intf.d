@@ -1,0 +1,1 @@
+lib/core/design.mli: Fmt Ir Pipeline

@@ -1,0 +1,1 @@
+lib/core/export.ml: Buffer Char Deps Float Fmt Ir List Model Mpi_sim Pipeline Printf Report Static_an String

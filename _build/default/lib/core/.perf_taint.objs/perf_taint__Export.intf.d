@@ -1,0 +1,1 @@
+lib/core/export.mli: Deps Fmt Model Pipeline

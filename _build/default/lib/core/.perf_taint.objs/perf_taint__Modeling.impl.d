@@ -1,0 +1,1 @@
+lib/core/modeling.ml: Deps Ir List Model Option Pipeline

@@ -1,0 +1,1 @@
+lib/core/modeling.mli: Ir Model Pipeline

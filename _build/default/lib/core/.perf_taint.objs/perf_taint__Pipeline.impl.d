@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Deps Hashtbl Interp Ir List Mpi_sim Static_an Taint

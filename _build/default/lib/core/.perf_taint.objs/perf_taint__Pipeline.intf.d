@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Deps Interp Ir Mpi_sim Static_an Taint

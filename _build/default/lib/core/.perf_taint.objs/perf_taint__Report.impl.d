@@ -1,0 +1,1 @@
+lib/core/report.ml: Deps Fmt Ir List Pipeline Static_an

@@ -1,0 +1,1 @@
+lib/core/scaling.ml: Float Fmt List Model

@@ -1,0 +1,1 @@
+lib/core/scaling.mli: Fmt Model

@@ -1,0 +1,1 @@
+lib/core/validation.ml: Hashtbl Interp Ir List Model Modeling Pipeline Taint

@@ -1,0 +1,1 @@
+lib/core/validation.mli: Ir Model Pipeline

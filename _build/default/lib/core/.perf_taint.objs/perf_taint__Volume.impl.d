@@ -1,0 +1,1 @@
+lib/core/volume.ml: Deps Float Fmt Hashtbl Ir List Pipeline Static_an String

@@ -1,0 +1,1 @@
+lib/core/volume.mli: Fmt Ir Pipeline

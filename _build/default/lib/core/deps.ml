@@ -1,0 +1,218 @@
+(** Post-processing of a tainted run into per-function parameter
+    dependencies (paper Section 5.2): which parameters affect each
+    function's loops, which dependencies are multiplicative (nested loops,
+    or several labels in one exit condition) versus additive (disjoint
+    loops), and which dependencies enter through communication routines
+    (the library database of Section 5.3). *)
+
+module SMap = Ir.Cfg.SMap
+module SSet = Ir.Cfg.SSet
+module Label = Taint.Label
+module Obs = Interp.Observations
+
+type loop_dep = {
+  ld_func : string;
+  ld_header : string;
+  ld_callpath : string;
+  ld_depth : int;
+  ld_iters : int;
+  ld_entries : int;
+  ld_params : SSet.t;
+  ld_enclosing_params : SSet.t;
+      (** parameters of all dynamically enclosing loops (interprocedural) *)
+}
+
+type func_deps = {
+  fd_func : string;
+  fd_loop_params : SSet.t;   (** from loop exit conditions *)
+  fd_comm_params : SSet.t;   (** from the MPI library database *)
+  fd_params : SSet.t;        (** union of the above *)
+  fd_multiplicative : (string * string) list;
+      (** unordered parameter pairs that may share a product term *)
+  fd_loops : loop_dep list;
+  fd_mpi_routines : SSet.t;  (** distinct MPI routines invoked *)
+}
+
+let norm_pair a b = if a <= b then (a, b) else (b, a)
+
+let pairs_of_sets s1 s2 =
+  SSet.fold
+    (fun a acc ->
+      SSet.fold
+        (fun b acc -> if a <> b then norm_pair a b :: acc else acc)
+        s2 acc)
+    s1 []
+
+let all_pairs s = pairs_of_sets s s
+
+(** Derive per-function dependencies from the observations of a tainted
+    run.  [labels] is the run's label table. *)
+let of_observations labels (obs : Obs.t) =
+  let loop_obs = Obs.loop_list obs in
+  (* Index loop observations by their (callpath key, header) key so
+     enclosing references resolve. *)
+  let by_key = Hashtbl.create 64 in
+  List.iter
+    (fun (lo : Obs.loop_obs) ->
+      Hashtbl.replace by_key (Obs.callpath_key lo.lo_callpath, lo.lo_header) lo)
+    loop_obs;
+  let params_of lo = SSet.of_list (Label.names labels lo.Obs.lo_dep) in
+  let loop_deps =
+    List.map
+      (fun (lo : Obs.loop_obs) ->
+        let enclosing_params =
+          List.fold_left
+            (fun acc key ->
+              match Hashtbl.find_opt by_key key with
+              | Some enc -> SSet.union acc (params_of enc)
+              | None -> acc)
+            SSet.empty lo.lo_enclosing
+        in
+        {
+          ld_func = lo.lo_func;
+          ld_header = lo.lo_header;
+          ld_callpath = Obs.callpath_key lo.lo_callpath;
+          ld_depth = lo.lo_depth;
+          ld_iters = lo.lo_iters;
+          ld_entries = lo.lo_entries;
+          ld_params = params_of lo;
+          ld_enclosing_params = enclosing_params;
+        })
+      loop_obs
+  in
+  (* Communication dependencies from recorded MPI events. *)
+  let comm_params = Hashtbl.create 16 in
+  let mpi_used = Hashtbl.create 16 in
+  List.iter
+    (fun (ev : Obs.event) ->
+      match Mpi_sim.Costdb.find ev.ev_prim with
+      | None -> ()
+      | Some routine ->
+        let cur =
+          Option.value ~default:SSet.empty (Hashtbl.find_opt comm_params ev.ev_func)
+        in
+        let implicit = SSet.of_list routine.Mpi_sim.Costdb.implicit_params in
+        let from_count =
+          match routine.Mpi_sim.Costdb.count_arg with
+          | Some i when i < List.length ev.ev_args ->
+            let _, l = List.nth ev.ev_args i in
+            SSet.of_list (Label.names labels l)
+          | Some _ | None -> SSet.empty
+        in
+        Hashtbl.replace comm_params ev.ev_func
+          (SSet.union cur (SSet.union implicit from_count));
+        let used =
+          Option.value ~default:SSet.empty (Hashtbl.find_opt mpi_used ev.ev_func)
+        in
+        Hashtbl.replace mpi_used ev.ev_func (SSet.add ev.ev_prim used))
+    (Obs.event_list obs);
+  (* Group loops per function and derive dependency structure. *)
+  let funcs =
+    List.sort_uniq compare
+      (List.map (fun ld -> ld.ld_func) loop_deps
+      @ Hashtbl.fold (fun f _ acc -> f :: acc) comm_params []
+      @ List.map (fun (fo : Obs.func_obs) -> fo.fo_func) (Obs.func_list obs))
+  in
+  List.fold_left
+    (fun acc fname ->
+      let floops = List.filter (fun ld -> ld.ld_func = fname) loop_deps in
+      let loop_params =
+        List.fold_left (fun acc ld -> SSet.union acc ld.ld_params) SSet.empty floops
+      in
+      let cp =
+        Option.value ~default:SSet.empty (Hashtbl.find_opt comm_params fname)
+      in
+      let mult =
+        List.concat_map
+          (fun ld ->
+            (* Several labels in one exit condition: conservatively
+               multiplicative (Section 5.2). *)
+            all_pairs ld.ld_params
+            (* A loop nested (possibly across calls) under loops with
+               other labels: outer x inner product. *)
+            @ pairs_of_sets ld.ld_enclosing_params ld.ld_params)
+          floops
+        (* Communication routines: the implicit p may interact with any
+           message-size parameter used in the same function. *)
+        @ all_pairs cp
+        |> List.sort_uniq compare
+      in
+      let fd =
+        {
+          fd_func = fname;
+          fd_loop_params = loop_params;
+          fd_comm_params = cp;
+          fd_params = SSet.union loop_params cp;
+          fd_multiplicative = mult;
+          fd_loops = floops;
+          fd_mpi_routines =
+            Option.value ~default:SSet.empty (Hashtbl.find_opt mpi_used fname);
+        }
+      in
+      SMap.add fname fd acc)
+    SMap.empty funcs
+
+(** Parameter dependencies of each MPI routine itself, from the library
+    database: implicit parameters plus the taint labels of the count
+    arguments observed at every call site (Section 5.3). *)
+let routine_params labels (obs : Obs.t) =
+  List.fold_left
+    (fun acc (ev : Obs.event) ->
+      match Mpi_sim.Costdb.find ev.ev_prim with
+      | None -> acc
+      | Some routine ->
+        let implicit = SSet.of_list routine.Mpi_sim.Costdb.implicit_params in
+        let from_count =
+          match routine.Mpi_sim.Costdb.count_arg with
+          | Some i when i < List.length ev.ev_args ->
+            let _, l = List.nth ev.ev_args i in
+            SSet.of_list (Label.names labels l)
+          | Some _ | None -> SSet.empty
+        in
+        let cur = Option.value ~default:SSet.empty (SMap.find_opt ev.ev_prim acc) in
+        SMap.add ev.ev_prim (SSet.union cur (SSet.union implicit from_count)) acc)
+    SMap.empty (Obs.event_list obs)
+
+(** Merge the dependency maps of several tainted runs (different
+    configurations, different SPMD ranks): parameter sets union, loop
+    observations concatenate, multiplicative pairs union.  Dynamic taint
+    narrows insights to the runs actually performed (paper Section 3.2);
+    merging runs is the standard mitigation. *)
+let merge (maps : func_deps SMap.t list) =
+  List.fold_left
+    (fun acc m ->
+      SMap.union
+        (fun _ a b ->
+          Some
+            {
+              fd_func = a.fd_func;
+              fd_loop_params = SSet.union a.fd_loop_params b.fd_loop_params;
+              fd_comm_params = SSet.union a.fd_comm_params b.fd_comm_params;
+              fd_params = SSet.union a.fd_params b.fd_params;
+              fd_multiplicative =
+                List.sort_uniq compare (a.fd_multiplicative @ b.fd_multiplicative);
+              fd_loops = a.fd_loops @ b.fd_loops;
+              fd_mpi_routines = SSet.union a.fd_mpi_routines b.fd_mpi_routines;
+            })
+        acc m)
+    SMap.empty maps
+
+let find deps fname = SMap.find_opt fname deps
+
+let params deps fname =
+  match find deps fname with
+  | Some fd -> fd.fd_params
+  | None -> SSet.empty
+
+(** Is the pair allowed to appear multiplicatively in [fname]'s model? *)
+let multiplicative_ok deps fname a b =
+  match find deps fname with
+  | Some fd -> List.mem (norm_pair a b) fd.fd_multiplicative
+  | None -> false
+
+(** Additive-only pairs: both parameters affect the function but never
+    jointly in a nest — their experiment designs can be decoupled (A2). *)
+let additive_pairs fd =
+  all_pairs fd.fd_params
+  |> List.sort_uniq compare
+  |> List.filter (fun pr -> not (List.mem pr fd.fd_multiplicative))

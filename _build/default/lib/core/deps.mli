@@ -1,0 +1,55 @@
+(** Post-processing of a tainted run into per-function parameter
+    dependencies (paper Section 5.2): loop-count parameters,
+    communication parameters from the library database, and the
+    additive/multiplicative dependency structure. *)
+
+module SMap = Ir.Cfg.SMap
+module SSet = Ir.Cfg.SSet
+
+type loop_dep = {
+  ld_func : string;
+  ld_header : string;
+  ld_callpath : string;
+  ld_depth : int;
+  ld_iters : int;
+  ld_entries : int;
+  ld_params : SSet.t;
+  ld_enclosing_params : SSet.t;
+      (** parameters of dynamically enclosing loops, across calls *)
+}
+
+type func_deps = {
+  fd_func : string;
+  fd_loop_params : SSet.t;  (** from loop exit conditions *)
+  fd_comm_params : SSet.t;  (** from the MPI library database *)
+  fd_params : SSet.t;       (** union of the above *)
+  fd_multiplicative : (string * string) list;
+      (** unordered pairs that may share a product term *)
+  fd_loops : loop_dep list;
+  fd_mpi_routines : SSet.t;
+}
+
+val norm_pair : string -> string -> string * string
+
+val of_observations :
+  Taint.Label.table -> Interp.Observations.t -> func_deps SMap.t
+
+val routine_params :
+  Taint.Label.table -> Interp.Observations.t -> SSet.t SMap.t
+(** Per-MPI-routine dependencies: implicit parameters plus the labels of
+    observed count arguments. *)
+
+val merge : func_deps SMap.t list -> func_deps SMap.t
+(** Union the dependency maps of several tainted runs (different
+    configurations or SPMD ranks): the mitigation for dynamic analysis
+    insights being narrowed to one run. *)
+
+val find : func_deps SMap.t -> string -> func_deps option
+val params : func_deps SMap.t -> string -> SSet.t
+
+val multiplicative_ok : func_deps SMap.t -> string -> string -> string -> bool
+(** May the pair appear multiplicatively in this function's model? *)
+
+val additive_pairs : func_deps -> (string * string) list
+(** Pairs that co-occur in the function but never in a nest: their
+    experiment designs can be decoupled (A2). *)

@@ -1,0 +1,162 @@
+(** Experiment-design generation from taint results (paper Sections A1 and
+    A2): decide which parameters need experiments at all, which can be
+    fixed because they only scale the whole computation, and which must be
+    swept jointly (multiplicative dependencies) versus independently
+    (additive dependencies — decoupled one-dimensional sweeps sharing a
+    base point). *)
+
+module SSet = Ir.Cfg.SSet
+module SMap = Ir.Cfg.SMap
+
+type axis = { param : string; values : float list }
+
+type decision =
+  | Swept_jointly of string list  (** cartesian product with these params *)
+  | Swept_alone                   (** 1-D sweep from the shared base point *)
+  | Fixed_irrelevant              (** no effect on any loop or comm routine *)
+  | Fixed_global_factor
+      (** multiplies the entire computation (LULESH's iters): one value
+          suffices *)
+
+type plan = {
+  axes : axis list;
+  decisions : (string * decision) list;
+  groups : string list list;  (** joint-sweep groups, singletons included *)
+  runs_full_factorial : int;
+  runs_planned : int;
+  reps : int;
+}
+
+(* Union-find over parameters connected by a multiplicative pair. *)
+let group_params candidates mult_pairs =
+  let parent = Hashtbl.create 8 in
+  let rec find x =
+    match Hashtbl.find_opt parent x with
+    | Some p when p <> x ->
+      let r = find p in
+      Hashtbl.replace parent x r;
+      r
+    | _ -> x
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then Hashtbl.replace parent ra rb
+  in
+  List.iter (fun p -> Hashtbl.replace parent p p) candidates;
+  List.iter
+    (fun (a, b) ->
+      if List.mem a candidates && List.mem b candidates then union a b)
+    mult_pairs;
+  let groups = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      let r = find p in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt groups r) in
+      Hashtbl.replace groups r (p :: cur))
+    candidates;
+  Hashtbl.fold (fun _ g acc -> List.sort compare g :: acc) groups []
+  |> List.sort compare
+
+(* A parameter is a global linear factor when it taints exactly one loop
+   and that loop (dynamically) encloses every other parameter-dependent
+   loop — LULESH's iters. *)
+let rec is_global_factor (t : Pipeline.t) param =
+  let own_loops =
+    SMap.fold
+      (fun _ (fd : Deps.func_deps) acc ->
+        List.fold_left
+          (fun acc (ld : Deps.loop_dep) ->
+            if SSet.mem param ld.Deps.ld_params then ld :: acc else acc)
+          acc fd.Deps.fd_loops)
+      t.deps []
+  in
+  match own_loops with
+  | [ only ] when SSet.is_empty only.Deps.ld_enclosing_params ->
+    (* The single loop sits at the top of the dynamic nest... *)
+    (* ... and is multiplicative with every other loop-relevant parameter:
+       the whole (steady-state) computation scales linearly with it. *)
+    let loop_params =
+      SMap.fold
+        (fun _ (fd : Deps.func_deps) acc ->
+          SSet.union acc fd.Deps.fd_loop_params)
+        t.deps SSet.empty
+    in
+    let mult = all_mult_pairs t in
+    SSet.for_all
+      (fun q ->
+        q = param
+        || List.mem (Deps.norm_pair param q) mult)
+      loop_params
+  | _ -> false
+
+and all_mult_pairs (t : Pipeline.t) =
+  SMap.fold
+    (fun _ (fd : Deps.func_deps) acc -> fd.Deps.fd_multiplicative @ acc)
+    t.deps []
+  |> List.sort_uniq compare
+
+(** Propose a design.  [axes] are the candidate parameters with the values
+    the engineer is willing to measure; [reps] the repetition count. *)
+let propose (t : Pipeline.t) ~axes ~reps =
+  let observed = Pipeline.observed_params t in
+  let decisions =
+    List.map
+      (fun a ->
+        if not (SSet.mem a.param observed) then (a.param, Fixed_irrelevant)
+        else if is_global_factor t a.param then (a.param, Fixed_global_factor)
+        else (a.param, Swept_alone (* refined below *)))
+      axes
+  in
+  let swept =
+    List.filter_map
+      (fun (p, d) -> match d with Swept_alone -> Some p | _ -> None)
+      decisions
+  in
+  let groups = group_params swept (all_mult_pairs t) in
+  let decisions =
+    List.map
+      (fun (p, d) ->
+        match d with
+        | Swept_alone -> (
+          match List.find_opt (List.mem p) groups with
+          | Some g when List.length g > 1 -> (p, Swept_jointly g)
+          | _ -> (p, Swept_alone))
+        | d -> (p, d))
+      decisions
+  in
+  let values_of p =
+    match List.find_opt (fun a -> a.param = p) axes with
+    | Some a -> List.length a.values
+    | None -> 1
+  in
+  let runs_planned =
+    (* Joint groups: cartesian product; singleton sweeps: one axis each,
+       sharing the base configuration point. *)
+    let per_group =
+      List.map
+        (fun g -> List.fold_left (fun acc p -> acc * values_of p) 1 g)
+        groups
+    in
+    let total = List.fold_left ( + ) 0 per_group in
+    (* Shared base point counted once across singleton groups. *)
+    let singles = List.length (List.filter (fun g -> List.length g = 1) groups) in
+    (total - max 0 (singles - 1)) * reps
+  in
+  let runs_full_factorial =
+    List.fold_left (fun acc a -> acc * List.length a.values) 1 axes * reps
+  in
+  { axes; decisions; groups; runs_full_factorial; runs_planned; reps }
+
+let decision_name = function
+  | Swept_jointly g -> "swept jointly with " ^ String.concat "," g
+  | Swept_alone -> "swept alone (1-D)"
+  | Fixed_irrelevant -> "fixed: no effect on performance"
+  | Fixed_global_factor -> "fixed: global linear factor"
+
+let pp_plan ppf plan =
+  Fmt.pf ppf "@[<v>";
+  List.iter
+    (fun (p, d) -> Fmt.pf ppf "%-10s %s@ " p (decision_name d))
+    plan.decisions;
+  Fmt.pf ppf "runs: %d (full factorial would need %d)@]" plan.runs_planned
+    plan.runs_full_factorial

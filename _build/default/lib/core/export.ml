@@ -1,0 +1,215 @@
+(** Machine-readable export of analysis results and fitted models, as
+    JSON.  A deliberately tiny hand-rolled emitter: the sealed toolchain
+    carries no JSON library, and emission (not parsing) is all the
+    pipeline needs to feed dashboards or the original Extra-P tooling. *)
+
+module SSet = Ir.Cfg.SSet
+module SMap = Ir.Cfg.SMap
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let float_repr f =
+  if Float.is_nan f then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.12g" f
+
+let rec pp ppf = function
+  | Null -> Fmt.string ppf "null"
+  | Bool b -> Fmt.bool ppf b
+  | Int i -> Fmt.int ppf i
+  | Float f -> Fmt.string ppf (float_repr f)
+  | String s -> Fmt.pf ppf "\"%s\"" (escape s)
+  | List items ->
+    Fmt.pf ppf "@[<hv 2>[%a]@]" Fmt.(list ~sep:(any ",@ ") pp) items
+  | Obj fields ->
+    let pfield ppf (k, v) = Fmt.pf ppf "\"%s\": %a" (escape k) pp v in
+    Fmt.pf ppf "@[<hv 2>{%a}@]" Fmt.(list ~sep:(any ",@ ") pfield) fields
+
+let to_string j = Fmt.str "%a" pp j
+
+let strings ss = List (List.map (fun s -> String s) ss)
+
+(* -- model expressions ------------------------------------------------------ *)
+
+let simple_term_json (st : Model.Expr.simple_term) =
+  Obj [ ("exponent", Float st.Model.Expr.expo);
+        ("log_exponent", Int st.Model.Expr.logexp) ]
+
+let model_json (m : Model.Expr.model) =
+  Obj
+    [
+      ("constant", Float m.Model.Expr.const);
+      ( "terms",
+        List
+          (List.map
+             (fun (t : Model.Expr.compound_term) ->
+               Obj
+                 [
+                   ("coefficient", Float t.Model.Expr.coeff);
+                   ( "factors",
+                     Obj
+                       (List.map
+                          (fun (p, st) -> (p, simple_term_json st))
+                          t.Model.Expr.factors) );
+                 ])
+             m.Model.Expr.terms) );
+      ("human_readable", String (Model.Expr.to_string m));
+    ]
+
+let result_json (r : Model.Search.result) =
+  Obj
+    [
+      ("model", model_json r.Model.Search.model);
+      ("smape_percent", Float r.Model.Search.error);
+      ("rss", Float r.Model.Search.rss);
+      ("hypotheses_tried", Int r.Model.Search.hypotheses_tried);
+    ]
+
+(* -- datasets ----------------------------------------------------------------- *)
+
+let dataset_json (d : Model.Dataset.t) =
+  Obj
+    [
+      ("parameters", strings d.Model.Dataset.params);
+      ( "points",
+        List
+          (List.map
+             (fun (pt : Model.Dataset.point) ->
+               Obj
+                 [
+                   ( "coordinates",
+                     Obj
+                       (List.map (fun (p, v) -> (p, Float v)) pt.Model.Dataset.coords)
+                   );
+                   ("measurements",
+                    List (List.map (fun v -> Float v) pt.Model.Dataset.reps));
+                 ])
+             d.Model.Dataset.points) );
+    ]
+
+(* -- analysis ------------------------------------------------------------------ *)
+
+let func_deps_json (fd : Deps.func_deps) =
+  Obj
+    [
+      ("parameters", strings (SSet.elements fd.Deps.fd_params));
+      ("loop_parameters", strings (SSet.elements fd.Deps.fd_loop_params));
+      ("comm_parameters", strings (SSet.elements fd.Deps.fd_comm_params));
+      ( "multiplicative_pairs",
+        List
+          (List.map
+             (fun (a, b) -> List [ String a; String b ])
+             fd.Deps.fd_multiplicative) );
+      ( "loops",
+        List
+          (List.map
+             (fun (ld : Deps.loop_dep) ->
+               Obj
+                 [
+                   ("header", String ld.Deps.ld_header);
+                   ("callpath", String ld.Deps.ld_callpath);
+                   ("depth", Int ld.Deps.ld_depth);
+                   ("iterations", Int ld.Deps.ld_iters);
+                   ("entries", Int ld.Deps.ld_entries);
+                   ("parameters", strings (SSet.elements ld.Deps.ld_params));
+                 ])
+             fd.Deps.fd_loops) );
+      ("mpi_routines", strings (SSet.elements fd.Deps.fd_mpi_routines));
+    ]
+
+(** Full analysis report: program summary, per-function classification and
+    dependencies, static warnings. *)
+let analysis_json (t : Pipeline.t) ~model_params =
+  let ov = Report.overview t ~model_params in
+  Obj
+    [
+      ("program", String t.program.Ir.Types.pname);
+      ("model_parameters", strings model_params);
+      ( "taint_run",
+        Obj
+          [
+            ( "arguments",
+              Obj
+                (List.map
+                   (fun (p, v) ->
+                     ( p,
+                       match v with
+                       | Ir.Types.VInt i -> Int i
+                       | Ir.Types.VFloat f -> Float f
+                       | Ir.Types.VBool b -> Bool b
+                       | Ir.Types.VArr _ | Ir.Types.VUnit -> Null ))
+                   t.taint_args) );
+            ("ranks", Int t.world.Mpi_sim.Runtime.ranks);
+            ("instructions", Int t.steps);
+          ] );
+      ( "overview",
+        Obj
+          [
+            ("functions", Int ov.Report.ov_functions);
+            ("pruned_static", Int ov.Report.ov_pruned_static);
+            ("pruned_dynamic", Int ov.Report.ov_pruned_dynamic);
+            ("kernels", Int ov.Report.ov_kernels);
+            ("comm_routines", Int ov.Report.ov_comm_routines);
+            ("mpi_functions", Int ov.Report.ov_mpi_functions);
+            ("loops", Int ov.Report.ov_loops);
+            ("loops_pruned_static", Int ov.Report.ov_loops_pruned_static);
+            ("loops_relevant", Int ov.Report.ov_loops_relevant);
+          ] );
+      ( "functions",
+        Obj
+          (List.map
+             (fun fname ->
+               let status =
+                 Pipeline.status_name (Pipeline.status t ~model_params fname)
+               in
+               let deps =
+                 match Deps.find t.deps fname with
+                 | Some fd -> func_deps_json fd
+                 | None -> Obj []
+               in
+               (fname, Obj [ ("status", String status); ("deps", deps) ]))
+             (Pipeline.function_names t)) );
+      ( "warnings",
+        strings t.static.Static_an.Classify.warnings );
+    ]
+
+(** Fitted models of a campaign, with quality statistics. *)
+let models_json entries =
+  Obj
+    (List.map
+       (fun (fname, (r : Model.Search.result), (data : Model.Dataset.t)) ->
+         let stats = Model.Stats.summarize r.Model.Search.model data in
+         ( fname,
+           Obj
+             [
+               ("fit", result_json r);
+               ("r_squared", Float stats.Model.Stats.s_r2);
+               ("adjusted_r_squared", Float stats.Model.Stats.s_adj_r2);
+               ("aicc", Float stats.Model.Stats.s_aicc);
+               ("max_cov", Float (Model.Dataset.max_cov data));
+             ] ))
+       entries)

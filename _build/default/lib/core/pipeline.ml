@@ -1,0 +1,155 @@
+(** The Perf-Taint pipeline (paper Figure 2): static analysis, a tainted
+    run of the program, and the post-processing that classifies every
+    function and loop.  The result feeds experiment design, hybrid
+    modeling, and validation. *)
+
+module SMap = Ir.Cfg.SMap
+module SSet = Ir.Cfg.SSet
+module Obs = Interp.Observations
+
+type t = {
+  program : Ir.Types.program;
+  static : Static_an.Classify.report;
+  obs : Obs.t;
+  labels : Taint.Label.table;
+  deps : Deps.func_deps SMap.t;
+  mpi_params : SSet.t SMap.t;
+      (** per-MPI-routine dependencies from the library database *)
+  world : Mpi_sim.Runtime.world;
+  taint_args : (string * Ir.Types.value) list;
+      (** entry bindings used for the tainted run *)
+  steps : int;  (** instructions interpreted during the tainted run *)
+}
+
+(** How a function is treated after the two pruning phases, relative to a
+    set of modeling parameters (Table 2's categories). *)
+type func_status =
+  | Pruned_static      (** constant, proven at compile time *)
+  | Pruned_dynamic     (** constant w.r.t. the model parameters, proven by
+                           the tainted run *)
+  | Kernel             (** computational kernel: tainted loops *)
+  | Comm_routine       (** calls parameter-dependent MPI routines *)
+  | Unexecuted         (** never reached by the tainted run *)
+
+let status_name = function
+  | Pruned_static -> "pruned-static"
+  | Pruned_dynamic -> "pruned-dynamic"
+  | Kernel -> "kernel"
+  | Comm_routine -> "comm"
+  | Unexecuted -> "unexecuted"
+
+(** Run the full analysis: static classification, then one tainted run of
+    [program] with entry arguments [args] under MPI world [world]. *)
+let analyze ?(config = Interp.Machine.default_config)
+    ?(world = Mpi_sim.Runtime.default_world) program ~args =
+  Ir.Validate.check_exn program;
+  let static =
+    Static_an.Classify.classify program
+      ~relevant_prim:Mpi_sim.Costdb.relevant_prim
+  in
+  let m = Interp.Machine.create ~config program in
+  Mpi_sim.Runtime.install world m;
+  let entry = Ir.Types.find_func program program.Ir.Types.entry in
+  let _ = Interp.Machine.run m args in
+  let obs = Interp.Machine.observations m in
+  let labels = Interp.Machine.label_table m in
+  let deps = Deps.of_observations labels obs in
+  let mpi_params = Deps.routine_params labels obs in
+  {
+    program;
+    static;
+    obs;
+    labels;
+    deps;
+    mpi_params;
+    world;
+    taint_args = List.combine entry.Ir.Types.fparams args;
+    steps = Interp.Machine.steps_executed m;
+  }
+
+let executed t fname =
+  match Hashtbl.find_opt t.obs.Obs.funcs fname with
+  | Some fo -> fo.Obs.fo_calls > 0
+  | None -> false
+
+(** Classification of one function w.r.t. the chosen model parameters. *)
+let status t ~model_params fname =
+  if Static_an.Classify.is_pruned t.static fname then Pruned_static
+  else if not (executed t fname) then Unexecuted
+  else
+    match Deps.find t.deps fname with
+    | None -> Pruned_dynamic
+    | Some fd ->
+      let relevant s = SSet.exists (fun p -> List.mem p model_params) s in
+      if relevant fd.Deps.fd_comm_params then Comm_routine
+      else if relevant fd.Deps.fd_loop_params then Kernel
+      else Pruned_dynamic
+
+let function_names t =
+  List.map (fun (f : Ir.Types.func) -> f.Ir.Types.fname) t.program.Ir.Types.funcs
+
+(** Functions with a given status. *)
+let functions_with t ~model_params st =
+  List.filter (fun f -> status t ~model_params f = st) (function_names t)
+
+(** The instrumentation selection: every function whose model can change
+    with the parameters — kernels and communication routines (A3). *)
+let relevant_functions t ~model_params =
+  functions_with t ~model_params Kernel
+  @ functions_with t ~model_params Comm_routine
+
+(** Distinct MPI routines invoked anywhere in the program. *)
+let mpi_routines_used t =
+  SMap.fold
+    (fun _ fd acc -> SSet.union acc fd.Deps.fd_mpi_routines)
+    t.deps SSet.empty
+
+(** All parameters observed anywhere (explicit labels and implicit p). *)
+let observed_params t =
+  SMap.fold (fun _ fd acc -> SSet.union acc fd.Deps.fd_params) t.deps SSet.empty
+
+(* Distinct static loops (function, header) satisfying [pred]. *)
+let count_loops t pred =
+  SMap.fold
+    (fun fname fd acc ->
+      List.fold_left
+        (fun acc (ld : Deps.loop_dep) ->
+          if pred ld then
+            let key = (fname, ld.Deps.ld_header) in
+            if List.mem key acc then acc else key :: acc
+          else acc)
+        acc fd.Deps.fd_loops)
+    t.deps []
+  |> List.length
+
+(** Loops whose iteration count depends on at least one model parameter:
+    the "relevant" loop count of Table 2.  Loops observed on several call
+    paths count once. *)
+let relevant_loops t ~model_params =
+  count_loops t (fun ld ->
+      SSet.exists (fun p -> List.mem p model_params) ld.Deps.ld_params)
+
+(** Functions (resp. loops) affected by one specific parameter — the
+    per-parameter coverage counts of Table 3. *)
+let functions_affected_by t param =
+  SMap.fold
+    (fun fname fd acc ->
+      if SSet.mem param fd.Deps.fd_params then fname :: acc else acc)
+    t.deps []
+  |> List.sort compare
+
+let loops_affected_by t param =
+  count_loops t (fun ld -> SSet.mem param ld.Deps.ld_params)
+
+(** Count loop observations deduplicated per static loop (function,
+    header). *)
+let distinct_loops_observed t =
+  SMap.fold
+    (fun fname fd acc ->
+      List.fold_left
+        (fun acc (ld : Deps.loop_dep) ->
+          let key = (fname, ld.Deps.ld_header) in
+          if List.mem key acc then acc else key :: acc)
+        acc fd.Deps.fd_loops)
+    t.deps []
+  |> List.length

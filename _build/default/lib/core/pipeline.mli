@@ -1,0 +1,56 @@
+(** The Perf-Taint pipeline (paper Figure 2): static analysis, one tainted
+    run, and the post-processing that classifies every function and
+    loop. *)
+
+module SMap = Ir.Cfg.SMap
+module SSet = Ir.Cfg.SSet
+
+type t = {
+  program : Ir.Types.program;
+  static : Static_an.Classify.report;
+  obs : Interp.Observations.t;
+  labels : Taint.Label.table;
+  deps : Deps.func_deps SMap.t;
+  mpi_params : SSet.t SMap.t;
+      (** per-MPI-routine dependencies (library database) *)
+  world : Mpi_sim.Runtime.world;
+  taint_args : (string * Ir.Types.value) list;
+  steps : int;  (** instructions interpreted by the tainted run *)
+}
+
+type func_status =
+  | Pruned_static
+  | Pruned_dynamic
+  | Kernel
+  | Comm_routine
+  | Unexecuted
+
+val status_name : func_status -> string
+
+val analyze :
+  ?config:Interp.Machine.config ->
+  ?world:Mpi_sim.Runtime.world ->
+  Ir.Types.program ->
+  args:Ir.Types.value list ->
+  t
+(** Validate, statically classify, then run the tainted execution.
+    @raise Ir.Types.Ir_error on malformed programs
+    @raise Interp.Machine.Runtime_error on dynamic errors. *)
+
+val executed : t -> string -> bool
+val status : t -> model_params:string list -> string -> func_status
+val function_names : t -> string list
+val functions_with : t -> model_params:string list -> func_status -> string list
+
+val relevant_functions : t -> model_params:string list -> string list
+(** The instrumentation selection: kernels and comm routines (A3). *)
+
+val mpi_routines_used : t -> SSet.t
+val observed_params : t -> SSet.t
+
+val relevant_loops : t -> model_params:string list -> int
+(** Distinct static loops depending on a model parameter (Table 2). *)
+
+val functions_affected_by : t -> string -> string list
+val loops_affected_by : t -> string -> int
+val distinct_loops_observed : t -> int

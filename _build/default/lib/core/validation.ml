@@ -1,0 +1,135 @@
+(** Validation of measurements and experiment designs (paper Section C).
+
+    Two checks: (C1) hardware-contention detection — a statistically sound
+    empirical model depends on a parameter the taint analysis proved
+    cannot influence the code, so the effect must be external to the
+    program; (C2) experiment-design validation — parameter-dependent
+    branches flip between configurations of the experiment, so the data
+    mixes qualitatively different behaviors and the modeling domain should
+    be split. *)
+
+module SSet = Ir.Cfg.SSet
+module Obs = Interp.Observations
+
+(* -- C1: contention ------------------------------------------------------ *)
+
+type contention_finding = {
+  cf_func : string;
+  cf_external_params : string list;
+      (** parameters the model uses but taint rules out *)
+  cf_model : Model.Expr.model;
+  cf_error : float;
+}
+
+(** [detect_contention t datasets] fits a black-box model to every
+    function dataset and reports functions whose (statistically sound,
+    CoV <= [max_cov]) model contradicts the taint-derived dependency set. *)
+let detect_contention ?(max_cov = 0.1) ?config (t : Pipeline.t) datasets =
+  List.filter_map
+    (fun (fname, data) ->
+      if Model.Dataset.max_cov data > max_cov then None
+      else
+        let r = Model.Search.multi ?config data in
+        let external_params =
+          Modeling.contradicts_taint t ~fname r |> SSet.elements
+        in
+        if external_params = [] then None
+        else
+          Some
+            {
+              cf_func = fname;
+              cf_external_params = external_params;
+              cf_model = r.Model.Search.model;
+              cf_error = r.Model.Search.error;
+            })
+    datasets
+
+(* -- C2: experiment design ----------------------------------------------- *)
+
+type branch_behavior = Not_visited | Then_only | Else_only | Both
+
+let behavior_name = function
+  | Not_visited -> "not-visited"
+  | Then_only -> "then"
+  | Else_only -> "else"
+  | Both -> "both"
+
+type design_finding = {
+  df_func : string;
+  df_block : string;
+  df_params : string list;  (** parameters tainting the branch condition *)
+  df_behaviors : ((string * Ir.Types.value) list * branch_behavior) list;
+      (** taint-run configuration -> observed behavior *)
+}
+
+(* Aggregate behavior of one static branch (function, block) in one run,
+   summed over all call paths that reached it. *)
+let branch_behavior (t : Pipeline.t) ~fname ~block =
+  let taken = ref 0 and not_taken = ref 0 in
+  Hashtbl.iter
+    (fun _ (bo : Obs.branch_obs) ->
+      if bo.Obs.br_func = fname && bo.Obs.br_block = block then begin
+        taken := !taken + bo.Obs.br_taken;
+        not_taken := !not_taken + bo.Obs.br_not_taken
+      end)
+    t.obs.Obs.branches;
+  match (!taken > 0, !not_taken > 0) with
+  | true, true -> Both
+  | true, false -> Then_only
+  | false, true -> Else_only
+  | false, false -> Not_visited
+
+let branch_deps (t : Pipeline.t) ~fname ~block =
+  Hashtbl.fold
+    (fun _ (bo : Obs.branch_obs) s ->
+      if bo.Obs.br_func = fname && bo.Obs.br_block = block then
+        List.fold_left
+          (fun s n -> SSet.add n s)
+          s
+          (Taint.Label.names t.labels bo.Obs.br_dep)
+      else s)
+    t.obs.Obs.branches SSet.empty
+
+(** Compare branch coverage across several tainted runs (one per
+    configuration).  A finding is produced for every parameter-dependent
+    static branch whose behavior is not uniform across the runs: the
+    application (or a library) qualitatively changes behavior inside the
+    modeling domain. *)
+let validate_design ~model_params (runs : Pipeline.t list) =
+  (* All static branches observed in any run. *)
+  let keys = Hashtbl.create 64 in
+  List.iter
+    (fun (t : Pipeline.t) ->
+      Hashtbl.iter
+        (fun _ (bo : Obs.branch_obs) ->
+          Hashtbl.replace keys (bo.Obs.br_func, bo.Obs.br_block) ())
+        t.obs.Obs.branches)
+    runs;
+  Hashtbl.fold
+    (fun (fname, block) () acc ->
+      let dep_params =
+        List.fold_left
+          (fun s t -> SSet.union s (branch_deps t ~fname ~block))
+          SSet.empty runs
+      in
+      if not (SSet.exists (fun p -> List.mem p model_params) dep_params) then
+        acc
+      else
+        let behaviors =
+          List.map
+            (fun (t : Pipeline.t) ->
+              (t.Pipeline.taint_args, branch_behavior t ~fname ~block))
+            runs
+        in
+        let distinct = List.sort_uniq compare (List.map snd behaviors) in
+        if List.length distinct <= 1 then acc
+        else
+          {
+            df_func = fname;
+            df_block = block;
+            df_params = SSet.elements dep_params;
+            df_behaviors = behaviors;
+          }
+          :: acc)
+    keys []
+  |> List.sort compare

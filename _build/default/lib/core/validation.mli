@@ -1,0 +1,40 @@
+(** Validation of measurements and experiment designs (paper Section C):
+    hardware-contention detection and qualitative-behavior checks. *)
+
+module SSet = Ir.Cfg.SSet
+
+type contention_finding = {
+  cf_func : string;
+  cf_external_params : string list;
+  cf_model : Model.Expr.model;
+  cf_error : float;
+}
+
+val detect_contention :
+  ?max_cov:float ->
+  ?config:Model.Search.config ->
+  Pipeline.t ->
+  (string * Model.Dataset.t) list ->
+  contention_finding list
+(** Fit a black-box model per function dataset; report those whose
+    statistically sound (CoV <= [max_cov], default 0.1) model contradicts
+    the taint-derived dependency set. *)
+
+type branch_behavior = Not_visited | Then_only | Else_only | Both
+
+val behavior_name : branch_behavior -> string
+
+type design_finding = {
+  df_func : string;
+  df_block : string;
+  df_params : string list;
+  df_behaviors : ((string * Ir.Types.value) list * branch_behavior) list;
+      (** taint-run configuration -> observed behavior *)
+}
+
+val branch_behavior : Pipeline.t -> fname:string -> block:string -> branch_behavior
+
+val validate_design :
+  model_params:string list -> Pipeline.t list -> design_finding list
+(** Compare branch coverage across tainted runs; report parameter-tainted
+    static branches whose behavior is not uniform (C2). *)

@@ -1,0 +1,245 @@
+(** Symbolic iteration volume of loop nests and whole programs — the
+    composition rules of paper Sections 4.2 and 4.3.
+
+    The base case is a single loop: its volume is its iteration count,
+    either a static constant (from the trip-count analysis) or an
+    unresolved symbolic function [g(p1..pn)] over the parameters the taint
+    analysis found in its exit conditions.  Sequencing adds volumes,
+    nesting multiplies them (both over-approximations), and — absent
+    recursion — accumulating over the call tree yields the asymptotic
+    compute volume of the whole program (Theorem 1).  The expressions are
+    the "scaffolding" the empirical modeler parametrises. *)
+
+module SSet = Ir.Cfg.SSet
+module SMap = Ir.Cfg.SMap
+
+type expr =
+  | Const of int
+  | Count of { func : string; header : string; params : SSet.t }
+      (** an unresolved loop-count function g(params) *)
+  | Sum of expr list
+  | Product of expr list
+  | Unknown of string  (** recursion or other unsupported structure *)
+
+(* -- smart constructors with flattening/constant folding ------------------- *)
+
+let rec flatten_sum = function
+  | Sum es -> List.concat_map flatten_sum es
+  | e -> [ e ]
+
+let rec flatten_product = function
+  | Product es -> List.concat_map flatten_product es
+  | e -> [ e ]
+
+let sum es =
+  let es = List.concat_map flatten_sum es in
+  let consts, rest =
+    List.partition_map
+      (function Const k -> Left k | e -> Right e)
+      es
+  in
+  let c = List.fold_left ( + ) 0 consts in
+  match (c, rest) with
+  | c, [] -> Const c
+  | 0, [ e ] -> e
+  | 0, es -> Sum es
+  | c, es -> Sum (es @ [ Const c ])
+
+let product es =
+  let es = List.concat_map flatten_product es in
+  if List.exists (function Const 0 -> true | _ -> false) es then Const 0
+  else
+    let consts, rest =
+      List.partition_map (function Const k -> Left k | e -> Right e) es
+    in
+    let c = List.fold_left ( * ) 1 consts in
+    match (c, rest) with
+    | c, [] -> Const c
+    | 1, [ e ] -> e
+    | 1, es -> Product es
+    | c, es -> Product (Const c :: es)
+
+(** Normalise: expand nothing, but merge syntactically equal summands —
+    k1*E + k2*E becomes (k1+k2)*E — so program volumes stay readable. *)
+let rec normalize e =
+  match e with
+  | Const _ | Count _ | Unknown _ -> e
+  | Product es -> product (List.map normalize es)
+  | Sum es ->
+    let es = List.concat_map flatten_sum (List.map normalize es) in
+    (* Split each summand into (coefficient, sorted symbolic factors). *)
+    let split e =
+      match flatten_product e with
+      | fs ->
+        let consts, rest =
+          List.partition_map (function Const k -> Left k | f -> Right f) fs
+        in
+        (List.fold_left ( * ) 1 consts, List.sort compare rest)
+    in
+    let table = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun e ->
+        let k, key = split e in
+        match Hashtbl.find_opt table key with
+        | None ->
+          order := key :: !order;
+          Hashtbl.replace table key k
+        | Some k0 -> Hashtbl.replace table key (k0 + k))
+      es;
+    sum
+      (List.rev_map
+         (fun key ->
+           let k = Hashtbl.find table key in
+           product (Const k :: key))
+         !order)
+
+(** Evaluate an expression given a value for every unresolved loop count
+    (e.g. the per-entry iteration averages observed by a tainted run):
+    turns the symbolic scaffolding into a concrete basic-block-execution
+    bound, letting tests check Claim 2 empirically. *)
+let rec eval_with lookup = function
+  | Const k -> float_of_int k
+  | Count { func; header; _ } -> lookup ~func ~header
+  | Sum es -> List.fold_left (fun acc e -> acc +. eval_with lookup e) 0. es
+  | Product es ->
+    List.fold_left (fun acc e -> acc *. eval_with lookup e) 1. es
+  | Unknown _ -> Float.nan
+
+(** Parameters the expression depends on. *)
+let rec params = function
+  | Const _ -> SSet.empty
+  | Count c -> c.params
+  | Sum es | Product es ->
+    List.fold_left (fun acc e -> SSet.union acc (params e)) SSet.empty es
+  | Unknown _ -> SSet.empty
+
+let rec is_constant = function
+  | Const _ -> true
+  | Count c -> SSet.is_empty c.params
+  | Sum es | Product es -> List.for_all is_constant es
+  | Unknown _ -> false
+
+let rec pp ppf = function
+  | Const k -> Fmt.int ppf k
+  | Count { params = ps; _ } when SSet.is_empty ps -> Fmt.string ppf "g()"
+  | Count { params = ps; _ } ->
+    Fmt.pf ppf "g(%s)" (String.concat "," (SSet.elements ps))
+  | Sum es -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any " + ") pp) es
+  | Product es -> Fmt.pf ppf "%a" Fmt.(list ~sep:(any "*") pp) es
+  | Unknown why -> Fmt.pf ppf "?[%s]" why
+
+let to_string e = Fmt.str "%a" pp e
+
+(* -- per-function volume ----------------------------------------------------- *)
+
+(* Loop count: static constant when the trip-count analysis resolved it,
+   otherwise a symbolic g over the dynamically observed exit-condition
+   parameters (empty if the loop was never observed). *)
+let loop_count (t : Pipeline.t) fname (ls : Static_an.Tripcount.loop_summary) =
+  match ls.Static_an.Tripcount.ls_trip with
+  | Static_an.Tripcount.Constant k -> Const k
+  | Static_an.Tripcount.Unknown ->
+    let params =
+      match Deps.find t.deps fname with
+      | None -> SSet.empty
+      | Some fd ->
+        List.fold_left
+          (fun acc (ld : Deps.loop_dep) ->
+            if ld.Deps.ld_header = ls.Static_an.Tripcount.ls_header then
+              SSet.union acc ld.Deps.ld_params
+            else acc)
+          SSet.empty fd.Deps.fd_loops
+    in
+    Count { func = fname; header = ls.Static_an.Tripcount.ls_header; params }
+
+(* vol(nest rooted at loop L) = count(L) * (1 + sum of child volumes). *)
+let rec nest_volume t fname summaries (ls : Static_an.Tripcount.loop_summary) =
+  let children =
+    List.filter
+      (fun (c : Static_an.Tripcount.loop_summary) ->
+        c.Static_an.Tripcount.ls_parent
+        = Some ls.Static_an.Tripcount.ls_header)
+      summaries
+  in
+  let body =
+    sum (Const 1 :: List.map (nest_volume t fname summaries) children)
+  in
+  product [ loop_count t fname ls; body ]
+
+(** Intraprocedural iteration volume of [fname]: the sum of its top-level
+    loop-nest volumes plus the constant straight-line part (Section 4.2). *)
+let of_function (t : Pipeline.t) fname =
+  match SMap.find_opt fname t.static.Static_an.Classify.loops with
+  | None -> Unknown ("no such function: " ^ fname)
+  | Some summaries ->
+    let top =
+      List.filter
+        (fun (ls : Static_an.Tripcount.loop_summary) ->
+          ls.Static_an.Tripcount.ls_parent = None)
+        summaries
+    in
+    sum (Const 1 :: List.map (nest_volume t fname summaries) top)
+
+(* -- whole-program (inclusive) volume: Theorem 1 ------------------------------ *)
+
+(* Enclosing static loop chain of an instruction's block within [f]:
+   multiplies the callee's volume. *)
+let enclosing_counts t fname forest block =
+  let rec chain acc header =
+    match Ir.Loops.find forest header with
+    | None -> acc
+    | Some (l : Ir.Loops.loop) -> (
+      let summaries = SMap.find fname t.Pipeline.static.Static_an.Classify.loops in
+      let ls =
+        List.find
+          (fun (s : Static_an.Tripcount.loop_summary) ->
+            s.Static_an.Tripcount.ls_header = l.Ir.Loops.header)
+          summaries
+      in
+      let acc = loop_count t fname ls :: acc in
+      match l.Ir.Loops.parent with
+      | Some parent -> chain acc parent
+      | None -> acc)
+  in
+  match Ir.Loops.innermost_containing forest block with
+  | None -> []
+  | Some l -> chain [] l.Ir.Loops.header
+
+(** Inclusive asymptotic compute volume of [fname]: its own volume plus,
+    for every call site, the callee's inclusive volume multiplied by the
+    counts of the loops enclosing the call (Theorem 1).  Recursive
+    functions yield [Unknown] — the paper's stated limitation. *)
+let rec inclusive ?(seen = SSet.empty) (t : Pipeline.t) fname =
+  if SSet.mem fname seen then Unknown ("recursion through " ^ fname)
+  else
+    match
+      List.find_opt
+        (fun (f : Ir.Types.func) -> f.Ir.Types.fname = fname)
+        t.program.Ir.Types.funcs
+    with
+    | None -> Unknown ("no such function: " ^ fname)
+    | Some f ->
+      let seen = SSet.add fname seen in
+      let cfg = Ir.Cfg.build f in
+      let forest = Ir.Loops.detect cfg in
+      let call_terms =
+        List.concat_map
+          (fun (b : Ir.Types.block) ->
+            let callees = Ir.Types.calls_of_instrs b.Ir.Types.instrs in
+            List.map
+              (fun callee ->
+                let enclosing = enclosing_counts t fname forest b.Ir.Types.label in
+                product (inclusive ~seen t callee :: enclosing))
+              callees)
+          f.Ir.Types.blocks
+      in
+      sum (of_function t fname :: call_terms)
+
+(** Asymptotic compute volume of the whole program. *)
+let of_program (t : Pipeline.t) =
+  normalize (inclusive t t.program.Ir.Types.entry)
+
+(** Claim 2's deliverable: the parameter set that bounds how often any
+    basic block of [fname] (inclusively) executes. *)
+let asymptotic_params t fname = params (inclusive t fname)

@@ -1,0 +1,47 @@
+(** Symbolic iteration volume of loop nests and whole programs — the
+    composition rules of paper Sections 4.2/4.3: loop counts are
+    constants or unresolved g(params) functions; sequencing adds, nesting
+    multiplies; absent recursion the call-tree accumulation yields the
+    program's asymptotic compute volume (Theorem 1). *)
+
+module SSet = Ir.Cfg.SSet
+
+type expr =
+  | Const of int
+  | Count of { func : string; header : string; params : SSet.t }
+      (** an unresolved loop-count function g(params) *)
+  | Sum of expr list
+  | Product of expr list
+  | Unknown of string  (** recursion or unsupported structure *)
+
+val sum : expr list -> expr
+(** Flattening, constant-folding sum. *)
+
+val product : expr list -> expr
+(** Flattening, constant-folding, zero-annihilating product. *)
+
+val eval_with : (func:string -> header:string -> float) -> expr -> float
+(** Evaluate with concrete values for the unresolved loop counts; [nan]
+    when the expression contains [Unknown]. *)
+
+val normalize : expr -> expr
+(** Merge syntactically equal summands: k1*E + k2*E -> (k1+k2)*E. *)
+
+val params : expr -> SSet.t
+val is_constant : expr -> bool
+val pp : expr Fmt.t
+val to_string : expr -> string
+
+val of_function : Pipeline.t -> string -> expr
+(** Intraprocedural iteration volume (Section 4.2). *)
+
+val inclusive : ?seen:SSet.t -> Pipeline.t -> string -> expr
+(** Inclusive volume: own loops plus callees' volumes multiplied by the
+    counts of the loops enclosing each call site (Theorem 1). *)
+
+val of_program : Pipeline.t -> expr
+(** Normalised inclusive volume of the entry function. *)
+
+val asymptotic_params : Pipeline.t -> string -> SSet.t
+(** Claim 2: parameters bounding how often any basic block of the
+    function (inclusively) executes. *)

@@ -1,0 +1,1 @@
+lib/interp/eval.ml: Float Format Ir

@@ -1,0 +1,1 @@
+lib/interp/machine.ml: Array Eval Fmt Hashtbl Ir List Observations Option String Taint

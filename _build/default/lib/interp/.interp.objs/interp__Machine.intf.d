@@ -1,0 +1,1 @@
+lib/interp/machine.mli: Ir Observations Taint

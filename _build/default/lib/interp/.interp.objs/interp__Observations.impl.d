@@ -1,0 +1,1 @@
+lib/interp/observations.ml: Hashtbl Ir List String Taint

@@ -1,0 +1,1 @@
+lib/interp/observations.mli: Hashtbl Ir Taint

@@ -1,0 +1,72 @@
+(** Evaluation of PIR scalar operations, with dynamic kind checking. *)
+
+open Ir.Types
+
+exception Runtime_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+let as_int = function
+  | VInt i -> i
+  | v -> error "expected int, got %s" (value_kind v)
+
+let as_float = function
+  | VFloat f -> f
+  | v -> error "expected float, got %s" (value_kind v)
+
+let as_bool = function
+  | VBool b -> b
+  | v -> error "expected bool, got %s" (value_kind v)
+
+let as_arr = function
+  | VArr h -> h
+  | v -> error "expected array, got %s" (value_kind v)
+
+(* Comparisons accept both int and float operands of matching kind. *)
+let compare_values op a b =
+  let c =
+    match (a, b) with
+    | VInt x, VInt y -> compare x y
+    | VFloat x, VFloat y -> compare x y
+    | VBool x, VBool y -> compare x y
+    | _ -> error "comparison of %s and %s" (value_kind a) (value_kind b)
+  in
+  let r =
+    match op with
+    | Eq -> c = 0 | Ne -> c <> 0
+    | Lt -> c < 0 | Le -> c <= 0
+    | Gt -> c > 0 | Ge -> c >= 0
+    | _ -> assert false
+  in
+  VBool r
+
+let binop op a b =
+  match op with
+  | Add -> VInt (as_int a + as_int b)
+  | Sub -> VInt (as_int a - as_int b)
+  | Mul -> VInt (as_int a * as_int b)
+  | Div ->
+    let d = as_int b in
+    if d = 0 then error "integer division by zero" else VInt (as_int a / d)
+  | Rem ->
+    let d = as_int b in
+    if d = 0 then error "integer remainder by zero" else VInt (as_int a mod d)
+  | Min -> VInt (min (as_int a) (as_int b))
+  | Max -> VInt (max (as_int a) (as_int b))
+  | FAdd -> VFloat (as_float a +. as_float b)
+  | FSub -> VFloat (as_float a -. as_float b)
+  | FMul -> VFloat (as_float a *. as_float b)
+  | FDiv -> VFloat (as_float a /. as_float b)
+  | FMin -> VFloat (Float.min (as_float a) (as_float b))
+  | FMax -> VFloat (Float.max (as_float a) (as_float b))
+  | And -> VBool (as_bool a && as_bool b)
+  | Or -> VBool (as_bool a || as_bool b)
+  | (Eq | Ne | Lt | Le | Gt | Ge) as cmp -> compare_values cmp a b
+
+let unop op a =
+  match op with
+  | Neg -> VInt (-as_int a)
+  | FNeg -> VFloat (-.as_float a)
+  | Not -> VBool (not (as_bool a))
+  | FloatOfInt -> VFloat (float_of_int (as_int a))
+  | IntOfFloat -> VInt (int_of_float (as_float a))

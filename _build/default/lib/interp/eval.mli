@@ -1,0 +1,14 @@
+(** Evaluation of PIR scalar operations, with dynamic kind checking. *)
+
+exception Runtime_error of string
+
+val error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Runtime_error} with a formatted message. *)
+
+val as_int : Ir.Types.value -> int
+val as_float : Ir.Types.value -> float
+val as_bool : Ir.Types.value -> bool
+val as_arr : Ir.Types.value -> int
+
+val binop : Ir.Types.binop -> Ir.Types.value -> Ir.Types.value -> Ir.Types.value
+val unop : Ir.Types.unop -> Ir.Types.value -> Ir.Types.value

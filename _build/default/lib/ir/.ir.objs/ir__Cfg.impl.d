@@ -1,0 +1,1 @@
+lib/ir/cfg.ml: Array Hashtbl List Map Seq Set String Types

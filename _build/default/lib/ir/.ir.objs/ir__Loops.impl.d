@@ -1,0 +1,1 @@
+lib/ir/loops.ml: Cfg Fmt Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Filename Format List String Types Validate

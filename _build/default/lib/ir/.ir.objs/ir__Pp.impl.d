@@ -1,0 +1,1 @@
+lib/ir/pp.ml: Fmt Types

@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Cfg Fmt Format Hashtbl List Types

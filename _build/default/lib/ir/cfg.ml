@@ -1,0 +1,186 @@
+(** Control-flow graph utilities for a single PIR function: successor and
+    predecessor maps, reverse postorder, dominators and postdominators.
+
+    Dominators use the Cooper–Harvey–Kennedy iterative algorithm over
+    reverse-postorder indices; postdominators run the same algorithm on the
+    reversed CFG with a virtual exit node joining every [Return] block.
+    Postdominators give the join point of each conditional branch, which the
+    interpreter uses to scope control-flow taint. *)
+
+open Types
+
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+type t = {
+  func : func;
+  succs : string list SMap.t;
+  preds : string list SMap.t;
+  rpo : string array;               (** reverse postorder, entry first *)
+  rpo_index : int SMap.t;
+  idom : string SMap.t;             (** immediate dominator (absent for entry) *)
+  ipostdom : string SMap.t;         (** immediate postdominator (absent for exits) *)
+}
+
+let successors t label = try SMap.find label t.succs with Not_found -> []
+let predecessors t label = try SMap.find label t.preds with Not_found -> []
+
+let build_edges func =
+  let add m k v = SMap.update k (function None -> Some [ v ] | Some l -> Some (v :: l)) m in
+  List.fold_left
+    (fun (succs, preds) b ->
+      let ss = term_succs b.term in
+      let succs = SMap.add b.label ss succs in
+      let preds = List.fold_left (fun preds s -> add preds s b.label) preds ss in
+      (succs, preds))
+    (SMap.empty, SMap.empty) func.blocks
+
+(* Depth-first postorder from [entry] following [succ]; unreachable blocks
+   are dropped (and flagged by Validate). *)
+let postorder entry succ =
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec go label =
+    if not (Hashtbl.mem seen label) then begin
+      Hashtbl.add seen label ();
+      List.iter go (succ label);
+      order := label :: !order
+    end
+  in
+  go entry;
+  (* [order] holds reverse postorder already: nodes are prepended when
+     finished, so the entry ends up first. *)
+  Array.of_list !order
+
+(* Cooper–Harvey–Kennedy: iterate intersection over RPO until fixpoint.
+   [preds] must only mention reachable nodes. *)
+let compute_idoms rpo rpo_index preds entry =
+  let n = Array.length rpo in
+  let idom = Array.make n (-1) in
+  let entry_ix = SMap.find entry rpo_index in
+  idom.(entry_ix) <- entry_ix;
+  let intersect a b =
+    let a = ref a and b = ref b in
+    while !a <> !b do
+      while !a > !b do a := idom.(!a) done;
+      while !b > !a do b := idom.(!b) done
+    done;
+    !a
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to n - 1 do
+      if i <> entry_ix then begin
+        let ps =
+          preds rpo.(i)
+          |> List.filter_map (fun p -> SMap.find_opt p rpo_index)
+          |> List.filter (fun p -> idom.(p) >= 0 || p = entry_ix)
+        in
+        match ps with
+        | [] -> ()
+        | first :: rest ->
+          let new_idom = List.fold_left (fun acc p ->
+            if idom.(p) >= 0 then intersect acc p else acc) first rest
+          in
+          if idom.(i) <> new_idom then begin
+            idom.(i) <- new_idom;
+            changed := true
+          end
+      end
+    done
+  done;
+  let result = ref SMap.empty in
+  for i = 0 to n - 1 do
+    if i <> entry_ix && idom.(i) >= 0 then
+      result := SMap.add rpo.(i) rpo.(idom.(i)) !result
+  done;
+  !result
+
+let virtual_exit = "$exit"
+
+let build func =
+  let succs, preds = build_edges func in
+  let entry = (entry_block func).label in
+  let succ l = try SMap.find l succs with Not_found -> [] in
+  let rpo = postorder entry succ in
+  let rpo_index =
+    Array.to_seq rpo |> Seq.mapi (fun i l -> (l, i)) |> SMap.of_seq
+  in
+  let pred l = try SMap.find l preds with Not_found -> [] in
+  let idom = compute_idoms rpo rpo_index pred entry in
+  (* Postdominators: reverse the CFG, join all returns at a virtual exit. *)
+  let exits =
+    List.filter_map
+      (fun b -> match b.term with Return _ -> Some b.label | _ -> None)
+      func.blocks
+  in
+  let rsucc l =
+    if l = virtual_exit then exits
+    else pred l |> List.filter (fun p -> SMap.mem p rpo_index)
+  in
+  let rpred l =
+    if List.mem l exits then virtual_exit :: succ l
+    else if l = virtual_exit then []
+    else succ l
+  in
+  let post_rpo = postorder virtual_exit rsucc in
+  let post_index =
+    Array.to_seq post_rpo |> Seq.mapi (fun i l -> (l, i)) |> SMap.of_seq
+  in
+  let ipostdom =
+    if Array.length post_rpo = 0 then SMap.empty
+    else
+      compute_idoms post_rpo post_index rpred virtual_exit
+      |> SMap.filter (fun l _ -> l <> virtual_exit)
+  in
+  { func; succs; preds; rpo; rpo_index; idom; ipostdom }
+
+let idom t label = SMap.find_opt label t.idom
+
+(** [dominates t a b] is true when every path from the entry to [b] goes
+    through [a] (reflexive). *)
+let dominates t a b =
+  let rec up l = if l = a then true else match idom t l with
+    | Some d -> up d
+    | None -> false
+  in
+  up b
+
+(** Immediate postdominator — the join block where control re-converges
+    after a branch in [label]; [None] for blocks postdominated only by the
+    function exit. *)
+let ipostdom t label =
+  match SMap.find_opt label t.ipostdom with
+  | Some l when l <> virtual_exit -> Some l
+  | _ -> None
+
+let reachable_labels t = Array.to_list t.rpo
+
+(** Back edges [(src, dst)]: edges whose destination dominates their
+    source.  Each back-edge destination is a natural-loop header. *)
+let back_edges t =
+  List.concat_map
+    (fun b ->
+      term_succs b.term
+      |> List.filter (fun s -> SMap.mem s t.rpo_index && SMap.mem b.label t.rpo_index)
+      |> List.filter (fun s -> dominates t s b.label)
+      |> List.map (fun s -> (b.label, s)))
+    t.func.blocks
+
+(** Retreating edges that are not back edges indicate irreducible control
+    flow (the paper excludes irreducible loops; we detect and report). *)
+let irreducible_edges t =
+  List.concat_map
+    (fun b ->
+      match SMap.find_opt b.label t.rpo_index with
+      | None -> []
+      | Some src_ix ->
+        term_succs b.term
+        |> List.filter_map (fun s ->
+               match SMap.find_opt s t.rpo_index with
+               | Some dst_ix
+                 when dst_ix <= src_ix && not (dominates t s b.label) ->
+                 Some (b.label, s)
+               | _ -> None))
+    t.func.blocks

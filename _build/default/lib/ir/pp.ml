@@ -1,0 +1,67 @@
+(** Pretty-printing of PIR programs in a textual assembly-like syntax. *)
+
+open Types
+
+let pp_value ppf = function
+  | VInt i -> Fmt.int ppf i
+  | VFloat f -> Fmt.float ppf f
+  | VBool b -> Fmt.bool ppf b
+  | VArr h -> Fmt.pf ppf "arr#%d" h
+  | VUnit -> Fmt.string ppf "()"
+
+let pp_operand ppf = function
+  | Reg r -> Fmt.pf ppf "%%%s" r
+  | Int i -> Fmt.int ppf i
+  | Float f -> Fmt.pf ppf "%g" f
+  | Bool b -> Fmt.bool ppf b
+  | Unit -> Fmt.string ppf "()"
+
+let binop_name = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Rem -> "rem"
+  | FAdd -> "fadd" | FSub -> "fsub" | FMul -> "fmul" | FDiv -> "fdiv"
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+  | And -> "and" | Or -> "or"
+  | Min -> "min" | Max -> "max" | FMin -> "fmin" | FMax -> "fmax"
+
+let unop_name = function
+  | Neg -> "neg" | FNeg -> "fneg" | Not -> "not"
+  | FloatOfInt -> "float" | IntOfFloat -> "int"
+
+let pp_dst ppf = function
+  | Some d -> Fmt.pf ppf "%%%s = " d
+  | None -> ()
+
+let pp_instr ppf = function
+  | Assign (d, a) -> Fmt.pf ppf "%%%s = %a" d pp_operand a
+  | Binop (d, op, a, b) ->
+    Fmt.pf ppf "%%%s = %s %a, %a" d (binop_name op) pp_operand a pp_operand b
+  | Unop (d, op, a) -> Fmt.pf ppf "%%%s = %s %a" d (unop_name op) pp_operand a
+  | Alloc (d, n) -> Fmt.pf ppf "%%%s = alloc %a" d pp_operand n
+  | Load (d, b, i) -> Fmt.pf ppf "%%%s = load %a[%a]" d pp_operand b pp_operand i
+  | Store (b, i, v) ->
+    Fmt.pf ppf "store %a[%a] := %a" pp_operand b pp_operand i pp_operand v
+  | Call (d, f, args) ->
+    Fmt.pf ppf "%acall @%s(%a)" pp_dst d f Fmt.(list ~sep:(any ", ") pp_operand) args
+  | Prim (d, p, args) ->
+    Fmt.pf ppf "%aprim !%s(%a)" pp_dst d p Fmt.(list ~sep:(any ", ") pp_operand) args
+
+let pp_terminator ppf = function
+  | Jump l -> Fmt.pf ppf "jump %s" l
+  | Branch (c, t, e) -> Fmt.pf ppf "br %a ? %s : %s" pp_operand c t e
+  | Return op -> Fmt.pf ppf "ret %a" pp_operand op
+
+let pp_block ppf b =
+  Fmt.pf ppf "@[<v 2>%s:@ %a%a@]" b.label
+    Fmt.(list ~sep:nop (pp_instr ++ cut)) b.instrs
+    pp_terminator b.term
+
+let pp_func ppf f =
+  Fmt.pf ppf "@[<v 2>func @%s(%a) {@ %a@]@ }" f.fname
+    Fmt.(list ~sep:(any ", ") string) f.fparams
+    Fmt.(list ~sep:cut pp_block) f.blocks
+
+let pp_program ppf p =
+  Fmt.pf ppf "@[<v>; program %s (entry @%s)@ %a@]" p.pname p.entry
+    Fmt.(list ~sep:(cut ++ cut) pp_func) p.funcs
+
+let program_to_string p = Fmt.str "%a" pp_program p

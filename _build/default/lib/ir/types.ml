@@ -1,0 +1,139 @@
+(** Core types of the performance intermediate representation (PIR).
+
+    PIR is a small register-machine IR playing the role that LLVM IR plays
+    in the original Perf-Taint tool: programs are collections of functions,
+    each function a list of basic blocks over mutable virtual registers,
+    with explicit memory (dynamically allocated arrays) and calls.  The
+    dynamic taint analysis, the static loop analyses and the mini
+    applications (LULESH/MILC) are all expressed against this IR. *)
+
+(** Scalar runtime values.  PIR is dynamically checked: binary operations
+    require matching kinds and the interpreter reports kind mismatches. *)
+type value =
+  | VInt of int
+  | VFloat of float
+  | VBool of bool
+  | VArr of int  (** handle into the interpreter heap *)
+  | VUnit
+
+(** Instruction operands: a register read or an immediate literal. *)
+type operand =
+  | Reg of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Unit
+
+(** Binary operations.  Integer comparisons work on both ints and floats;
+    arithmetic is kind-specific, mirroring a typed IR. *)
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | FAdd | FSub | FMul | FDiv
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+  | Min | Max | FMin | FMax
+
+type unop = Neg | FNeg | Not | FloatOfInt | IntOfFloat
+
+(** Instructions.  [Prim] calls a host primitive (MPI routines, taint
+    sources, synthetic work) registered with the interpreter; primitives
+    are PIR's foreign-function interface and stand in for the library
+    calls of a real application. *)
+type instr =
+  | Assign of string * operand                  (** dst := op *)
+  | Binop of string * binop * operand * operand (** dst := a <op> b *)
+  | Unop of string * unop * operand             (** dst := <op> a *)
+  | Alloc of string * operand                   (** dst := new array(n) *)
+  | Load of string * operand * operand          (** dst := base[idx] *)
+  | Store of operand * operand * operand        (** base[idx] := v *)
+  | Call of string option * string * operand list
+  | Prim of string option * string * operand list
+
+(** Block terminators.  [Branch] is the only conditional transfer and
+    therefore the only place control-flow taint is introduced. *)
+type terminator =
+  | Jump of string
+  | Branch of operand * string * string  (** cond, then-label, else-label *)
+  | Return of operand
+
+type block = {
+  label : string;
+  instrs : instr list;
+  term : terminator;
+}
+
+type func = {
+  fname : string;
+  fparams : string list;
+  blocks : block list;  (** head is the entry block *)
+}
+
+type program = {
+  pname : string;
+  funcs : func list;
+  entry : string;  (** name of the entry function *)
+}
+
+exception Ir_error of string
+
+let ir_error fmt = Format.kasprintf (fun s -> raise (Ir_error s)) fmt
+
+let find_func program name =
+  match List.find_opt (fun f -> f.fname = name) program.funcs with
+  | Some f -> f
+  | None -> ir_error "unknown function %s" name
+
+let find_block func label =
+  match List.find_opt (fun b -> b.label = label) func.blocks with
+  | Some b -> b
+  | None -> ir_error "unknown block %s in %s" label func.fname
+
+let entry_block func =
+  match func.blocks with
+  | b :: _ -> b
+  | [] -> ir_error "function %s has no blocks" func.fname
+
+(** Registers read by an operand. *)
+let operand_regs = function
+  | Reg r -> [ r ]
+  | Int _ | Float _ | Bool _ | Unit -> []
+
+(** Registers read by an instruction. *)
+let instr_uses = function
+  | Assign (_, a) | Unop (_, _, a) | Alloc (_, a) -> operand_regs a
+  | Binop (_, _, a, b) | Load (_, a, b) -> operand_regs a @ operand_regs b
+  | Store (a, b, c) -> operand_regs a @ operand_regs b @ operand_regs c
+  | Call (_, _, args) | Prim (_, _, args) -> List.concat_map operand_regs args
+
+(** Register written by an instruction, if any. *)
+let instr_def = function
+  | Assign (d, _) | Binop (d, _, _, _) | Unop (d, _, _)
+  | Alloc (d, _) | Load (d, _, _) -> Some d
+  | Store _ -> None
+  | Call (d, _, _) | Prim (d, _, _) -> d
+
+let term_uses = function
+  | Jump _ -> []
+  | Branch (c, _, _) -> operand_regs c
+  | Return op -> operand_regs op
+
+(** Successor labels of a terminator. *)
+let term_succs = function
+  | Jump l -> [ l ]
+  | Branch (_, t, e) -> [ t; e ]
+  | Return _ -> []
+
+(** Callee names of direct calls in an instruction list. *)
+let calls_of_instrs instrs =
+  List.filter_map (function Call (_, f, _) -> Some f | _ -> None) instrs
+
+(** Primitive names invoked in an instruction list. *)
+let prims_of_instrs instrs =
+  List.filter_map (function Prim (_, p, _) -> Some p | _ -> None) instrs
+
+let value_kind = function
+  | VInt _ -> "int"
+  | VFloat _ -> "float"
+  | VBool _ -> "bool"
+  | VArr _ -> "array"
+  | VUnit -> "unit"

@@ -1,0 +1,16 @@
+(** Well-formedness checking for PIR programs. *)
+
+type issue = {
+  severity : [ `Error | `Warning ];
+  where : string;   (** function (or program) name *)
+  message : string;
+}
+
+val pp_issue : issue Fmt.t
+
+val check_func : Types.program -> Types.func -> issue list
+val check_program : Types.program -> issue list
+val errors : issue list -> issue list
+
+val check_exn : Types.program -> unit
+(** @raise Types.Ir_error on the first validation error. *)

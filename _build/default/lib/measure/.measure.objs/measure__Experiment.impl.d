@@ -1,0 +1,1 @@
+lib/measure/experiment.ml: Hashtbl Instrument List Model Simulator Spec

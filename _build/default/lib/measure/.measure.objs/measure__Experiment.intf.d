@@ -1,0 +1,1 @@
+lib/measure/experiment.mli: Instrument Model Mpi_sim Simulator Spec

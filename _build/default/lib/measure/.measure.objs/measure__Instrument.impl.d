@@ -1,0 +1,1 @@
+lib/measure/instrument.ml: Set Spec String

@@ -1,0 +1,1 @@
+lib/measure/instrument.mli: Set Spec

@@ -1,0 +1,1 @@
+lib/measure/noise.ml: Float Hashtbl Random

@@ -1,0 +1,1 @@
+lib/measure/noise.mli:

@@ -1,0 +1,1 @@
+lib/measure/simulator.ml: Instrument List Mpi_sim Noise Option Spec

@@ -1,0 +1,1 @@
+lib/measure/simulator.mli: Instrument Mpi_sim Spec

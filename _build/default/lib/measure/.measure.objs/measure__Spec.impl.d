@@ -1,0 +1,1 @@
+lib/measure/spec.ml: List Mpi_sim

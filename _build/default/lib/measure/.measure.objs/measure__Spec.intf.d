@@ -1,0 +1,1 @@
+lib/measure/spec.mli: Mpi_sim

@@ -1,0 +1,81 @@
+(** Experiment design and execution: parameter grids, repetitions, and the
+    bookkeeping the paper reports — number of required runs and core-hour
+    cost (A1/A3).  Converts collections of simulated runs into modeling
+    datasets for Extra-P. *)
+
+type design = {
+  grid : (string * float list) list;  (** full-factorial parameter values *)
+  reps : int;
+  mode : Instrument.mode;
+  sigma : float;   (** relative measurement noise level *)
+  seed : int;
+}
+
+let default_design =
+  { grid = []; reps = 5; mode = Instrument.Full; sigma = 0.02; seed = 42 }
+
+(** Cartesian product of the grid: every parameter combination. *)
+let configs design =
+  List.fold_left
+    (fun acc (name, values) ->
+      List.concat_map
+        (fun partial -> List.map (fun v -> partial @ [ (name, v) ]) values)
+        acc)
+    [ [] ] design.grid
+
+let run_design app machine design =
+  List.concat_map
+    (fun params ->
+      List.init design.reps (fun rep ->
+          Simulator.measure ~sigma:design.sigma ~seed:design.seed ~rep app
+            machine ~params ~mode:design.mode))
+    (configs design)
+
+(** Modeling dataset for one kernel: one point per configuration, one
+    repetition per run.  Configurations where the kernel was not observed
+    (filtered out by the instrumentation mode) produce no points — the
+    false-negative effect of bad filters. *)
+let kernel_dataset runs ~params ~kernel =
+  let tbl : (Spec.params, float list) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun (r : Simulator.run) ->
+      match Simulator.kernel_time r kernel with
+      | None -> ()
+      | Some t ->
+        let key = List.filter (fun (n, _) -> List.mem n params) r.rn_params in
+        (match Hashtbl.find_opt tbl key with
+        | None ->
+          order := key :: !order;
+          Hashtbl.replace tbl key [ t ]
+        | Some ts -> Hashtbl.replace tbl key (t :: ts)))
+    runs;
+  Model.Dataset.of_rows params
+    (List.rev_map (fun key -> (key, List.rev (Hashtbl.find tbl key))) !order)
+
+(** Dataset of total application wall time. *)
+let total_dataset runs ~params =
+  let tbl : (Spec.params, float list) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun (r : Simulator.run) ->
+      let key = List.filter (fun (n, _) -> List.mem n params) r.rn_params in
+      match Hashtbl.find_opt tbl key with
+      | None ->
+        order := key :: !order;
+        Hashtbl.replace tbl key [ r.rn_total ]
+      | Some ts -> Hashtbl.replace tbl key (r.rn_total :: ts))
+    runs;
+  Model.Dataset.of_rows params
+    (List.rev_map (fun key -> (key, List.rev (Hashtbl.find tbl key))) !order)
+
+(** Aggregate cost of an experiment campaign in core-hours: each run
+    occupies p cores for its (instrumented) wall time. *)
+let core_hours runs =
+  List.fold_left
+    (fun acc (r : Simulator.run) ->
+      let p = float_of_int (Simulator.ranks_of r.rn_params) in
+      acc +. (r.rn_total *. p /. 3600.))
+    0. runs
+
+let run_count = List.length

@@ -1,0 +1,27 @@
+(** Experiment design and execution: parameter grids, repetitions, and
+    the bookkeeping the paper reports (run counts, core-hours). *)
+
+type design = {
+  grid : (string * float list) list;  (** full-factorial values *)
+  reps : int;
+  mode : Instrument.mode;
+  sigma : float;
+  seed : int;
+}
+
+val default_design : design
+
+val configs : design -> Spec.params list
+(** The cartesian product of the grid. *)
+
+val run_design : Spec.app -> Mpi_sim.Machine.t -> design -> Simulator.run list
+
+val kernel_dataset :
+  Simulator.run list -> params:string list -> kernel:string -> Model.Dataset.t
+(** Per-invocation measurements of one kernel, keyed by the given
+    parameters; unobserved configurations yield no points. *)
+
+val total_dataset : Simulator.run list -> params:string list -> Model.Dataset.t
+
+val core_hours : Simulator.run list -> float
+val run_count : Simulator.run list -> int

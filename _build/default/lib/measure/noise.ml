@@ -1,0 +1,28 @@
+(** Deterministic measurement noise.
+
+    Every simulated measurement is perturbed by multiplicative Gaussian
+    noise (system jitter scales with run time) plus a small additive floor
+    (timer granularity, OS interference) — the disturbances the paper
+    identifies as disproportionately affecting short-running functions.
+    The generator is seeded from the run coordinates so experiments are
+    reproducible run-to-run. *)
+
+type t = { state : Random.State.t }
+
+(** Mix the textual run coordinates into a seed. *)
+let create ~seed ~salt =
+  let h = Hashtbl.hash (seed, salt) in
+  { state = Random.State.make [| seed; h |] }
+
+(* Box-Muller. *)
+let gaussian t =
+  let u1 = Float.max 1e-12 (Random.State.float t.state 1.) in
+  let u2 = Random.State.float t.state 1. in
+  sqrt (-2. *. Float.log u1) *. Float.cos (2. *. Float.pi *. u2)
+
+(** Perturb a true duration [x] (seconds).  [sigma] is the relative noise
+    level; [floor] the additive jitter scale in seconds. *)
+let perturb ?(floor = 2e-6) t ~sigma x =
+  let mult = 1. +. (sigma *. gaussian t) in
+  let add = floor *. Float.abs (gaussian t) in
+  Float.max 0. ((x *. Float.max 0.05 mult) +. add)

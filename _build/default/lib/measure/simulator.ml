@@ -1,0 +1,125 @@
+(** The cluster run simulator: produces the "measurements" that the
+    empirical modeler consumes.
+
+    One simulated run executes an application at a parameter configuration
+    under an instrumentation mode and yields per-kernel measurements and
+    the total wall time.  Effects modeled, in order:
+
+    - true kernel cost from the application's ground-truth spec;
+    - memory-bandwidth contention scaling with ranks per node (Figure 5);
+    - instrumentation hook overhead per observed call (Figures 3 and 4);
+    - measurement intrusion under full instrumentation (B2);
+    - multiplicative noise plus an additive per-invocation jitter floor
+      that disproportionately disturbs short functions (B1). *)
+
+module Machine = Mpi_sim.Machine
+
+(** One observed function in one run.  [km_per_call] is the per-invocation
+    exclusive time — the metric modeled by Extra-P, so that functions with
+    parameter-independent bodies have constant models no matter how often
+    an enclosing loop calls them. *)
+type kernel_measurement = {
+  km_name : string;
+  km_calls : float;
+  km_per_call : float;   (** measured seconds per invocation *)
+  km_total : float;      (** measured aggregate seconds *)
+}
+
+type run = {
+  rn_params : Spec.params;
+  rn_mode : Instrument.mode;
+  rn_rep : int;
+  rn_ranks_per_node : int;
+  rn_kernels : kernel_measurement list;  (** observed kernels only *)
+  rn_total : float;       (** measured wall time, hooks included *)
+  rn_base_total : float;  (** wall time of the same run uninstrumented, no noise *)
+}
+
+let ranks_of params =
+  match List.assoc_opt "p" params with Some p -> int_of_float p | None -> 1
+
+let ranks_per_node_of machine params =
+  match List.assoc_opt "r" params with
+  | Some r -> int_of_float r
+  | None -> min (ranks_of params) (Machine.cores_per_node machine)
+
+(* True (noise-free, uninstrumented) aggregate time of one kernel at this
+   configuration, contention included. *)
+let true_time machine ~ranks_per_node (k : Spec.kernel) params =
+  let t0 = k.Spec.base_time params machine in
+  let slow = Machine.contention_slowdown machine ~ranks_per_node in
+  (t0 *. (1. -. k.Spec.memory_bound)) +. (t0 *. k.Spec.memory_bound *. slow)
+
+(* Additive jitter per invocation, seconds: timer granularity and OS
+   interference that a short function cannot amortise. *)
+let per_call_jitter = 4.0e-9
+
+let measure ?(sigma = 0.02) ?(seed = 42) ?(rep = 0) app machine ~params ~mode =
+  let ranks_per_node = ranks_per_node_of machine params in
+  let base_total = ref 0. in
+  let wall = ref 0. in
+  let kernels = ref [] in
+  List.iter
+    (fun (k : Spec.kernel) ->
+      let calls = k.Spec.calls params in
+      if calls > 0. then begin
+        let t = true_time machine ~ranks_per_node k params in
+        base_total := !base_total +. t;
+        let per_call = t /. calls in
+        let intrusion =
+          match mode with
+          | Instrument.Full -> k.Spec.full_instr_extra params machine
+          | Instrument.Uninstrumented | Instrument.Default
+          | Instrument.Selective _ -> 0.
+        in
+        let hooks =
+          if Instrument.instrumented mode k then
+            2. *. machine.Machine.hook_cost_s *. calls
+          else 0.
+        in
+        wall := !wall +. t +. (intrusion *. calls) +. hooks;
+        if Instrument.observed mode k then begin
+          let rng =
+            Noise.create ~seed ~salt:(app.Spec.aname, k.Spec.kname, params, rep)
+          in
+          let measured_per_call =
+            Noise.perturb ~floor:per_call_jitter rng ~sigma (per_call +. intrusion)
+          in
+          kernels :=
+            {
+              km_name = k.Spec.kname;
+              km_calls = calls;
+              km_per_call = measured_per_call;
+              km_total = measured_per_call *. calls;
+            }
+            :: !kernels
+        end
+      end)
+    app.Spec.kernels;
+  let rng_total = Noise.create ~seed ~salt:(app.Spec.aname, "$total", params, rep) in
+  {
+    rn_params = params;
+    rn_mode = mode;
+    rn_rep = rep;
+    rn_ranks_per_node = ranks_per_node;
+    rn_kernels = List.rev !kernels;
+    rn_total = Noise.perturb ~floor:1e-4 rng_total ~sigma !wall;
+    rn_base_total = !base_total;
+  }
+
+(** Instrumentation overhead of a run relative to the uninstrumented wall
+    time of the same configuration, as a fraction (0.0 = no overhead). *)
+let overhead run =
+  if run.rn_base_total <= 0. then 0.
+  else (run.rn_total -. run.rn_base_total) /. run.rn_base_total
+
+let kernel_measurement run name =
+  List.find_opt (fun km -> km.km_name = name) run.rn_kernels
+
+(** Measured per-invocation time of [name], if observed in this run. *)
+let kernel_time run name =
+  Option.map (fun km -> km.km_per_call) (kernel_measurement run name)
+
+(** Measured aggregate time of [name], if observed in this run. *)
+let kernel_total run name =
+  Option.map (fun km -> km.km_total) (kernel_measurement run name)

@@ -1,0 +1,43 @@
+(** The cluster run simulator: one simulated application run at a
+    parameter configuration under an instrumentation mode, with ground
+    truth + contention + hooks + intrusion + noise. *)
+
+module Machine = Mpi_sim.Machine
+
+type kernel_measurement = {
+  km_name : string;
+  km_calls : float;
+  km_per_call : float;  (** measured seconds per invocation *)
+  km_total : float;
+}
+
+type run = {
+  rn_params : Spec.params;
+  rn_mode : Instrument.mode;
+  rn_rep : int;
+  rn_ranks_per_node : int;
+  rn_kernels : kernel_measurement list;  (** observed kernels only *)
+  rn_total : float;       (** measured wall time, hooks included *)
+  rn_base_total : float;  (** uninstrumented noise-free wall time *)
+}
+
+val ranks_of : Spec.params -> int
+val ranks_per_node_of : Machine.t -> Spec.params -> int
+(** The explicit ["r"] parameter, or all cores filled. *)
+
+val true_time : Machine.t -> ranks_per_node:int -> Spec.kernel -> Spec.params -> float
+
+val measure :
+  ?sigma:float -> ?seed:int -> ?rep:int ->
+  Spec.app -> Machine.t -> params:Spec.params -> mode:Instrument.mode -> run
+
+val overhead : run -> float
+(** Relative instrumentation overhead (0.0 = none). *)
+
+val kernel_measurement : run -> string -> kernel_measurement option
+
+val kernel_time : run -> string -> float option
+(** Measured per-invocation time, when observed. *)
+
+val kernel_total : run -> string -> float option
+(** Measured aggregate time, when observed. *)

@@ -1,0 +1,1 @@
+lib/model/dataset.ml: Float List

@@ -1,0 +1,1 @@
+lib/model/expr.ml: Float Fmt List

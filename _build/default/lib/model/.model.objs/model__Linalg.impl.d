@@ -1,0 +1,1 @@
+lib/model/linalg.ml: Array Float

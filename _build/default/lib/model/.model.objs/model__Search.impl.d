@@ -1,0 +1,1 @@
+lib/model/search.ml: Array Dataset Expr Float Linalg List Option

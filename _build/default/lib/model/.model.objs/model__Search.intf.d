@@ -1,0 +1,1 @@
+lib/model/search.mli: Dataset Expr

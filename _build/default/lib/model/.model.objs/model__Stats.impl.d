@@ -1,0 +1,1 @@
+lib/model/stats.ml: Array Dataset Expr Float Fmt List Random

@@ -1,0 +1,1 @@
+lib/model/stats.mli: Dataset Expr Fmt

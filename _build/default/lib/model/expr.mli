@@ -1,0 +1,46 @@
+(** Performance-model expressions in Extra-P's performance model normal
+    form (PMNF, paper Equation 1):
+
+    {math f(x_1..x_m) = c_0 + \sum_k c_k \prod_l x_l^{i_kl} log2^{j_kl}(x_l)} *)
+
+type simple_term = {
+  expo : float;  (** polynomial exponent i (a small rational) *)
+  logexp : int;  (** logarithm exponent j *)
+}
+
+type compound_term = {
+  coeff : float;
+  factors : (string * simple_term) list;  (** parameter -> factor *)
+}
+
+type model = {
+  const : float;              (** the intercept c_0 *)
+  terms : compound_term list;
+}
+
+val constant : float -> model
+val is_constant : model -> bool
+
+val log2 : float -> float
+
+val eval_simple : simple_term -> float -> float
+(** Value of one x^i * log2(x)^j factor at x. *)
+
+val eval_factors : (string * simple_term) list -> (string * float) list -> float
+(** Product of a term's factors at a parameter binding.
+    @raise Invalid_argument when a parameter is unbound. *)
+
+val eval : model -> (string * float) list -> float
+
+val parameters : model -> string list
+(** Parameters with a non-degenerate factor, sorted. *)
+
+val has_interaction : model -> string -> string -> bool
+(** Does some term multiply non-trivial factors of both parameters? *)
+
+val pp : model Fmt.t
+val to_string : model -> string
+
+val same_shape : model -> model -> bool
+(** Structural equality ignoring coefficient values — used to compare a
+    discovered model against a ground-truth form. *)

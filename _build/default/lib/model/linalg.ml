@@ -1,0 +1,79 @@
+(** Small dense linear algebra: ordinary least squares via normal
+    equations with Gaussian elimination and partial pivoting.  The PMNF
+    hypothesis spaces are tiny (at most ~5 columns), so numerical
+    sophistication beyond pivoting is unnecessary. *)
+
+(** Solve [a] x = [b] in place for a square system; returns [None] when the
+    matrix is (numerically) singular. *)
+let solve a b =
+  let n = Array.length b in
+  let a = Array.map Array.copy a and b = Array.copy b in
+  let ok = ref true in
+  for col = 0 to n - 1 do
+    (* partial pivot *)
+    let piv = ref col in
+    for r = col + 1 to n - 1 do
+      if Float.abs a.(r).(col) > Float.abs a.(!piv).(col) then piv := r
+    done;
+    if !piv <> col then begin
+      let tmp = a.(col) in a.(col) <- a.(!piv); a.(!piv) <- tmp;
+      let tb = b.(col) in b.(col) <- b.(!piv); b.(!piv) <- tb
+    end;
+    if Float.abs a.(col).(col) < 1e-12 then ok := false
+    else
+      for r = col + 1 to n - 1 do
+        let f = a.(r).(col) /. a.(col).(col) in
+        for c = col to n - 1 do
+          a.(r).(c) <- a.(r).(c) -. (f *. a.(col).(c))
+        done;
+        b.(r) <- b.(r) -. (f *. b.(col))
+      done
+  done;
+  if not !ok then None
+  else begin
+    let x = Array.make n 0. in
+    for r = n - 1 downto 0 do
+      let s = ref b.(r) in
+      for c = r + 1 to n - 1 do
+        s := !s -. (a.(r).(c) *. x.(c))
+      done;
+      x.(r) <- !s /. a.(r).(r)
+    done;
+    if Array.exists (fun v -> Float.is_nan v || Float.abs v = Float.infinity) x
+    then None
+    else Some x
+  end
+
+(** Least squares fit: [design] is rows of basis-function values, [y] the
+    observations; returns coefficients minimising ||design * c - y||^2. *)
+let least_squares design y =
+  let rows = Array.length design in
+  if rows = 0 then None
+  else
+    let cols = Array.length design.(0) in
+    if rows < cols then None
+    else begin
+      (* Normal equations: (X^T X) c = X^T y. *)
+      let xtx = Array.make_matrix cols cols 0. in
+      let xty = Array.make cols 0. in
+      for r = 0 to rows - 1 do
+        for i = 0 to cols - 1 do
+          xty.(i) <- xty.(i) +. (design.(r).(i) *. y.(r));
+          for j = 0 to cols - 1 do
+            xtx.(i).(j) <- xtx.(i).(j) +. (design.(r).(i) *. design.(r).(j))
+          done
+        done
+      done;
+      solve xtx xty
+    end
+
+let residual_sum_of_squares design y coeffs =
+  let rss = ref 0. in
+  Array.iteri
+    (fun r row ->
+      let pred = ref 0. in
+      Array.iteri (fun c v -> pred := !pred +. (v *. coeffs.(c))) row;
+      let d = y.(r) -. !pred in
+      rss := !rss +. (d *. d))
+    design;
+  !rss

@@ -1,0 +1,12 @@
+(** Small dense linear algebra for PMNF coefficient fitting. *)
+
+val solve : float array array -> float array -> float array option
+(** Gaussian elimination with partial pivoting; [None] when singular. *)
+
+val least_squares : float array array -> float array -> float array option
+(** Ordinary least squares via normal equations: coefficients minimising
+    ||design * c - y||^2; [None] for under-determined or singular
+    systems. *)
+
+val residual_sum_of_squares :
+  float array array -> float array -> float array -> float

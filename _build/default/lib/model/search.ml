@@ -1,0 +1,352 @@
+(** PMNF hypothesis search — the Extra-P model generator (paper Section
+    4.5), including the two published heuristics: single-parameter search
+    over a fixed exponent menu, and multi-parameter search restricted to
+    combinations of the best single-parameter models.
+
+    The hybrid (tainted) mode threads [constraints] through the search:
+    parameters proven irrelevant by the taint analysis are excluded from
+    the hypothesis space, and multiplicative terms are only generated for
+    parameter pairs whose loops actually nest (Section 5.2's explicit
+    multiplicative and additive dependencies). *)
+
+type config = {
+  exponents : float list;      (** the set I of polynomial exponents *)
+  log_exponents : int list;    (** the set J of logarithm exponents *)
+  max_terms : int;             (** n in the PMNF; the paper uses 2 *)
+  min_improvement : float;
+      (** a parametric hypothesis must beat the constant model's
+          cross-validated error by this relative margin to be accepted —
+          the guard against modeling noise on constant functions *)
+}
+
+(* The exact single-parameter search space printed in the paper. *)
+let default_config =
+  {
+    exponents =
+      [ 0.; 0.25; 1. /. 3.; 0.5; 2. /. 3.; 0.75; 1.; 1.25; 4. /. 3.; 1.5;
+        5. /. 3.; 1.75; 2.; 2.25; 2.5; 8. /. 3.; 2.75; 3. ];
+    log_exponents = [ 0; 1; 2 ];
+    max_terms = 2;
+    (* Extra-P 3.0 (the paper's version) selects the best cross-validated
+       fit with no acceptance margin — which is exactly why black-box
+       modeling overfits noise on constant functions (B1).  The margin is
+       an opt-in guard. *)
+    min_improvement = 0.;
+  }
+
+(* The paper notes the sets can be expanded when expectations about the
+   application exist; strong-scaling studies need decreasing per-process
+   terms, so this variant adds negative polynomial exponents (matching
+   Extra-P's configurable search space). *)
+let extended_config =
+  {
+    default_config with
+    exponents =
+      [ -2.; -1.5; -1.; -2. /. 3.; -0.5; -1. /. 3.; -0.25 ]
+      @ default_config.exponents;
+  }
+
+type constraints = {
+  allowed : string list option;
+      (** parameters permitted to appear; [None] = all (black-box mode) *)
+  multiplicative : (string -> string -> bool) option;
+      (** may these two parameters share a product term? [None] = yes *)
+}
+
+let unconstrained = { allowed = None; multiplicative = None }
+
+type result = {
+  model : Expr.model;
+  error : float;        (** leave-one-out cross-validated SMAPE, percent *)
+  rss : float;
+  hypotheses_tried : int;
+}
+
+(* -- hypothesis machinery ------------------------------------------------ *)
+
+(* A hypothesis is a list of basis terms (products of per-parameter simple
+   terms); coefficients are fitted by least squares with an intercept. *)
+type hypothesis = (string * Expr.simple_term) list list
+
+let simple_terms config =
+  List.concat_map
+    (fun e ->
+      List.filter_map
+        (fun j ->
+          if e = 0. && j = 0 then None else Some { Expr.expo = e; logexp = j })
+        config.log_exponents)
+    config.exponents
+
+let design_row (h : hypothesis) coords =
+  Array.of_list (1. :: List.map (fun factors -> Expr.eval_factors factors coords) h)
+
+let fit_hypothesis (h : hypothesis) points =
+  let design = Array.of_list (List.map (fun (c, _) -> design_row h c) points) in
+  let y = Array.of_list (List.map snd points) in
+  match Linalg.least_squares design y with
+  | None -> None
+  | Some coeffs ->
+    let rss = Linalg.residual_sum_of_squares design y coeffs in
+    Some (coeffs, rss)
+
+let model_of_fit (h : hypothesis) coeffs =
+  {
+    Expr.const = coeffs.(0);
+    terms =
+      List.mapi (fun i factors -> { Expr.coeff = coeffs.(i + 1); factors }) h;
+  }
+
+(* Leave-one-out cross-validation SMAPE; falls back to the training SMAPE
+   when there are too few points to refit. *)
+let loocv_smape (h : hypothesis) points =
+  let n = List.length points in
+  let cols = List.length h + 1 in
+  if n <= cols then
+    match fit_hypothesis h points with
+    | None -> None
+    | Some (coeffs, _) ->
+      let m = model_of_fit h coeffs in
+      Some (Dataset.smape (List.map (fun (c, y) -> (Expr.eval m c, y)) points))
+  else begin
+    let preds = ref [] in
+    let ok = ref true in
+    List.iteri
+      (fun i (c, y) ->
+        if !ok then
+          let rest = List.filteri (fun j _ -> j <> i) points in
+          match fit_hypothesis h rest with
+          | None -> ok := false
+          | Some (coeffs, _) ->
+            let m = model_of_fit h coeffs in
+            preds := (Expr.eval m c, y) :: !preds)
+      points;
+    if !ok then Some (Dataset.smape !preds) else None
+  end
+
+(* Score every hypothesis; return the winner as a [result].  The constant
+   model (intercept only) always participates; a parametric hypothesis
+   must beat its cross-validated error by [min_improvement] (relative) to
+   be selected — otherwise noise on constant functions gets modeled. *)
+let select_best ?(min_improvement = 0.) hypotheses points =
+  let tried = ref 0 in
+  let consider best (h : hypothesis) =
+    incr tried;
+    match (loocv_smape h points, fit_hypothesis h points) with
+    | Some err, Some (coeffs, rss) ->
+      let cand = (model_of_fit h coeffs, err, rss, List.length h) in
+      (match best with
+      | None -> Some cand
+      | Some (_, berr, brss, bterms) ->
+        let _, cerr, crss, cterms = cand in
+        (* Prefer lower CV error; break near-ties toward fewer terms,
+           then lower RSS. *)
+        if
+          cerr < berr -. 1e-9
+          || (Float.abs (cerr -. berr) <= 1e-9
+              && (cterms < bterms
+                  || (cterms = bterms && crss < brss)))
+        then Some cand
+        else best)
+    | _ -> best
+  in
+  (* Score the constant hypothesis first to anchor the threshold. *)
+  let constant = consider None [] in
+  let threshold =
+    match constant with
+    | Some (_, cerr, _, _) -> cerr *. (1. -. min_improvement)
+    | None -> Float.infinity
+  in
+  let best =
+    List.fold_left
+      (fun best h ->
+        match consider best h with
+        | Some (_, err, _, terms) as cand
+          when terms = 0 || err <= threshold +. 1e-12 ->
+          cand
+        | _ -> best)
+      constant hypotheses
+  in
+  match best with
+  | Some (model, error, rss, _) ->
+    { model; error; rss; hypotheses_tried = !tried }
+  | None ->
+    (* Degenerate data (e.g. no points): report a constant zero model. *)
+    { model = Expr.constant 0.; error = 0.; rss = 0.; hypotheses_tried = !tried }
+
+(* -- single-parameter search --------------------------------------------- *)
+
+let allowed_param constraints p =
+  match constraints.allowed with None -> true | Some l -> List.mem p l
+
+(** Fit a model in one parameter from [(x, y-mean)] samples. *)
+let single ?(config = default_config) ?(constraints = unconstrained) ~param
+    samples =
+  let points = List.map (fun (x, y) -> ([ (param, x) ], y)) samples in
+  let select_best = select_best ~min_improvement:config.min_improvement in
+  if not (allowed_param constraints param) then select_best [] points
+  else begin
+    let terms = simple_terms config in
+    let n1 = List.map (fun t -> [ [ (param, t) ] ]) terms in
+    let n2 =
+      if config.max_terms < 2 then []
+      else
+        let arr = Array.of_list terms in
+        let acc = ref [] in
+        Array.iteri
+          (fun i a ->
+            Array.iteri
+              (fun j b ->
+                if j > i then acc := [ [ (param, a) ]; [ (param, b) ] ] :: !acc)
+              arr)
+          arr;
+        !acc
+    in
+    select_best (n1 @ n2) points
+  end
+
+(* -- multi-parameter search ---------------------------------------------- *)
+
+(* All partitions of a list into non-empty groups (Bell-number many; fine
+   for <= 4 parameters). *)
+let rec partitions = function
+  | [] -> [ [] ]
+  | x :: rest ->
+    List.concat_map
+      (fun part ->
+        (* x joins an existing group, or starts its own. *)
+        let extended =
+          List.mapi
+            (fun i _ ->
+              List.mapi (fun j g -> if i = j then x :: g else g) part)
+            part
+        in
+        ([ x ] :: part) :: extended)
+      (partitions rest)
+
+let rec subsets = function
+  | [] -> [ [] ]
+  | x :: rest ->
+    let s = subsets rest in
+    s @ List.map (fun sub -> x :: sub) s
+
+(* The dominant simple term of a fitted single-parameter model: the term
+   whose contribution has the largest magnitude anywhere on the sampled
+   range — the representative used when composing multi-parameter
+   hypotheses.  (Choosing by asymptotic growth instead would mis-rank
+   decreasing terms such as p^-1 against small increasing ones.) *)
+let dominant_term param (m : Expr.model) xs =
+  let magnitude coeff (st : Expr.simple_term) =
+    List.fold_left
+      (fun acc x -> Float.max acc (Float.abs (coeff *. Expr.eval_simple st x)))
+      0. xs
+  in
+  List.filter_map
+    (fun (t : Expr.compound_term) ->
+      match List.assoc_opt param t.factors with
+      | Some st when not (st.expo = 0. && st.logexp = 0) ->
+        Some (magnitude t.coeff st, st)
+      | _ -> None)
+    m.terms
+  |> List.fold_left
+       (fun best (mag, st) ->
+         match best with
+         | Some (bmag, _) when bmag >= mag -> best
+         | _ -> Some (mag, st))
+       None
+  |> Option.map snd
+
+let group_allowed constraints group =
+  match constraints.multiplicative with
+  | None -> true
+  | Some ok ->
+    let rec pairs = function
+      | [] | [ _ ] -> true
+      | a :: rest -> List.for_all (fun b -> ok a b || ok b a) rest && pairs rest
+    in
+    pairs (List.map fst group)
+
+(** Fit a model in all of [data]'s parameters.  Implements Extra-P's
+    multi-parameter heuristic: best single-parameter model per parameter
+    (on the slice where the other parameters sit at their minimum), then
+    all additive/multiplicative compositions of the dominant terms. *)
+let multi ?(config = default_config) ?(constraints = unconstrained) data =
+  let params = List.filter (allowed_param constraints) data.Dataset.params in
+  let points =
+    List.map
+      (fun p -> (p.Dataset.coords, Dataset.point_mean p))
+      data.Dataset.points
+  in
+  let select_best = select_best ~min_improvement:config.min_improvement in
+  match params with
+  | [] -> select_best [] points
+  | [ p ] ->
+    (* Single free parameter: collapse coordinates and delegate. *)
+    let samples =
+      List.map (fun pt -> (Dataset.coord pt p, Dataset.point_mean pt)) data.points
+    in
+    let r = single ~config ~constraints ~param:p samples in
+    (* Re-express the error against the full point set for comparability. *)
+    { r with
+      error =
+        Dataset.smape
+          (List.map (fun (c, y) -> (Expr.eval r.model c, y)) points) }
+  | _ ->
+    (* Phase 1: candidate terms per parameter — the dominant term of the
+       best single-parameter model plus the term of the best one-term
+       hypothesis (often cleaner when the full model slightly overfits). *)
+    let candidate_terms =
+      List.filter_map
+        (fun p ->
+          let fixed =
+            List.filter_map
+              (fun q ->
+                if q = p then None else Some (q, Dataset.min_value data q))
+              data.Dataset.params
+          in
+          let sliced = Dataset.slice data ~fixed in
+          let samples =
+            List.map
+              (fun pt -> (Dataset.coord pt p, Dataset.point_mean pt))
+              sliced.Dataset.points
+          in
+          if List.length samples < 2 then None
+          else begin
+            let xs = List.map fst samples in
+            let best = single ~config ~constraints ~param:p samples in
+            let best1 =
+              single ~config:{ config with max_terms = 1 } ~constraints
+                ~param:p samples
+            in
+            let terms =
+              List.filter_map
+                (fun (m : Expr.model) -> dominant_term p m xs)
+                [ best.model; best1.model ]
+              |> List.sort_uniq compare
+            in
+            if terms = [] then None else Some (p, terms)
+          end)
+        params
+    in
+    (* Phase 2: all subset/partition compositions over the candidate
+       terms. *)
+    let rec assignments = function
+      | [] -> [ [] ]
+      | (p, terms) :: rest ->
+        let tails = assignments rest in
+        List.concat_map
+          (fun st -> List.map (fun tail -> (p, st) :: tail) tails)
+          terms
+    in
+    let hypotheses =
+      subsets candidate_terms
+      |> List.filter (fun s -> s <> [])
+      |> List.concat_map assignments
+      |> List.concat_map (fun subset ->
+             partitions subset
+             |> List.filter_map (fun part ->
+                    if List.for_all (group_allowed constraints) part then
+                      Some (part : hypothesis)
+                    else None))
+      |> List.sort_uniq compare
+    in
+    select_best hypotheses points

@@ -1,0 +1,55 @@
+(** PMNF hypothesis search — the Extra-P model generator (paper Section
+    4.5), with the published single-parameter search space and the
+    multi-parameter best-single-models heuristic.  The hybrid (tainted)
+    mode restricts the space through {!constraints}. *)
+
+type config = {
+  exponents : float list;    (** the set I of polynomial exponents *)
+  log_exponents : int list;  (** the set J of logarithm exponents *)
+  max_terms : int;           (** n in the PMNF; the paper uses 2 *)
+  min_improvement : float;
+      (** relative cross-validated-error margin a parametric hypothesis
+          must gain over the constant model.  Default 0 — Extra-P 3.0's
+          pure best-fit selection, which is what lets noise on constant
+          functions be modeled (the B1 failure mode); set to ~0.1 as an
+          opt-in guard. *)
+}
+
+val default_config : config
+(** The exact single-parameter search space printed in the paper. *)
+
+val extended_config : config
+(** [default_config] plus negative polynomial exponents, for
+    strong-scaling metrics that shrink with a parameter. *)
+
+type constraints = {
+  allowed : string list option;
+      (** parameters permitted to appear; [None] = all (black-box mode) *)
+  multiplicative : (string -> string -> bool) option;
+      (** may these two parameters share a product term? [None] = yes *)
+}
+
+val unconstrained : constraints
+
+type result = {
+  model : Expr.model;
+  error : float;  (** leave-one-out cross-validated SMAPE, percent *)
+  rss : float;
+  hypotheses_tried : int;
+}
+
+val single :
+  ?config:config ->
+  ?constraints:constraints ->
+  param:string ->
+  (float * float) list ->
+  result
+(** Best single-parameter model of [(x, y)] samples.  The constant model
+    always participates; a hypothesis must beat it on cross-validated
+    error to be selected. *)
+
+val multi :
+  ?config:config -> ?constraints:constraints -> Dataset.t -> result
+(** Multi-parameter search: per-parameter best single models on slices
+    where the other parameters sit at their minimum, then all
+    additive/multiplicative compositions of their dominant terms. *)

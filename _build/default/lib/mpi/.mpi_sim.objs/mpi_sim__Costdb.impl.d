@@ -1,0 +1,1 @@
+lib/mpi/costdb.ml: Float List Machine String

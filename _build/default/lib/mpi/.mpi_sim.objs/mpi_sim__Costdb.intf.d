@@ -1,0 +1,1 @@
+lib/mpi/costdb.mli: Machine

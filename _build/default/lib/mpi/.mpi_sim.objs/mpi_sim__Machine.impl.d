@@ -1,0 +1,1 @@
+lib/mpi/machine.ml: Float

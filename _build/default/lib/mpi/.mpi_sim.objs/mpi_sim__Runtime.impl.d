@@ -1,0 +1,1 @@
+lib/mpi/runtime.ml: Costdb Interp Ir List Taint

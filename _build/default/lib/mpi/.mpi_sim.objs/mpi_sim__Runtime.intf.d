@@ -1,0 +1,1 @@
+lib/mpi/runtime.mli: Interp

@@ -1,0 +1,153 @@
+(** The performance-relevant library database of paper Section 5.3.
+
+    For every MPI routine the database records (1) the implicit parameters
+    it introduces into the enclosing function's model (the communicator
+    size [p]), (2) which argument is the message count, whose taint labels
+    become additional parametric dependencies, (3) whether the routine is
+    a taint source, and (4) an analytical cost model (Hockney for
+    point-to-point, Thakur et al. for collectives) used by the cluster
+    simulator. *)
+
+type routine = {
+  name : string;                   (** primitive name, e.g. "mpi_allreduce" *)
+  implicit_params : string list;   (** parameters added to dependence sets *)
+  count_arg : int option;          (** index of the element-count argument *)
+  taint_source : bool;             (** writes a [p]-tainted value (comm size) *)
+  collective : bool;
+  cost : p:int -> count:int -> Machine.t -> float;
+      (** simulated execution time in seconds *)
+}
+
+let bytes_per_elem = 8.
+
+let p2p_time ~count m =
+  m.Machine.net_latency_s
+  +. (float_of_int count *. bytes_per_elem *. m.Machine.net_byte_time)
+
+let log2i p = if p <= 1 then 0. else Float.log (float_of_int p) /. Float.log 2.
+
+(* Thakur/Rabenseifner-style collective models: latency term scaled by
+   log p plus a bandwidth term. *)
+let collective_time ~p ~count ?(bw_factor = 1.) m =
+  (log2i p *. m.Machine.net_latency_s)
+  +. (bw_factor *. float_of_int count *. bytes_per_elem *. m.Machine.net_byte_time
+      *. Float.max 1. (log2i p))
+
+let routines =
+  [
+    {
+      name = "mpi_comm_size";
+      implicit_params = [ "p" ];
+      count_arg = None;
+      taint_source = true;
+      collective = false;
+      cost = (fun ~p:_ ~count:_ _ -> 1e-8);
+    };
+    {
+      name = "mpi_comm_rank";
+      implicit_params = [];
+      count_arg = None;
+      taint_source = false;
+      collective = false;
+      cost = (fun ~p:_ ~count:_ _ -> 1e-8);
+    };
+    {
+      name = "mpi_send";
+      implicit_params = [ "p" ];
+      count_arg = Some 0;
+      taint_source = false;
+      collective = false;
+      cost = (fun ~p:_ ~count m -> p2p_time ~count m);
+    };
+    {
+      name = "mpi_recv";
+      implicit_params = [ "p" ];
+      count_arg = Some 0;
+      taint_source = false;
+      collective = false;
+      cost = (fun ~p:_ ~count m -> p2p_time ~count m);
+    };
+    {
+      name = "mpi_isend";
+      implicit_params = [ "p" ];
+      count_arg = Some 0;
+      taint_source = false;
+      collective = false;
+      cost = (fun ~p:_ ~count m -> 0.5 *. p2p_time ~count m);
+    };
+    {
+      name = "mpi_irecv";
+      implicit_params = [ "p" ];
+      count_arg = Some 0;
+      taint_source = false;
+      collective = false;
+      cost = (fun ~p:_ ~count m -> 0.5 *. p2p_time ~count m);
+    };
+    {
+      name = "mpi_wait";
+      implicit_params = [ "p" ];
+      count_arg = None;
+      taint_source = false;
+      collective = false;
+      cost = (fun ~p:_ ~count:_ m -> m.Machine.net_latency_s);
+    };
+    {
+      name = "mpi_barrier";
+      implicit_params = [ "p" ];
+      count_arg = None;
+      taint_source = false;
+      collective = true;
+      cost = (fun ~p ~count:_ m -> log2i p *. 2. *. m.Machine.net_latency_s);
+    };
+    {
+      name = "mpi_bcast";
+      implicit_params = [ "p" ];
+      count_arg = Some 0;
+      taint_source = false;
+      collective = true;
+      cost = (fun ~p ~count m -> collective_time ~p ~count m);
+    };
+    {
+      name = "mpi_reduce";
+      implicit_params = [ "p" ];
+      count_arg = Some 0;
+      taint_source = false;
+      collective = true;
+      cost = (fun ~p ~count m -> collective_time ~p ~count m);
+    };
+    {
+      name = "mpi_allreduce";
+      implicit_params = [ "p" ];
+      count_arg = Some 0;
+      taint_source = false;
+      collective = true;
+      cost = (fun ~p ~count m -> collective_time ~p ~count ~bw_factor:2. m);
+    };
+    {
+      name = "mpi_allgather";
+      implicit_params = [ "p" ];
+      count_arg = Some 0;
+      taint_source = false;
+      collective = true;
+      cost =
+        (fun ~p ~count m ->
+          (* Ring allgather: (p-1) steps moving count elements each. *)
+          float_of_int (max 0 (p - 1))
+          *. (m.Machine.net_latency_s
+              +. (float_of_int count *. bytes_per_elem *. m.Machine.net_byte_time)));
+    };
+  ]
+
+let find name = List.find_opt (fun r -> r.name = name) routines
+
+let is_mpi_prim name = String.length name >= 4 && String.sub name 0 4 = "mpi_"
+
+(** Performance-relevant primitives: the predicate handed to the static
+    pruning phase — a function containing one of these cannot be
+    classified constant at compile time. *)
+let relevant_prim name =
+  match find name with
+  | Some r -> r.implicit_params <> [] || r.taint_source
+  | None -> false
+
+let routine_names = List.map (fun r -> r.name) routines

@@ -1,0 +1,24 @@
+(** The performance-relevant library database (paper Section 5.3): per
+    MPI routine, its implicit parameters, the index of its message-count
+    argument, whether it is a taint source, and an analytical cost model
+    (Hockney point-to-point, Thakur-style collectives). *)
+
+type routine = {
+  name : string;
+  implicit_params : string list;
+  count_arg : int option;
+  taint_source : bool;
+  collective : bool;
+  cost : p:int -> count:int -> Machine.t -> float;
+}
+
+val routines : routine list
+val find : string -> routine option
+
+val is_mpi_prim : string -> bool
+(** Syntactic check: does the primitive name belong to the MPI family? *)
+
+val relevant_prim : string -> bool
+(** Is this primitive performance-relevant (cannot be statically pruned)? *)
+
+val routine_names : string list

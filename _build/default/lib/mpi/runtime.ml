@@ -1,0 +1,38 @@
+(** Interpreter bindings for the simulated MPI world.
+
+    A tainted run executes one representative rank of an SPMD program
+    (the paper runs the real application under DFSan; we interpret rank 0
+    and answer MPI queries from the world configuration).  The routines
+    declared as taint sources in the library database return values
+    carrying the implicit parameter label [p] — this is how, e.g.,
+    [MPI_Comm_size] seeds the communicator-size dependency without any
+    source annotation. *)
+
+module Label = Taint.Label
+
+type world = {
+  ranks : int;          (** communicator size: the implicit parameter p *)
+  rank : int;           (** identity of the interpreted rank *)
+}
+
+let default_world = { ranks = 8; rank = 0 }
+
+(** Install MPI primitives into an interpreter instance.  Every routine in
+    the cost database becomes callable as a PIR primitive; calls are also
+    recorded as events by the interpreter core, which the pipeline later
+    joins with the database to derive communication dependencies. *)
+let install world (m : Interp.Machine.t) =
+  let labels = Interp.Machine.label_table m in
+  List.iter
+    (fun (r : Costdb.routine) ->
+      let fn _t _frame (args : (Ir.Types.value * Label.t) list) =
+        ignore args;
+        match r.name with
+        | "mpi_comm_size" ->
+          (* The communicator size is tainted with the implicit label p. *)
+          (Ir.Types.VInt world.ranks, Label.base labels "p")
+        | "mpi_comm_rank" -> (Ir.Types.VInt world.rank, Label.empty)
+        | _ -> (Ir.Types.VUnit, Label.empty)
+      in
+      Interp.Machine.register_prim m r.Costdb.name fn)
+    Costdb.routines

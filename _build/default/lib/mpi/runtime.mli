@@ -1,0 +1,13 @@
+(** Interpreter bindings for the simulated MPI world: one representative
+    rank of an SPMD program, with taint-source routines (MPI_Comm_size)
+    returning values labelled with the implicit parameter p. *)
+
+type world = {
+  ranks : int;  (** communicator size: the implicit parameter p *)
+  rank : int;   (** identity of the interpreted rank *)
+}
+
+val default_world : world
+
+val install : world -> Interp.Machine.t -> unit
+(** Register every database routine as a PIR primitive on the machine. *)

@@ -1,0 +1,1 @@
+lib/static/callgraph.ml: Ir List Option

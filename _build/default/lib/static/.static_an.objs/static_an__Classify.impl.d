@@ -1,0 +1,1 @@
+lib/static/classify.ml: Callgraph Fmt Ir List Option Tripcount

@@ -1,0 +1,1 @@
+lib/static/classify.mli: Ir Tripcount

@@ -1,0 +1,1 @@
+lib/static/tripcount.ml: Fmt Hashtbl Ir List Option

@@ -1,0 +1,1 @@
+lib/static/tripcount.mli: Fmt Ir

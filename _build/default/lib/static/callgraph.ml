@@ -1,0 +1,84 @@
+(** Direct call graph of a PIR program, reachability and recursion
+    detection.  The paper's analysis rejects recursive functions (warning
+    on over-approximation); we flag them the same way. *)
+
+open Ir.Types
+module SMap = Ir.Cfg.SMap
+module SSet = Ir.Cfg.SSet
+
+type t = {
+  callees : SSet.t SMap.t;   (** direct callees per function *)
+  callers : SSet.t SMap.t;
+  prims : SSet.t SMap.t;     (** primitive names invoked per function *)
+}
+
+let build program =
+  let callees, prims =
+    List.fold_left
+      (fun (cs, ps) f ->
+        let direct =
+          List.concat_map (fun b -> calls_of_instrs b.instrs) f.blocks
+          |> SSet.of_list
+        in
+        let prim_names =
+          List.concat_map (fun b -> prims_of_instrs b.instrs) f.blocks
+          |> SSet.of_list
+        in
+        (SMap.add f.fname direct cs, SMap.add f.fname prim_names ps))
+      (SMap.empty, SMap.empty) program.funcs
+  in
+  let callers =
+    SMap.fold
+      (fun caller cs acc ->
+        SSet.fold
+          (fun callee acc ->
+            SMap.update callee
+              (function
+                | None -> Some (SSet.singleton caller)
+                | Some s -> Some (SSet.add caller s))
+              acc)
+          cs acc)
+      callees SMap.empty
+  in
+  { callees; callers; prims }
+
+let callees t f = Option.value ~default:SSet.empty (SMap.find_opt f t.callees)
+let callers t f = Option.value ~default:SSet.empty (SMap.find_opt f t.callers)
+let prims t f = Option.value ~default:SSet.empty (SMap.find_opt f t.prims)
+
+(** Functions reachable from [root], [root] included. *)
+let reachable t root =
+  let seen = ref SSet.empty in
+  let rec go f =
+    if not (SSet.mem f !seen) then begin
+      seen := SSet.add f !seen;
+      SSet.iter go (callees t f)
+    end
+  in
+  go root;
+  !seen
+
+(** Functions on a call-graph cycle (directly or mutually recursive). *)
+let recursive_functions t =
+  let on_cycle f =
+    (* f is recursive iff f is reachable from one of its callees. *)
+    SSet.exists (fun c -> SSet.mem f (reachable t c)) (callees t f)
+  in
+  SMap.fold
+    (fun f _ acc -> if on_cycle f then SSet.add f acc else acc)
+    t.callees SSet.empty
+
+(** Fold over functions bottom-up (callees before callers), assuming an
+    acyclic graph; members of cycles are visited in arbitrary order. *)
+let fold_bottom_up t program init f =
+  let visited = ref SSet.empty in
+  let acc = ref init in
+  let rec go name =
+    if not (SSet.mem name !visited) then begin
+      visited := SSet.add name !visited;
+      SSet.iter go (callees t name);
+      acc := f !acc name
+    end
+  in
+  List.iter (fun fn -> go fn.fname) program.funcs;
+  !acc

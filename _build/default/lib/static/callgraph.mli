@@ -1,0 +1,25 @@
+(** Direct call graph of a PIR program, reachability and recursion
+    detection. *)
+
+module SMap = Ir.Cfg.SMap
+module SSet = Ir.Cfg.SSet
+
+type t
+
+val build : Ir.Types.program -> t
+
+val callees : t -> string -> SSet.t
+val callers : t -> string -> SSet.t
+
+val prims : t -> string -> SSet.t
+(** Primitive names invoked directly by a function. *)
+
+val reachable : t -> string -> SSet.t
+(** Functions reachable from a root, root included. *)
+
+val recursive_functions : t -> SSet.t
+(** Functions on a call-graph cycle (directly or mutually recursive). *)
+
+val fold_bottom_up :
+  t -> Ir.Types.program -> 'a -> ('a -> string -> 'a) -> 'a
+(** Fold callees before callers (cycle members in arbitrary order). *)

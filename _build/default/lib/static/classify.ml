@@ -1,0 +1,106 @@
+(** Compile-time pruning phase (paper Section 5.1): identify functions
+    whose performance models are known to be constant without running any
+    experiment — functions containing no loops, or only loops with
+    statically resolvable constant trip counts, and calling only functions
+    with the same property and no performance-relevant library routines. *)
+
+module SMap = Ir.Cfg.SMap
+module SSet = Ir.Cfg.SSet
+
+type func_class =
+  | Static_constant       (** provably parameter-independent at compile time *)
+  | Potentially_parametric
+
+type report = {
+  classes : func_class SMap.t;
+  loops : Tripcount.loop_summary list SMap.t;  (** per function *)
+  recursive : SSet.t;
+  total_functions : int;
+  pruned_functions : int;      (** classified Static_constant *)
+  total_loops : int;
+  constant_loops : int;        (** loops with static constant trip count *)
+  warnings : string list;
+}
+
+(** [classify program ~relevant_prim] computes the static report.
+    [relevant_prim] says whether a primitive is performance-relevant (the
+    library database supplies e.g. [String.starts_with ~prefix:"mpi_"]). *)
+let classify program ~relevant_prim =
+  let cg = Callgraph.build program in
+  let recursive = Callgraph.recursive_functions cg in
+  let loops =
+    List.fold_left
+      (fun m (f : Ir.Types.func) ->
+        SMap.add f.fname (Tripcount.analyze_function f) m)
+      SMap.empty program.Ir.Types.funcs
+  in
+  let own_constant name =
+    SMap.find name loops
+    |> List.for_all (fun ls -> Tripcount.is_constant ls.Tripcount.ls_trip)
+  in
+  let has_relevant_prim name =
+    SSet.exists relevant_prim (Callgraph.prims cg name)
+  in
+  let classes =
+    Callgraph.fold_bottom_up cg program SMap.empty (fun acc name ->
+        let cls =
+          if SSet.mem name recursive then Potentially_parametric
+          else if not (own_constant name) then Potentially_parametric
+          else if has_relevant_prim name then Potentially_parametric
+          else if
+            SSet.exists
+              (fun c ->
+                match SMap.find_opt c acc with
+                | Some Potentially_parametric -> true
+                | Some Static_constant -> false
+                | None -> true (* callee in a cycle: conservative *))
+              (Callgraph.callees cg name)
+          then Potentially_parametric
+          else Static_constant
+        in
+        SMap.add name cls acc)
+  in
+  let total_functions = List.length program.Ir.Types.funcs in
+  let pruned_functions =
+    SMap.fold
+      (fun _ c n -> if c = Static_constant then n + 1 else n)
+      classes 0
+  in
+  let all_loops = SMap.fold (fun _ ls acc -> ls @ acc) loops [] in
+  let total_loops = List.length all_loops in
+  let constant_loops =
+    List.length
+      (List.filter (fun ls -> Tripcount.is_constant ls.Tripcount.ls_trip) all_loops)
+  in
+  let warnings =
+    SSet.fold
+      (fun f acc ->
+        Fmt.str
+          "function %s is recursive: loop analysis over-approximates (paper \
+           Section 4.1 limitation)"
+          f
+        :: acc)
+      recursive []
+  in
+  {
+    classes;
+    loops;
+    recursive;
+    total_functions;
+    pruned_functions;
+    total_loops;
+    constant_loops;
+    warnings;
+  }
+
+let func_class report name =
+  Option.value ~default:Potentially_parametric (SMap.find_opt name report.classes)
+
+let is_pruned report name = func_class report name = Static_constant
+
+(** Names of functions surviving static pruning. *)
+let surviving report =
+  SMap.fold
+    (fun name c acc -> if c = Potentially_parametric then name :: acc else acc)
+    report.classes []
+  |> List.sort compare

@@ -1,0 +1,1 @@
+lib/taint/label.ml: Array Fmt Hashtbl List

@@ -1,0 +1,1 @@
+lib/taint/label.mli: Fmt

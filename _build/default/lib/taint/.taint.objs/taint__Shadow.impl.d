@@ -1,0 +1,1 @@
+lib/taint/shadow.ml: Array Hashtbl Label

@@ -1,0 +1,120 @@
+(** Taint labels, mirroring the DataFlowSanitizer runtime the paper builds
+    on (Section 5.2): labels form a union tree where each node represents
+    the union of at most two other labels; each label has a 16-bit
+    identifier; creating a union first checks whether an equivalent
+    combination already exists.  Label 0 is the empty taint. *)
+
+type t = int
+
+let empty : t = 0
+let is_empty l = l = 0
+
+type node =
+  | Base of string           (** a named taint source (an input parameter) *)
+  | Union of t * t
+
+type table = {
+  mutable nodes : node array;  (** index 0 unused: the empty label *)
+  mutable count : int;
+  by_name : (string, t) Hashtbl.t;
+  by_pair : (t * t, t) Hashtbl.t;
+  mutable memo_sets : string list option array;
+      (** cached base-name expansion per label *)
+}
+
+let max_labels = 1 lsl 16
+
+let create () =
+  {
+    nodes = Array.make 64 (Base "");
+    count = 1;
+    by_name = Hashtbl.create 16;
+    by_pair = Hashtbl.create 64;
+    memo_sets = Array.make 64 None;
+  }
+
+exception Label_overflow
+
+let grow tbl =
+  let cap = Array.length tbl.nodes in
+  if tbl.count >= cap then begin
+    let cap' = min max_labels (cap * 2) in
+    if tbl.count >= cap' then raise Label_overflow;
+    let nodes' = Array.make cap' (Base "") in
+    Array.blit tbl.nodes 0 nodes' 0 cap;
+    tbl.nodes <- nodes';
+    let memo' = Array.make cap' None in
+    Array.blit tbl.memo_sets 0 memo' 0 cap;
+    tbl.memo_sets <- memo'
+  end
+
+let alloc tbl node =
+  if tbl.count >= max_labels then raise Label_overflow;
+  grow tbl;
+  let id = tbl.count in
+  tbl.nodes.(id) <- node;
+  tbl.count <- tbl.count + 1;
+  id
+
+(** Intern the base label for parameter [name]. *)
+let base tbl name =
+  match Hashtbl.find_opt tbl.by_name name with
+  | Some l -> l
+  | None ->
+    let l = alloc tbl (Base name) in
+    Hashtbl.replace tbl.by_name name l;
+    l
+
+let node tbl l =
+  if l <= 0 || l >= tbl.count then invalid_arg "Label.node: bad label";
+  tbl.nodes.(l)
+
+(** Base parameter names covered by [l], sorted; memoised per label. *)
+let rec names tbl l =
+  if l = 0 then []
+  else
+    match tbl.memo_sets.(l) with
+    | Some s -> s
+    | None ->
+      let s =
+        match node tbl l with
+        | Base n -> [ n ]
+        | Union (a, b) ->
+          List.sort_uniq compare (names tbl a @ names tbl b)
+      in
+      tbl.memo_sets.(l) <- Some s;
+      s
+
+let subsumes tbl big small =
+  if small = 0 || big = small then true
+  else
+    let bn = names tbl big and sn = names tbl small in
+    List.for_all (fun n -> List.mem n bn) sn
+
+(** Union of two labels.  Fast paths: identical or empty operands, one
+    operand subsuming the other; otherwise reuse an interned pair or
+    allocate a new union node — exactly DFSan's [dfsan_union]. *)
+let union tbl a b =
+  if a = b || b = 0 then a
+  else if a = 0 then b
+  else if subsumes tbl a b then a
+  else if subsumes tbl b a then b
+  else
+    let key = if a < b then (a, b) else (b, a) in
+    match Hashtbl.find_opt tbl.by_pair key with
+    | Some l -> l
+    | None ->
+      let l = alloc tbl (Union (fst key, snd key)) in
+      Hashtbl.replace tbl.by_pair key l;
+      l
+
+let union_all tbl = List.fold_left (union tbl) empty
+
+(** Does [l] carry the base label for [name]? *)
+let has tbl l name = List.mem name (names tbl l)
+
+let label_count tbl = tbl.count - 1
+
+let pp tbl ppf l =
+  if l = 0 then Fmt.string ppf "{}"
+  else Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma string) (names tbl l)

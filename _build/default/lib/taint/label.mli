@@ -1,0 +1,48 @@
+(** Taint labels, mirroring the DataFlowSanitizer runtime (paper Section
+    5.2): labels form a union tree where each node is the union of at most
+    two labels, each label has a 16-bit identifier, and unions are
+    deduplicated against equivalent existing combinations. *)
+
+type t = private int
+(** A label handle.  Label 0 is the empty taint. *)
+
+val empty : t
+val is_empty : t -> bool
+
+type node =
+  | Base of string  (** a named taint source (an input parameter) *)
+  | Union of t * t
+
+type table
+(** The label store: allocation, interning and memoised name expansion. *)
+
+exception Label_overflow
+(** Raised when more than 2^16 distinct labels are required. *)
+
+val create : unit -> table
+
+val base : table -> string -> t
+(** [base tbl name] interns the base label for parameter [name]. *)
+
+val node : table -> t -> node
+(** Structure of a non-empty label.  @raise Invalid_argument on [empty]. *)
+
+val names : table -> t -> string list
+(** Sorted, duplicate-free base-parameter names covered by a label. *)
+
+val union : table -> t -> t -> t
+(** DFSan's [dfsan_union]: fast paths for equal/empty/subsuming operands,
+    then an interned pair lookup, then allocation of a fresh union node. *)
+
+val union_all : table -> t list -> t
+
+val subsumes : table -> t -> t -> bool
+(** [subsumes tbl big small] — does [big] cover every name of [small]? *)
+
+val has : table -> t -> string -> bool
+(** Does the label carry the base label for this parameter name? *)
+
+val label_count : table -> int
+(** Number of allocated labels (excluding the empty label). *)
+
+val pp : table -> t Fmt.t

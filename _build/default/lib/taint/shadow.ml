@@ -1,0 +1,43 @@
+(** Shadow memory: the taint label attached to every program memory cell.
+
+    The DFSan runtime maps each application byte to a shadow label through
+    a fixed address transformation; our interpreter heap is a set of
+    dynamically allocated arrays, so shadow memory is a parallel label
+    array per allocation plus a register-shadow map per stack frame (kept
+    by the interpreter itself). *)
+
+type address = { alloc : int; offset : int }
+
+type t = {
+  arrays : (int, Label.t array) Hashtbl.t;
+}
+
+let create () = { arrays = Hashtbl.create 64 }
+
+(** Register a fresh allocation of [size] cells, all initially untainted. *)
+let on_alloc t ~alloc ~size =
+  Hashtbl.replace t.arrays alloc (Array.make (max size 0) Label.empty)
+
+let get t { alloc; offset } =
+  match Hashtbl.find_opt t.arrays alloc with
+  | Some a when offset >= 0 && offset < Array.length a -> a.(offset)
+  | Some _ | None -> Label.empty
+
+let set t { alloc; offset } label =
+  match Hashtbl.find_opt t.arrays alloc with
+  | Some a when offset >= 0 && offset < Array.length a -> a.(offset) <- label
+  | Some _ | None -> ()
+
+(** Taint every cell of an allocation (used when a taint source writes a
+    whole buffer, e.g. [MPI_Comm_size]'s output argument). *)
+let taint_all t ~alloc label =
+  match Hashtbl.find_opt t.arrays alloc with
+  | Some a -> Array.iteri (fun i _ -> a.(i) <- label) a
+  | None -> ()
+
+(** Union of the labels of every cell in the allocation: the taint of the
+    array viewed as a single datum. *)
+let summary tbl t ~alloc =
+  match Hashtbl.find_opt t.arrays alloc with
+  | Some a -> Array.fold_left (Label.union tbl) Label.empty a
+  | None -> Label.empty

@@ -1,0 +1,24 @@
+(** Shadow memory: the taint label attached to every program memory cell,
+    kept as a parallel label array per heap allocation. *)
+
+type address = { alloc : int; offset : int }
+
+type t
+
+val create : unit -> t
+
+val on_alloc : t -> alloc:int -> size:int -> unit
+(** Register a fresh allocation; all cells start untainted. *)
+
+val get : t -> address -> Label.t
+(** Label of a cell; empty for unknown allocations or out-of-range
+    offsets. *)
+
+val set : t -> address -> Label.t -> unit
+(** Write a cell's label; silently ignores unknown/out-of-range targets. *)
+
+val taint_all : t -> alloc:int -> Label.t -> unit
+(** Taint every cell of an allocation (whole-buffer taint sources). *)
+
+val summary : Label.table -> t -> alloc:int -> Label.t
+(** Union of all cell labels: the taint of the array as a single datum. *)

@@ -1,0 +1,1 @@
+test/suite_apps.ml: Alcotest Apps Interp Ir Lazy List Measure Mpi_sim Option Perf_taint Printf Taint

@@ -1,0 +1,1 @@
+test/suite_core.ml: Alcotest Apps Hashtbl Interp Ir Lazy List Model Option Perf_taint Taint

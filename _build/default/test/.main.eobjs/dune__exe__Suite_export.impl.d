@@ -1,0 +1,1 @@
+test/suite_export.ml: Alcotest Apps Float Model Perf_taint String

@@ -1,0 +1,1 @@
+test/suite_interp.ml: Alcotest Interp Ir List Mpi_sim Taint

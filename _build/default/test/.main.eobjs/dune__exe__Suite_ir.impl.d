@@ -1,0 +1,1 @@
+test/suite_ir.ml: Alcotest Apps Bytes Filename Fmt Hashtbl Interp Ir List Printf QCheck QCheck_alcotest String

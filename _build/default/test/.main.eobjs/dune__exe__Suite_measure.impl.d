@@ -1,0 +1,1 @@
+test/suite_measure.ml: Alcotest Float List Measure Model Mpi_sim Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/suite_model.ml: Alcotest Array Float List Model QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/suite_pipeline.ml: Alcotest Apps Interp Ir List Option Perf_taint Static_an Taint

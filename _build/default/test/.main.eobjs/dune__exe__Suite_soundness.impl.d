@@ -1,0 +1,1 @@
+test/suite_soundness.ml: Alcotest Interp Ir List Model Printf QCheck QCheck_alcotest Taint

@@ -1,0 +1,1 @@
+test/suite_static.ml: Alcotest Apps Ir List Mpi_sim Perf_taint QCheck QCheck_alcotest Static_an

@@ -1,0 +1,1 @@
+test/suite_stats.ml: Alcotest Array Float List Model Option Perf_taint Random

@@ -1,0 +1,1 @@
+test/suite_taint.ml: Alcotest List Printf QCheck QCheck_alcotest Taint

@@ -1,0 +1,1 @@
+test/suite_volume.ml: Alcotest Apps Interp Ir List Perf_taint Printf

@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "perf-taint"
+    [
+      ("ir", Suite_ir.tests);
+      ("taint", Suite_taint.tests);
+      ("interp", Suite_interp.tests);
+      ("static", Suite_static.tests);
+      ("measure", Suite_measure.tests);
+      ("pipeline", Suite_pipeline.tests);
+      ("model", Suite_model.tests);
+      ("apps", Suite_apps.tests);
+      ("core", Suite_core.tests);
+      ("volume", Suite_volume.tests);
+      ("stats", Suite_stats.tests);
+      ("export", Suite_export.tests);
+      ("soundness", Suite_soundness.tests);
+    ]

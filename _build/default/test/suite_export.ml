@@ -1,0 +1,95 @@
+(** Tests of the JSON export: escaping, structure, and a validity check
+    of the full analysis report (balanced braces, parsable by a tiny
+    recogniser). *)
+
+module J = Perf_taint.Export
+
+let str j = J.to_string j
+
+let test_scalars () =
+  Alcotest.(check string) "null" "null" (str J.Null);
+  Alcotest.(check string) "true" "true" (str (J.Bool true));
+  Alcotest.(check string) "int" "42" (str (J.Int 42));
+  Alcotest.(check string) "float" "1.5" (str (J.Float 1.5));
+  Alcotest.(check string) "integral float" "3.0" (str (J.Float 3.));
+  Alcotest.(check string) "nan becomes null" "null" (str (J.Float Float.nan))
+
+let test_escaping () =
+  Alcotest.(check string) "quotes" "\"a\\\"b\"" (str (J.String "a\"b"));
+  Alcotest.(check string) "backslash" "\"a\\\\b\"" (str (J.String "a\\b"));
+  Alcotest.(check string) "newline" "\"a\\nb\"" (str (J.String "a\nb"))
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_structure () =
+  let j = J.Obj [ ("xs", J.List [ J.Int 1; J.Int 2 ]); ("k", J.String "v") ] in
+  let s = str j in
+  Alcotest.(check bool) "contains key" true (contains s "\"xs\":")
+
+(* A minimal JSON well-formedness recogniser (strings, escapes, nesting). *)
+let json_well_formed s =
+  let n = String.length s in
+  let depth = ref 0 and in_str = ref false and esc = ref false and ok = ref true in
+  String.iteri
+    (fun _ c ->
+      if !esc then esc := false
+      else if !in_str then begin
+        if c = '\\' then esc := true else if c = '"' then in_str := false
+      end
+      else
+        match c with
+        | '"' -> in_str := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+          decr depth;
+          if !depth < 0 then ok := false
+        | _ -> ())
+    s;
+  ignore n;
+  !ok && !depth = 0 && not !in_str
+
+let test_model_json () =
+  let m =
+    { Model.Expr.const = 1.5;
+      terms =
+        [ { Model.Expr.coeff = 2.;
+            factors = [ ("p", { Model.Expr.expo = 0.5; logexp = 1 }) ] } ] }
+  in
+  let s = str (J.model_json m) in
+  Alcotest.(check bool) "well formed" true (json_well_formed s);
+  Alcotest.(check bool) "has coefficient" true
+    (contains s "\"coefficient\": 2.0")
+
+let test_analysis_json_well_formed () =
+  let t =
+    Perf_taint.Pipeline.analyze ~world:Apps.Lulesh.taint_world
+      Apps.Lulesh.program ~args:Apps.Lulesh.taint_args
+  in
+  let s = str (J.analysis_json t ~model_params:[ "p"; "size" ]) in
+  Alcotest.(check bool) "lulesh report well formed" true (json_well_formed s);
+  Alcotest.(check bool) "mentions CalcQ" true
+    (contains s "calc_q_for_elems")
+
+let test_dataset_json () =
+  let data =
+    Model.Dataset.of_rows [ "p" ]
+      [ ([ ("p", 2.) ], [ 1.; 1.1 ]); ([ ("p", 4.) ], [ 2. ]) ]
+  in
+  let s = str (J.dataset_json data) in
+  Alcotest.(check bool) "well formed" true (json_well_formed s);
+  Alcotest.(check bool) "has measurements" true
+    (contains s "\"measurements\"")
+
+let tests =
+  [
+    Alcotest.test_case "scalar emission" `Quick test_scalars;
+    Alcotest.test_case "string escaping" `Quick test_escaping;
+    Alcotest.test_case "object structure" `Quick test_structure;
+    Alcotest.test_case "model json" `Quick test_model_json;
+    Alcotest.test_case "full analysis report" `Quick
+      test_analysis_json_well_formed;
+    Alcotest.test_case "dataset json" `Quick test_dataset_json;
+  ]

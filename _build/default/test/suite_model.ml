@@ -1,0 +1,290 @@
+(** Unit and property tests of the Extra-P reimplementation: regression
+    exactness, PMNF recovery of planted single- and multi-parameter
+    models, and the search-space constraints used by the hybrid mode. *)
+
+module E = Model.Expr
+module S = Model.Search
+module D = Model.Dataset
+
+let term ?(logexp = 0) expo = { E.expo; logexp }
+
+let check_shape msg expected (r : S.result) =
+  if not (E.same_shape expected r.model) then
+    Alcotest.failf "%s: expected shape %s, got %s" msg (E.to_string expected)
+      (E.to_string r.model)
+
+let check_close msg expected actual =
+  if Float.abs (expected -. actual) > 1e-6 *. (1. +. Float.abs expected) then
+    Alcotest.failf "%s: expected %g, got %g" msg expected actual
+
+(* -- linear algebra ------------------------------------------------------- *)
+
+let test_solve_exact () =
+  (* 2x + y = 5; x - y = 1  ->  x = 2, y = 1 *)
+  match Model.Linalg.solve [| [| 2.; 1. |]; [| 1.; -1. |] |] [| 5.; 1. |] with
+  | Some x ->
+    check_close "x" 2. x.(0);
+    check_close "y" 1. x.(1)
+  | None -> Alcotest.fail "system should be solvable"
+
+let test_solve_singular () =
+  match Model.Linalg.solve [| [| 1.; 1. |]; [| 2.; 2. |] |] [| 1.; 2. |] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "singular system must be rejected"
+
+let test_least_squares_line () =
+  (* y = 3 + 2x fitted from exact points. *)
+  let design = Array.of_list (List.map (fun x -> [| 1.; x |]) [ 1.; 2.; 3.; 5. ]) in
+  let y = Array.map (fun r -> 3. +. (2. *. r.(1))) design in
+  match Model.Linalg.least_squares design y with
+  | Some c ->
+    check_close "intercept" 3. c.(0);
+    check_close "slope" 2. c.(1)
+  | None -> Alcotest.fail "least squares failed"
+
+(* -- single-parameter recovery -------------------------------------------- *)
+
+let samples_of f xs = List.map (fun x -> (x, f x)) xs
+
+let xs = [ 4.; 8.; 16.; 32.; 64. ]
+
+let test_recover_linear () =
+  let r = S.single ~param:"p" (samples_of (fun x -> 5. +. (0.5 *. x)) xs) in
+  check_shape "linear" { E.const = 0.; terms = [ { coeff = 1.; factors = [ ("p", term 1.) ] } ] } r
+
+let test_recover_quadratic () =
+  let r = S.single ~param:"n" (samples_of (fun x -> 1. +. (0.01 *. x *. x)) xs) in
+  check_shape "quadratic"
+    { E.const = 0.; terms = [ { coeff = 1.; factors = [ ("n", term 2.) ] } ] }
+    r
+
+let test_recover_nlogn () =
+  let f x = 2. +. (0.1 *. x *. Float.log x /. Float.log 2.) in
+  let r = S.single ~param:"n" (samples_of f xs) in
+  check_shape "n log n"
+    { E.const = 0.;
+      terms = [ { coeff = 1.; factors = [ ("n", term ~logexp:1 1.) ] } ] }
+    r
+
+let test_recover_sqrt () =
+  let r = S.single ~param:"p" (samples_of (fun x -> 1. +. (3. *. sqrt x)) xs) in
+  check_shape "sqrt"
+    { E.const = 0.; terms = [ { coeff = 1.; factors = [ ("p", term 0.5) ] } ] }
+    r
+
+let test_recover_constant () =
+  let r = S.single ~param:"p" (samples_of (fun _ -> 7.25) xs) in
+  Alcotest.(check bool) "constant model" true (E.is_constant r.model);
+  check_close "constant value" 7.25 r.model.E.const
+
+let test_two_term_recovery () =
+  (* f = 1 + 2 sqrt(x) + 0.001 x^2: needs n = 2 terms. *)
+  let f x = 1. +. (2. *. sqrt x) +. (0.001 *. x *. x) in
+  let r = S.single ~param:"p" (samples_of f xs) in
+  let expected =
+    {
+      E.const = 0.;
+      terms =
+        [
+          { E.coeff = 1.; factors = [ ("p", term 0.5) ] };
+          { E.coeff = 1.; factors = [ ("p", term 2.) ] };
+        ];
+    }
+  in
+  check_shape "two terms" expected r
+
+let test_constraint_excludes_param () =
+  let constraints = { S.allowed = Some []; multiplicative = None } in
+  let r =
+    S.single ~constraints ~param:"p"
+      (samples_of (fun x -> 5. +. (0.5 *. x)) xs)
+  in
+  Alcotest.(check bool) "forced constant" true (E.is_constant r.model)
+
+let test_extended_config_recovers_inverse () =
+  (* Strong-scaling shape: c + c/x needs the negative exponents. *)
+  let f x = 0.5 +. (100. /. x) in
+  let r =
+    S.single ~config:S.extended_config ~param:"p" (samples_of f xs)
+  in
+  check_shape "1/p"
+    { E.const = 0.; terms = [ { coeff = 1.; factors = [ ("p", term (-1.)) ] } ] }
+    r
+
+let test_default_config_cannot_decrease () =
+  (* Without negative exponents the best the default menu can do for a
+     decreasing function is... not a decreasing power. *)
+  let f x = 0.5 +. (100. /. x) in
+  let r = S.single ~param:"p" (samples_of f xs) in
+  Alcotest.(check bool) "no negative exponent available" true
+    (List.for_all
+       (fun (t : E.compound_term) ->
+         List.for_all (fun (_, st) -> st.E.expo >= 0.) t.E.factors)
+       r.S.model.E.terms)
+
+let test_min_improvement_guards_noise () =
+  (* Noisy constant data: pure best-fit occasionally models the noise;
+     with the acceptance margin the constant model survives. *)
+  let rng = Random.State.make [| 11 |] in
+  let noisy_constant =
+    List.map (fun x -> (x, 5. +. (0.4 *. (Random.State.float rng 2. -. 1.)))) xs
+  in
+  let guarded =
+    S.single ~config:{ S.default_config with min_improvement = 0.5 }
+      ~param:"p" noisy_constant
+  in
+  Alcotest.(check bool) "guarded fit is constant" true
+    (E.is_constant guarded.S.model);
+  (* A real dependency still clears a reasonable margin. *)
+  let real = samples_of (fun x -> 1. +. (2. *. x)) xs in
+  let r =
+    S.single ~config:{ S.default_config with min_improvement = 0.5 }
+      ~param:"p" real
+  in
+  Alcotest.(check bool) "real dependency still found" false
+    (E.is_constant r.S.model)
+
+(* -- multi-parameter recovery ---------------------------------------------- *)
+
+let grid f =
+  List.concat_map
+    (fun p ->
+      List.map
+        (fun n -> ([ ("p", p); ("n", n) ], [ f p n ]))
+        [ 10.; 20.; 30.; 40.; 50. ])
+    xs
+
+let test_recover_multiplicative () =
+  let f p n = 2. +. (1e-4 *. p *. n *. n) in
+  let data = D.of_rows [ "p"; "n" ] (grid f) in
+  let r = S.multi data in
+  let expected =
+    {
+      E.const = 0.;
+      terms = [ { E.coeff = 1.; factors = [ ("p", term 1.); ("n", term 2.) ] } ];
+    }
+  in
+  check_shape "p * n^2" expected r
+
+let test_recover_additive () =
+  let f p n = 1. +. (0.3 *. p) +. (0.002 *. n *. n) in
+  let data = D.of_rows [ "p"; "n" ] (grid f) in
+  let r = S.multi data in
+  let expected =
+    {
+      E.const = 0.;
+      terms =
+        [
+          { E.coeff = 1.; factors = [ ("p", term 1.) ] };
+          { E.coeff = 1.; factors = [ ("n", term 2.) ] };
+        ];
+    }
+  in
+  check_shape "p + n^2" expected r
+
+let test_multi_constraint_no_interaction () =
+  (* True function is multiplicative, but the constraints forbid the
+     product term: the additive approximation must be chosen instead. *)
+  let f p n = 2. +. (1e-4 *. p *. n *. n) in
+  let data = D.of_rows [ "p"; "n" ] (grid f) in
+  let constraints =
+    { S.allowed = None; multiplicative = Some (fun _ _ -> false) }
+  in
+  let r = S.multi ~constraints data in
+  Alcotest.(check bool)
+    "no interaction term" false
+    (E.has_interaction r.model "p" "n")
+
+let test_multi_constraint_allowed_param () =
+  let f p _n = 2. +. (0.3 *. p) in
+  let data = D.of_rows [ "p"; "n" ] (grid f) in
+  let constraints = { S.allowed = Some [ "p" ]; multiplicative = None } in
+  let r = S.multi ~constraints data in
+  Alcotest.(check (list string)) "only p used" [ "p" ] (E.parameters r.model)
+
+(* -- dataset utilities ------------------------------------------------------ *)
+
+let test_cov () =
+  let p = { D.coords = [ ("x", 1.) ]; reps = [ 10.; 10.; 10. ] } in
+  check_close "zero cov" 0. (D.cov p);
+  let q = { D.coords = [ ("x", 1.) ]; reps = [ 9.; 10.; 11. ] } in
+  Alcotest.(check bool) "nonzero cov" true (D.cov q > 0.05 && D.cov q < 0.15)
+
+let test_slice () =
+  let data =
+    D.of_rows [ "p"; "n" ]
+      [ ([ ("p", 1.); ("n", 10.) ], [ 1. ]);
+        ([ ("p", 1.); ("n", 20.) ], [ 2. ]);
+        ([ ("p", 2.); ("n", 10.) ], [ 3. ]) ]
+  in
+  let s = D.slice data ~fixed:[ ("p", 1.) ] in
+  Alcotest.(check int) "sliced points" 2 (List.length s.D.points);
+  Alcotest.(check (list string)) "remaining params" [ "n" ] s.D.params
+
+let test_smape_identical () =
+  check_close "zero smape" 0. (D.smape [ (1., 1.); (5., 5.) ])
+
+(* -- property tests ---------------------------------------------------------- *)
+
+let prop_regression_exact =
+  QCheck.Test.make ~count:100 ~name:"OLS is exact on noise-free lines"
+    QCheck.(pair (float_bound_exclusive 10.) (float_bound_exclusive 10.))
+    (fun (a, b) ->
+      let design =
+        Array.of_list (List.map (fun x -> [| 1.; x |]) [ 1.; 2.; 4.; 9. ])
+      in
+      let y = Array.map (fun r -> a +. (b *. r.(1))) design in
+      match Model.Linalg.least_squares design y with
+      | Some c -> Float.abs (c.(0) -. a) < 1e-6 && Float.abs (c.(1) -. b) < 1e-6
+      | None -> false)
+
+let prop_eval_monotone_terms =
+  QCheck.Test.make ~count:100
+    ~name:"PMNF terms with positive exponents are monotone on x >= 2"
+    QCheck.(pair (int_range 0 17) (int_range 0 2))
+    (fun (ei, j) ->
+      let e = List.nth S.default_config.S.exponents ei in
+      let t = { E.expo = e; logexp = j } in
+      QCheck.assume (e > 0. || j > 0);
+      E.eval_simple t 8. <= E.eval_simple t 16.)
+
+let prop_smape_bounded =
+  QCheck.Test.make ~count:100 ~name:"SMAPE is within [0, 200]"
+    QCheck.(small_list (pair (float_bound_exclusive 100.) (float_bound_exclusive 100.)))
+    (fun pairs ->
+      let s = D.smape pairs in
+      s >= 0. && s <= 200.)
+
+let tests =
+  [
+    Alcotest.test_case "solve 2x2 exactly" `Quick test_solve_exact;
+    Alcotest.test_case "reject singular system" `Quick test_solve_singular;
+    Alcotest.test_case "least squares on a line" `Quick test_least_squares_line;
+    Alcotest.test_case "recover c + c*p" `Quick test_recover_linear;
+    Alcotest.test_case "recover c + c*n^2" `Quick test_recover_quadratic;
+    Alcotest.test_case "recover c + c*n*log n" `Quick test_recover_nlogn;
+    Alcotest.test_case "recover c + c*sqrt p" `Quick test_recover_sqrt;
+    Alcotest.test_case "recover constant" `Quick test_recover_constant;
+    Alcotest.test_case "recover two-term PMNF" `Quick test_two_term_recovery;
+    Alcotest.test_case "constraint forces constant" `Quick
+      test_constraint_excludes_param;
+    Alcotest.test_case "extended config recovers 1/p" `Quick
+      test_extended_config_recovers_inverse;
+    Alcotest.test_case "default config has no negative exponents" `Quick
+      test_default_config_cannot_decrease;
+    Alcotest.test_case "min_improvement guards noisy constants" `Quick
+      test_min_improvement_guards_noise;
+    Alcotest.test_case "recover multiplicative p*n^2" `Quick
+      test_recover_multiplicative;
+    Alcotest.test_case "recover additive p + n^2" `Quick test_recover_additive;
+    Alcotest.test_case "constraint forbids interaction" `Quick
+      test_multi_constraint_no_interaction;
+    Alcotest.test_case "constraint restricts parameters" `Quick
+      test_multi_constraint_allowed_param;
+    Alcotest.test_case "coefficient of variation" `Quick test_cov;
+    Alcotest.test_case "dataset slicing" `Quick test_slice;
+    Alcotest.test_case "SMAPE of identical series" `Quick test_smape_identical;
+    QCheck_alcotest.to_alcotest prop_regression_exact;
+    QCheck_alcotest.to_alcotest prop_eval_monotone_terms;
+    QCheck_alcotest.to_alcotest prop_smape_bounded;
+  ]

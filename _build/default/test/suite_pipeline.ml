@@ -1,0 +1,138 @@
+(** Integration tests of the full Perf-Taint pipeline on the didactic
+    programs from the paper's listings. *)
+
+open Ir.Types
+module SSet = Ir.Cfg.SSet
+
+let analyze ?world program args = Perf_taint.Pipeline.analyze ?world program ~args
+
+let params_of t fname = Perf_taint.Deps.params t.Perf_taint.Pipeline.deps fname
+
+let check_params t fname expected =
+  Alcotest.(check (slist string compare))
+    (fname ^ " parameter set") expected
+    (SSet.elements (params_of t fname))
+
+(* Section 4.1 listing: iterate's loop depends on both size and step,
+   through an arithmetic transformation and a helper call. *)
+let test_iterate () =
+  let t = analyze Apps.Didactic.iterate_example [ VInt 10; VInt 2 ] in
+  check_params t "iterate" [ "size"; "step" ];
+  (* The multi-label exit condition is conservatively multiplicative. *)
+  Alcotest.(check bool)
+    "size*step multiplicative" true
+    (Perf_taint.Deps.multiplicative_ok t.deps "iterate" "size" "step")
+
+(* Section 3.2 listing: data-flow label a, control-flow label b reach the
+   return value of foo. *)
+let test_foo_dataflow_and_controlflow () =
+  let t = analyze Apps.Didactic.foo_example [ VInt 3; VInt 1; VInt 0 ] in
+  let m = Interp.Machine.create Apps.Didactic.foo_example in
+  let _, label = Interp.Machine.run m [ VInt 3; VInt 1; VInt 0 ] in
+  let names = Taint.Label.names (Interp.Machine.label_table m) label in
+  Alcotest.(check bool) "label a present" true (List.mem "a" names);
+  Alcotest.(check bool) "label b present (control flow)" true (List.mem "b" names);
+  ignore t
+
+(* Without control-flow tainting, label b must NOT reach the return value:
+   the ablation that motivates the DFSan extension. *)
+let test_foo_without_control_flow () =
+  let config = { Interp.Machine.default_config with control_flow_taint = false } in
+  let m = Interp.Machine.create ~config Apps.Didactic.foo_example in
+  let _, label = Interp.Machine.run m [ VInt 3; VInt 1; VInt 0 ] in
+  let names = Taint.Label.names (Interp.Machine.label_table m) label in
+  Alcotest.(check bool) "label a still present" true (List.mem "a" names);
+  Alcotest.(check bool) "label b absent" false (List.mem "b" names)
+
+(* Section 5.2 control-dependence example: the region loop bound is
+   tainted by size only through control flow. *)
+let test_control_dependence () =
+  let t = analyze Apps.Didactic.control_dependence [ VInt 4; VInt 3 ] in
+  let fd = Option.get (Perf_taint.Deps.find t.deps "count_regions") in
+  Alcotest.(check bool)
+    "size reaches region loop via control flow" true
+    (SSet.mem "size" fd.Perf_taint.Deps.fd_loop_params);
+  Alcotest.(check bool)
+    "regions label present" true
+    (SSet.mem "regions" fd.Perf_taint.Deps.fd_loop_params)
+
+(* Matrix init: rows and columns must form a multiplicative pair. *)
+let test_matrix_multiplicative () =
+  let t = analyze Apps.Didactic.matrix_init [ VInt 5; VInt 7 ] in
+  check_params t "init" [ "cols"; "rows" ];
+  Alcotest.(check bool)
+    "rows*cols multiplicative" true
+    (Perf_taint.Deps.multiplicative_ok t.deps "init" "rows" "cols")
+
+(* The C++ matrix variant (Section 3.1): bounds behind pointer
+   indirection defeat the static analysis, but the dynamic analysis still
+   recovers the multiplicative {rows, cols} dependency. *)
+let test_matrix_cpp_static_vs_dynamic () =
+  let program = Apps.Didactic.matrix_init_cpp in
+  (* Static: every loop of init_cpp is unresolvable. *)
+  let init = Ir.Types.find_func program "init_cpp" in
+  List.iter
+    (fun (ls : Static_an.Tripcount.loop_summary) ->
+      Alcotest.(check bool) "trip unknown" true
+        (ls.Static_an.Tripcount.ls_trip = Static_an.Tripcount.Unknown))
+    (Static_an.Tripcount.analyze_function init);
+  (* Dynamic: the taint analysis recovers both parameters anyway. *)
+  let t = analyze program [ VInt 5; VInt 7 ] in
+  check_params t "init_cpp" [ "cols"; "rows" ];
+  Alcotest.(check bool) "rows x cols multiplicative" true
+    (Perf_taint.Deps.multiplicative_ok t.deps "init_cpp" "rows" "cols");
+  (* The getters themselves stay constant-per-invocation. *)
+  check_params t "get_rows" []
+
+(* Algorithm selection: taint runs on the two sides of the threshold
+   cover different branches -> a design finding. *)
+let test_algorithm_selection_validation () =
+  let t_small = analyze Apps.Didactic.algorithm_selection [ VInt 2 ] in
+  let t_large = analyze Apps.Didactic.algorithm_selection [ VInt 64 ] in
+  let findings =
+    Perf_taint.Validation.validate_design ~model_params:[ "a" ]
+      [ t_small; t_large ]
+  in
+  Alcotest.(check bool)
+    "qualitative behavior change detected" true
+    (List.exists
+       (fun f -> f.Perf_taint.Validation.df_func = "select")
+       findings);
+  (* A single run cannot produce a finding. *)
+  Alcotest.(check int)
+    "no finding from one run" 0
+    (List.length
+       (Perf_taint.Validation.validate_design ~model_params:[ "a" ] [ t_small ]))
+
+(* Loop iteration counts recorded by the interpreter are exact. *)
+let test_loop_iteration_counts () =
+  let t = analyze Apps.Didactic.iterate_example [ VInt 10; VInt 2 ] in
+  let loops =
+    Interp.Observations.loop_list t.obs
+    |> List.filter (fun lo -> lo.Interp.Observations.lo_func = "iterate")
+  in
+  match loops with
+  | [ lo ] ->
+    (* size^2 = 100, step optimised to 2 -> 50 iterations. *)
+    Alcotest.(check int) "iterate iterations" 50 lo.Interp.Observations.lo_iters;
+    Alcotest.(check int) "iterate entries" 1 lo.Interp.Observations.lo_entries
+  | l -> Alcotest.failf "expected exactly one loop in iterate, got %d" (List.length l)
+
+let tests =
+  [
+    Alcotest.test_case "iterate: size+step dependency" `Quick test_iterate;
+    Alcotest.test_case "foo: data+control flow taint" `Quick
+      test_foo_dataflow_and_controlflow;
+    Alcotest.test_case "foo: ablation without control flow" `Quick
+      test_foo_without_control_flow;
+    Alcotest.test_case "control dependence (LULESH regions)" `Quick
+      test_control_dependence;
+    Alcotest.test_case "matrix init: multiplicative pair" `Quick
+      test_matrix_multiplicative;
+    Alcotest.test_case "matrix init C++: static fails, dynamic succeeds"
+      `Quick test_matrix_cpp_static_vs_dynamic;
+    Alcotest.test_case "algorithm selection: design validation" `Quick
+      test_algorithm_selection_validation;
+    Alcotest.test_case "exact loop iteration counts" `Quick
+      test_loop_iteration_counts;
+  ]

@@ -1,0 +1,314 @@
+(** Tests of the compile-time phase: trip-count analysis (the
+    ScalarEvolution stand-in), call-graph construction, recursion
+    detection, and the static constant-function classification. *)
+
+open Ir.Types
+module B = Ir.Builder
+module T = Static_an.Tripcount
+module C = Static_an.Callgraph
+
+let prog funcs entry = { pname = "t"; funcs; entry }
+
+let trips f = T.analyze_function f
+
+let the_trip f =
+  match trips f with
+  | [ ls ] -> ls.T.ls_trip
+  | l -> Alcotest.failf "expected one loop, got %d" (List.length l)
+
+(* -- trip counts --------------------------------------------------------------- *)
+
+let test_constant_trip () =
+  let f =
+    B.define "f" ~params:[] (fun b ->
+        B.for_ b "i" ~from:(Int 0) ~below:(Int 10) (fun _ -> B.work b (Int 1));
+        B.ret_unit b)
+  in
+  Alcotest.(check bool) "trip 10" true (the_trip f = T.Constant 10)
+
+let test_constant_trip_with_step () =
+  let f =
+    B.define "f" ~params:[] (fun b ->
+        B.for_ b "i" ~from:(Int 0) ~below:(Int 10) ~step:(Int 3) (fun _ ->
+            B.work b (Int 1));
+        B.ret_unit b)
+  in
+  (* 0,3,6,9 -> 4 iterations *)
+  Alcotest.(check bool) "trip ceil(10/3)" true (the_trip f = T.Constant 4)
+
+let test_constant_trip_nonzero_start () =
+  let f =
+    B.define "f" ~params:[] (fun b ->
+        B.for_ b "i" ~from:(Int 2) ~below:(Int 9) ~step:(Int 2) (fun _ ->
+            B.work b (Int 1));
+        B.ret_unit b)
+  in
+  (* 2,4,6,8 -> 4 *)
+  Alcotest.(check bool) "trip 4" true (the_trip f = T.Constant 4)
+
+let test_empty_range () =
+  let f =
+    B.define "f" ~params:[] (fun b ->
+        B.for_ b "i" ~from:(Int 5) ~below:(Int 5) (fun _ -> B.work b (Int 1));
+        B.ret_unit b)
+  in
+  Alcotest.(check bool) "trip 0" true (the_trip f = T.Constant 0)
+
+let test_parametric_bound_unknown () =
+  let f =
+    B.define "f" ~params:[ "n" ] (fun b ->
+        B.for_ b "i" ~from:(Int 0) ~below:(Reg "n") (fun _ -> B.work b (Int 1));
+        B.ret_unit b)
+  in
+  Alcotest.(check bool) "unknown" true (the_trip f = T.Unknown)
+
+let test_constant_through_arithmetic () =
+  (* Bound is 4*8 computed through registers: still constant. *)
+  let f =
+    B.define "f" ~params:[] (fun b ->
+        let bound = B.mul b (Int 4) (Int 8) in
+        B.for_ b "i" ~from:(Int 0) ~below:bound (fun _ -> B.work b (Int 1));
+        B.ret_unit b)
+  in
+  Alcotest.(check bool) "trip 32" true (the_trip f = T.Constant 32)
+
+let test_memory_bound_unknown () =
+  (* A bound loaded from memory cannot be resolved statically. *)
+  let f =
+    B.define "f" ~params:[] (fun b ->
+        let a = B.alloc b (Int 1) in
+        B.store b a (Int 0) (Int 7);
+        let bound = B.load b a (Int 0) in
+        B.for_ b "i" ~from:(Int 0) ~below:bound (fun _ -> B.work b (Int 1));
+        B.ret_unit b)
+  in
+  Alcotest.(check bool) "unknown (memory)" true (the_trip f = T.Unknown)
+
+let test_while_loop_unknown () =
+  (* A halving loop does not match the canonical induction pattern. *)
+  let f =
+    B.define "f" ~params:[] (fun b ->
+        B.set b "m" (Int 64);
+        B.while_ b
+          ~cond:(fun () -> B.gt b (Reg "m") (Int 1))
+          ~body:(fun () -> B.set b "m" (B.div b (Reg "m") (Int 2)));
+        B.ret_unit b)
+  in
+  Alcotest.(check bool) "unknown (non-affine)" true (the_trip f = T.Unknown)
+
+let test_nested_trips () =
+  let f =
+    B.define "f" ~params:[ "n" ] (fun b ->
+        B.for_ b "i" ~from:(Int 0) ~below:(Int 8) (fun _ ->
+            B.for_ b "j" ~from:(Int 0) ~below:(Reg "n") (fun _ ->
+                B.work b (Int 1)));
+        B.ret_unit b)
+  in
+  let summaries = trips f in
+  Alcotest.(check int) "two loops" 2 (List.length summaries);
+  let outer = List.find (fun s -> s.T.ls_depth = 1) summaries in
+  let inner = List.find (fun s -> s.T.ls_depth = 2) summaries in
+  Alcotest.(check bool) "outer constant" true (outer.T.ls_trip = T.Constant 8);
+  Alcotest.(check bool) "inner unknown" true (inner.T.ls_trip = T.Unknown)
+
+(* -- call graph ------------------------------------------------------------------ *)
+
+let leafy = B.define "leaf" ~params:[] (fun b -> B.ret_unit b)
+
+let caller =
+  B.define "caller" ~params:[] (fun b ->
+      B.call_unit b "leaf" [];
+      B.ret_unit b)
+
+let test_callgraph_edges () =
+  let cg = C.build (prog [ caller; leafy ] "caller") in
+  Alcotest.(check (list string)) "caller -> leaf" [ "leaf" ]
+    (Ir.Cfg.SSet.elements (C.callees cg "caller"));
+  Alcotest.(check (list string)) "leaf <- caller" [ "caller" ]
+    (Ir.Cfg.SSet.elements (C.callers cg "leaf"))
+
+let test_reachability () =
+  let cg = C.build (prog [ caller; leafy ] "caller") in
+  Alcotest.(check (list string)) "reachable from caller" [ "caller"; "leaf" ]
+    (Ir.Cfg.SSet.elements (C.reachable cg "caller"))
+
+let test_direct_recursion () =
+  let f =
+    B.define "f" ~params:[] (fun b ->
+        B.call_unit b "f" [];
+        B.ret_unit b)
+  in
+  let cg = C.build (prog [ f ] "f") in
+  Alcotest.(check (list string)) "f is recursive" [ "f" ]
+    (Ir.Cfg.SSet.elements (C.recursive_functions cg))
+
+let test_mutual_recursion () =
+  let f =
+    B.define "f" ~params:[] (fun b -> B.call_unit b "g" []; B.ret_unit b)
+  in
+  let g =
+    B.define "g" ~params:[] (fun b -> B.call_unit b "f" []; B.ret_unit b)
+  in
+  let cg = C.build (prog [ f; g ] "f") in
+  Alcotest.(check (list string)) "both recursive" [ "f"; "g" ]
+    (Ir.Cfg.SSet.elements (C.recursive_functions cg))
+
+let test_no_false_recursion () =
+  let cg = C.build (prog [ caller; leafy ] "caller") in
+  Alcotest.(check (list string)) "acyclic graph" []
+    (Ir.Cfg.SSet.elements (C.recursive_functions cg))
+
+let test_bottom_up_order () =
+  let cg = C.build (prog [ caller; leafy ] "caller") in
+  let order =
+    C.fold_bottom_up cg (prog [ caller; leafy ] "caller") [] (fun acc f ->
+        f :: acc)
+  in
+  Alcotest.(check (list string)) "callee first" [ "caller"; "leaf" ] order
+
+(* -- classification ----------------------------------------------------------------- *)
+
+let classify p =
+  Static_an.Classify.classify p ~relevant_prim:Mpi_sim.Costdb.relevant_prim
+
+let test_classify_constant_leaf () =
+  let report = classify (prog [ caller; leafy ] "caller") in
+  Alcotest.(check bool) "leaf pruned" true
+    (Static_an.Classify.is_pruned report "leaf");
+  Alcotest.(check bool) "caller pruned (constant callee)" true
+    (Static_an.Classify.is_pruned report "caller")
+
+let test_classify_parametric_loop () =
+  let f =
+    B.define "f" ~params:[ "n" ] (fun b ->
+        B.for_ b "i" ~from:(Int 0) ~below:(Reg "n") (fun _ -> B.work b (Int 1));
+        B.ret_unit b)
+  in
+  let report = classify (prog [ f ] "f") in
+  Alcotest.(check bool) "parametric loop not pruned" false
+    (Static_an.Classify.is_pruned report "f")
+
+let test_classify_constant_loop_pruned () =
+  let f =
+    B.define "f" ~params:[] (fun b ->
+        B.for_ b "i" ~from:(Int 0) ~below:(Int 8) (fun _ -> B.work b (Int 1));
+        B.ret_unit b)
+  in
+  let report = classify (prog [ f ] "f") in
+  Alcotest.(check bool) "constant-trip loop pruned" true
+    (Static_an.Classify.is_pruned report "f")
+
+let test_classify_mpi_not_pruned () =
+  let f =
+    B.define "f" ~params:[] (fun b ->
+        B.prim_unit b "mpi_barrier" [];
+        B.ret_unit b)
+  in
+  let report = classify (prog [ f ] "f") in
+  Alcotest.(check bool) "MPI caller not pruned" false
+    (Static_an.Classify.is_pruned report "f")
+
+let test_classify_taints_through_callees () =
+  (* A loop-free function calling a parametric one is itself parametric. *)
+  let g =
+    B.define "g" ~params:[ "n" ] (fun b ->
+        B.for_ b "i" ~from:(Int 0) ~below:(Reg "n") (fun _ -> B.work b (Int 1));
+        B.ret_unit b)
+  in
+  let f =
+    B.define "f" ~params:[ "n" ] (fun b ->
+        B.call_unit b "g" [ Reg "n" ];
+        B.ret_unit b)
+  in
+  let report = classify (prog [ f; g ] "f") in
+  Alcotest.(check bool) "wrapper inherits relevance" false
+    (Static_an.Classify.is_pruned report "f")
+
+let test_recursion_warning () =
+  let f =
+    B.define "f" ~params:[] (fun b ->
+        B.call_unit b "f" [];
+        B.ret_unit b)
+  in
+  let report = classify (prog [ f ] "f") in
+  Alcotest.(check bool) "recursion warned" true
+    (report.Static_an.Classify.warnings <> []);
+  Alcotest.(check bool) "recursive not pruned" false
+    (Static_an.Classify.is_pruned report "f")
+
+let test_lulesh_static_counts () =
+  let report = classify Apps.Lulesh.program in
+  (* The tiny helpers must all be statically pruned. *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " pruned") true
+        (Static_an.Classify.is_pruned report name))
+    [ "area_face"; "triple_product"; "dot8"; "calc_elem_volume";
+      "calc_elem_node_normals"; "min3"; "clamp_value" ];
+  (* Kernels with parametric loops must survive. *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " survives") false
+        (Static_an.Classify.is_pruned report name))
+    [ "integrate_stress_for_elems"; "calc_q_for_elems"; "main";
+      "comm_halo_nodes" ]
+
+(* -- property: static constants never show dynamic parameter deps ---------------- *)
+
+let prop_static_prune_sound =
+  (* Any function statically classified constant must show an empty
+     dependency set in the dynamic analysis of LULESH and MILC. *)
+  QCheck.Test.make ~count:1 ~name:"static pruning is sound w.r.t. taint"
+    QCheck.(always ())
+    (fun () ->
+      List.for_all
+        (fun (program, args, world) ->
+          let t = Perf_taint.Pipeline.analyze ~world program ~args in
+          let report = t.Perf_taint.Pipeline.static in
+          List.for_all
+            (fun (f : Ir.Types.func) ->
+              (not (Static_an.Classify.is_pruned report f.fname))
+              || Ir.Cfg.SSet.is_empty
+                   (Perf_taint.Deps.params t.Perf_taint.Pipeline.deps f.fname))
+            program.funcs)
+        [ (Apps.Lulesh.program, Apps.Lulesh.taint_args, Apps.Lulesh.taint_world);
+          (Apps.Milc.program, Apps.Milc.taint_args, Apps.Milc.taint_world) ])
+
+let tests =
+  [
+    Alcotest.test_case "constant trip" `Quick test_constant_trip;
+    Alcotest.test_case "constant trip with step" `Quick
+      test_constant_trip_with_step;
+    Alcotest.test_case "constant trip from 2 by 2" `Quick
+      test_constant_trip_nonzero_start;
+    Alcotest.test_case "empty range" `Quick test_empty_range;
+    Alcotest.test_case "parametric bound" `Quick test_parametric_bound_unknown;
+    Alcotest.test_case "constant through arithmetic" `Quick
+      test_constant_through_arithmetic;
+    Alcotest.test_case "memory bound is unknown" `Quick
+      test_memory_bound_unknown;
+    Alcotest.test_case "non-affine while is unknown" `Quick
+      test_while_loop_unknown;
+    Alcotest.test_case "nested trips" `Quick test_nested_trips;
+    Alcotest.test_case "call graph edges" `Quick test_callgraph_edges;
+    Alcotest.test_case "reachability" `Quick test_reachability;
+    Alcotest.test_case "direct recursion" `Quick test_direct_recursion;
+    Alcotest.test_case "mutual recursion" `Quick test_mutual_recursion;
+    Alcotest.test_case "no false recursion" `Quick test_no_false_recursion;
+    Alcotest.test_case "bottom-up fold order" `Quick test_bottom_up_order;
+    Alcotest.test_case "classify: constant leaf chain" `Quick
+      test_classify_constant_leaf;
+    Alcotest.test_case "classify: parametric loop" `Quick
+      test_classify_parametric_loop;
+    Alcotest.test_case "classify: constant loop pruned" `Quick
+      test_classify_constant_loop_pruned;
+    Alcotest.test_case "classify: MPI caller kept" `Quick
+      test_classify_mpi_not_pruned;
+    Alcotest.test_case "classify: relevance through callees" `Quick
+      test_classify_taints_through_callees;
+    Alcotest.test_case "classify: recursion warning" `Quick
+      test_recursion_warning;
+    Alcotest.test_case "classify: lulesh helpers vs kernels" `Quick
+      test_lulesh_static_counts;
+    QCheck_alcotest.to_alcotest prop_static_prune_sound;
+  ]

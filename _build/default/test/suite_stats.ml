@@ -1,0 +1,131 @@
+(** Tests of the model-quality statistics and the scalability-bug
+    ranking. *)
+
+module St = Model.Stats
+module E = Model.Expr
+
+let close ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps *. (1. +. Float.abs expected) then
+    Alcotest.failf "%s: expected %g, got %g" msg expected actual
+
+let perfect = [ (1., 1.); (2., 2.); (3., 3.) ]
+let off = [ (1., 2.); (2., 4.); (3., 6.) ]
+
+let test_rss () =
+  close "zero on perfect" 0. (St.rss perfect);
+  close "rss of off" (1. +. 4. +. 9.) (St.rss off)
+
+let test_r_squared () =
+  close "perfect fit" 1. (St.r_squared perfect);
+  Alcotest.(check bool) "bad fit below 1" true (St.r_squared off < 1.)
+
+let test_r_squared_constant_observations () =
+  (* TSS = 0: degenerate case must not divide by zero. *)
+  close "constant obs, perfect" 1. (St.r_squared [ (5., 5.); (5., 5.) ]);
+  close "constant obs, wrong" 0. (St.r_squared [ (4., 5.); (6., 5.) ])
+
+let test_adjusted_r2_penalises () =
+  let pairs = [ (1., 1.1); (2., 1.9); (3., 3.2); (4., 3.9); (5., 5.1) ] in
+  let a1 = St.adjusted_r_squared ~k:1 pairs in
+  let a3 = St.adjusted_r_squared ~k:3 pairs in
+  Alcotest.(check bool) "more coefficients, lower adjusted R2" true (a3 < a1)
+
+let test_aic_prefers_simpler () =
+  let pairs = [ (1., 1.01); (2., 1.99); (3., 3.02); (4., 3.97); (5., 5.02); (6., 6.01) ] in
+  Alcotest.(check bool) "same fit, fewer params wins" true
+    (St.aic ~k:1 pairs < St.aic ~k:3 pairs)
+
+let test_percentile () =
+  let xs = [ 1.; 2.; 3.; 4.; 5. ] in
+  close "median" 3. (St.percentile 50. xs);
+  close "min" 1. (St.percentile 0. xs);
+  close "max" 5. (St.percentile 100. xs)
+
+let test_summary_on_dataset () =
+  let m =
+    { E.const = 0.; terms = [ { E.coeff = 2.; factors = [ ("x", { expo = 1.; logexp = 0 }) ] } ] }
+  in
+  let data =
+    Model.Dataset.of_rows [ "x" ]
+      (List.map (fun x -> ([ ("x", x) ], [ 2. *. x ])) [ 1.; 2.; 3.; 4. ])
+  in
+  let s = St.summarize m data in
+  close "R2 = 1" 1. s.St.s_r2;
+  close "SMAPE = 0" 0. s.St.s_smape
+
+let test_bootstrap_ci_brackets () =
+  (* Fit y = a*x on noisy data; the CI should bracket the true value. *)
+  let rng = Random.State.make [| 5 |] in
+  let points =
+    List.init 20 (fun i ->
+        let x = float_of_int (i + 1) in
+        (x, (3. *. x) +. (Random.State.float rng 0.2 -. 0.1)))
+  in
+  let fitter pts =
+    let design = Array.of_list (List.map (fun (x, _) -> [| x |]) pts) in
+    let y = Array.of_list (List.map snd pts) in
+    Option.map
+      (fun c coords -> c.(0) *. List.assoc "x" coords)
+      (Model.Linalg.least_squares design y)
+  in
+  let lo, hi = St.bootstrap_ci ~fitter ~coords:[ ("x", 10.) ] points in
+  Alcotest.(check bool) "CI brackets 30" true (lo <= 30. && 30. <= hi);
+  Alcotest.(check bool) "CI is tight-ish" true (hi -. lo < 2.)
+
+(* -- scaling ------------------------------------------------------------------ *)
+
+let model_linear_p =
+  { E.const = 0.; terms = [ { E.coeff = 1e-4; factors = [ ("p", { expo = 1.; logexp = 0 }) ] } ] }
+
+let model_const = E.constant 1.0
+
+let test_rank_orders_by_projection () =
+  let ranking =
+    Perf_taint.Scaling.rank
+      ~baseline:[ ("p", 10.) ]
+      ~target:[ ("p", 100000.) ]
+      [ ("flat", model_const); ("growing", model_linear_p) ]
+  in
+  (match ranking.Perf_taint.Scaling.entries with
+  | first :: _ ->
+    Alcotest.(check string) "growing ranks first" "growing"
+      first.Perf_taint.Scaling.e_func
+  | [] -> Alcotest.fail "empty ranking");
+  close "totals: baseline" (1.0 +. 1e-3) ranking.total_measured;
+  close "totals: target" (1.0 +. 10.) ranking.total_projected
+
+let test_bugs_detects_flip () =
+  let ranking =
+    Perf_taint.Scaling.rank
+      ~baseline:[ ("p", 10.) ]
+      ~target:[ ("p", 100000.) ]
+      [ ("flat", model_const); ("growing", model_linear_p) ]
+  in
+  match Perf_taint.Scaling.bugs ~share:0.5 ~measured_below:0.05 ranking with
+  | [ bug ] -> Alcotest.(check string) "the growing one" "growing" bug.e_func
+  | l -> Alcotest.failf "expected one bug, got %d" (List.length l)
+
+let test_no_bugs_when_flat () =
+  let ranking =
+    Perf_taint.Scaling.rank ~baseline:[ ("p", 10.) ] ~target:[ ("p", 1000.) ]
+      [ ("a", model_const); ("b", model_const) ]
+  in
+  Alcotest.(check int) "no bugs" 0
+    (List.length (Perf_taint.Scaling.bugs ranking))
+
+let tests =
+  [
+    Alcotest.test_case "rss" `Quick test_rss;
+    Alcotest.test_case "r-squared" `Quick test_r_squared;
+    Alcotest.test_case "r-squared degenerate" `Quick
+      test_r_squared_constant_observations;
+    Alcotest.test_case "adjusted r2 penalises" `Quick test_adjusted_r2_penalises;
+    Alcotest.test_case "AIC prefers simpler" `Quick test_aic_prefers_simpler;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "summary on dataset" `Quick test_summary_on_dataset;
+    Alcotest.test_case "bootstrap CI brackets truth" `Quick
+      test_bootstrap_ci_brackets;
+    Alcotest.test_case "scaling rank order" `Quick test_rank_orders_by_projection;
+    Alcotest.test_case "scalability bug detection" `Quick test_bugs_detects_flip;
+    Alcotest.test_case "no bugs when flat" `Quick test_no_bugs_when_flat;
+  ]

@@ -1,0 +1,175 @@
+(** Tests of the DFSan-style taint runtime: label algebra, union-tree
+    deduplication, shadow memory. *)
+
+module L = Taint.Label
+module S = Taint.Shadow
+
+let names tbl l = L.names tbl l
+
+let test_empty_label () =
+  let tbl = L.create () in
+  Alcotest.(check bool) "empty is empty" true (L.is_empty L.empty);
+  Alcotest.(check (list string)) "no names" [] (names tbl L.empty)
+
+let test_base_interning () =
+  let tbl = L.create () in
+  let a1 = L.base tbl "a" in
+  let a2 = L.base tbl "a" in
+  Alcotest.(check bool) "same base interned" true (a1 = a2);
+  Alcotest.(check (list string)) "name" [ "a" ] (names tbl a1)
+
+let test_union_basics () =
+  let tbl = L.create () in
+  let a = L.base tbl "a" and b = L.base tbl "b" in
+  let ab = L.union tbl a b in
+  Alcotest.(check (list string)) "union names" [ "a"; "b" ] (names tbl ab);
+  Alcotest.(check bool) "union with empty is identity" true
+    (L.union tbl a L.empty = a);
+  Alcotest.(check bool) "union with self is identity" true (L.union tbl a a = a)
+
+let test_union_dedup () =
+  let tbl = L.create () in
+  let a = L.base tbl "a" and b = L.base tbl "b" in
+  let ab1 = L.union tbl a b in
+  let ab2 = L.union tbl b a in
+  Alcotest.(check bool) "a|b and b|a share a node" true (ab1 = ab2);
+  let before = L.label_count tbl in
+  let _ = L.union tbl a b in
+  Alcotest.(check int) "no new node for repeated union" before
+    (L.label_count tbl)
+
+let test_union_subsumption () =
+  let tbl = L.create () in
+  let a = L.base tbl "a" and b = L.base tbl "b" in
+  let ab = L.union tbl a b in
+  Alcotest.(check bool) "ab | a = ab" true (L.union tbl ab a = ab);
+  Alcotest.(check bool) "a | ab = ab" true (L.union tbl a ab = ab)
+
+let test_has () =
+  let tbl = L.create () in
+  let a = L.base tbl "a" and b = L.base tbl "b" in
+  let ab = L.union tbl a b in
+  Alcotest.(check bool) "has a" true (L.has tbl ab "a");
+  Alcotest.(check bool) "has b" true (L.has tbl ab "b");
+  Alcotest.(check bool) "not has c" false (L.has tbl ab "c")
+
+let test_union_all () =
+  let tbl = L.create () in
+  let ls = List.map (L.base tbl) [ "x"; "y"; "z" ] in
+  let u = L.union_all tbl ls in
+  Alcotest.(check (list string)) "all three" [ "x"; "y"; "z" ] (names tbl u)
+
+let test_growth () =
+  (* Force the table to grow past its initial capacity. *)
+  let tbl = L.create () in
+  let bases = List.init 100 (fun i -> L.base tbl (Printf.sprintf "p%02d" i)) in
+  let u = L.union_all tbl bases in
+  Alcotest.(check int) "100 names" 100 (List.length (names tbl u))
+
+(* -- shadow memory ------------------------------------------------------------ *)
+
+let test_shadow_roundtrip () =
+  let tbl = L.create () in
+  let s = S.create () in
+  S.on_alloc s ~alloc:0 ~size:8;
+  let a = L.base tbl "a" in
+  S.set s { S.alloc = 0; offset = 3 } a;
+  Alcotest.(check bool) "read back" true (S.get s { S.alloc = 0; offset = 3 } = a);
+  Alcotest.(check bool) "other cell clean" true
+    (L.is_empty (S.get s { S.alloc = 0; offset = 4 }))
+
+let test_shadow_out_of_bounds () =
+  let s = S.create () in
+  S.on_alloc s ~alloc:0 ~size:4;
+  Alcotest.(check bool) "oob get is empty" true
+    (L.is_empty (S.get s { S.alloc = 0; offset = 99 }));
+  (* oob set is a no-op, not a crash *)
+  let tbl = L.create () in
+  S.set s { S.alloc = 0; offset = 99 } (L.base tbl "x");
+  Alcotest.(check bool) "unknown alloc get is empty" true
+    (L.is_empty (S.get s { S.alloc = 42; offset = 0 }))
+
+let test_shadow_taint_all_and_summary () =
+  let tbl = L.create () in
+  let s = S.create () in
+  S.on_alloc s ~alloc:1 ~size:4;
+  let a = L.base tbl "a" in
+  S.taint_all s ~alloc:1 a;
+  for i = 0 to 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "cell %d tainted" i)
+      true
+      (S.get s { S.alloc = 1; offset = i } = a)
+  done;
+  Alcotest.(check bool) "summary is a" true (S.summary tbl s ~alloc:1 = a)
+
+(* -- properties ------------------------------------------------------------------ *)
+
+let gen_param_names = QCheck.Gen.(list_size (int_range 1 6) (string_size ~gen:(char_range 'a' 'f') (return 1)))
+
+let prop_union_commutative =
+  QCheck.Test.make ~count:200 ~name:"union is commutative (as a name set)"
+    (QCheck.make QCheck.Gen.(pair gen_param_names gen_param_names))
+    (fun (xs, ys) ->
+      let tbl = L.create () in
+      let mk ns = L.union_all tbl (List.map (L.base tbl) ns) in
+      let a = mk xs and b = mk ys in
+      names tbl (L.union tbl a b) = names tbl (L.union tbl b a))
+
+let prop_union_associative =
+  QCheck.Test.make ~count:200 ~name:"union is associative (as a name set)"
+    (QCheck.make QCheck.Gen.(triple gen_param_names gen_param_names gen_param_names))
+    (fun (xs, ys, zs) ->
+      let tbl = L.create () in
+      let mk ns = L.union_all tbl (List.map (L.base tbl) ns) in
+      let a = mk xs and b = mk ys and c = mk zs in
+      names tbl (L.union tbl (L.union tbl a b) c)
+      = names tbl (L.union tbl a (L.union tbl b c)))
+
+let prop_union_idempotent =
+  QCheck.Test.make ~count:200 ~name:"union is idempotent"
+    (QCheck.make gen_param_names)
+    (fun xs ->
+      let tbl = L.create () in
+      let a = L.union_all tbl (List.map (L.base tbl) xs) in
+      L.union tbl a a = a)
+
+let prop_names_sorted_unique =
+  QCheck.Test.make ~count:200 ~name:"names are sorted and duplicate-free"
+    (QCheck.make gen_param_names)
+    (fun xs ->
+      let tbl = L.create () in
+      let a = L.union_all tbl (List.map (L.base tbl) xs) in
+      let ns = names tbl a in
+      ns = List.sort_uniq compare ns)
+
+let prop_union_matches_set_union =
+  QCheck.Test.make ~count:200 ~name:"label union = set union of names"
+    (QCheck.make QCheck.Gen.(pair gen_param_names gen_param_names))
+    (fun (xs, ys) ->
+      let tbl = L.create () in
+      let mk ns = L.union_all tbl (List.map (L.base tbl) ns) in
+      names tbl (L.union tbl (mk xs) (mk ys))
+      = List.sort_uniq compare (xs @ ys))
+
+let tests =
+  [
+    Alcotest.test_case "empty label" `Quick test_empty_label;
+    Alcotest.test_case "base interning" `Quick test_base_interning;
+    Alcotest.test_case "union basics" `Quick test_union_basics;
+    Alcotest.test_case "union dedup (DFSan)" `Quick test_union_dedup;
+    Alcotest.test_case "union subsumption fast path" `Quick
+      test_union_subsumption;
+    Alcotest.test_case "has" `Quick test_has;
+    Alcotest.test_case "union_all" `Quick test_union_all;
+    Alcotest.test_case "table growth" `Quick test_growth;
+    Alcotest.test_case "shadow round trip" `Quick test_shadow_roundtrip;
+    Alcotest.test_case "shadow out of bounds" `Quick test_shadow_out_of_bounds;
+    Alcotest.test_case "shadow taint_all + summary" `Quick
+      test_shadow_taint_all_and_summary;
+    QCheck_alcotest.to_alcotest prop_union_commutative;
+    QCheck_alcotest.to_alcotest prop_union_associative;
+    QCheck_alcotest.to_alcotest prop_union_idempotent;
+    QCheck_alcotest.to_alcotest prop_names_sorted_unique;
+    QCheck_alcotest.to_alcotest prop_union_matches_set_union;
+  ]

@@ -1,0 +1,225 @@
+(** Tests of the symbolic iteration-volume composition (paper Sections
+    4.2/4.3) and the experiment-design planner (A1/A2). *)
+
+open Ir.Types
+module B = Ir.Builder
+module V = Perf_taint.Volume
+module SSet = Ir.Cfg.SSet
+
+let prog funcs entry = { pname = "t"; funcs; entry }
+
+let analyze ?world p args = Perf_taint.Pipeline.analyze ?world p ~args
+
+(* -- expression algebra -------------------------------------------------------- *)
+
+let test_sum_folding () =
+  Alcotest.(check string) "constants fold" "5"
+    (V.to_string (V.sum [ V.Const 2; V.Const 3 ]));
+  Alcotest.(check string) "nested sums flatten" "6"
+    (V.to_string (V.sum [ V.Sum [ V.Const 1; V.Const 2 ]; V.Const 3 ]))
+
+let test_product_folding () =
+  Alcotest.(check string) "zero annihilates" "0"
+    (V.to_string (V.product [ V.Const 0; V.Const 9 ]));
+  Alcotest.(check string) "constants fold" "12"
+    (V.to_string (V.product [ V.Const 3; V.Const 4 ]))
+
+let count name ps =
+  V.Count { func = "f"; header = name; params = SSet.of_list ps }
+
+let test_normalize_merges () =
+  let g = count "h" [ "n" ] in
+  let e = V.normalize (V.sum [ g; g; V.product [ V.Const 3; g ] ]) in
+  Alcotest.(check string) "5*g(n)" "5*g(n)" (V.to_string e)
+
+let test_params_and_constant () =
+  let e = V.product [ count "a" [ "n" ]; count "b" [ "m" ] ] in
+  Alcotest.(check (slist string compare)) "params" [ "m"; "n" ]
+    (SSet.elements (V.params e));
+  Alcotest.(check bool) "not constant" false (V.is_constant e);
+  Alcotest.(check bool) "const is constant" true (V.is_constant (V.Const 7))
+
+(* -- per-function volumes -------------------------------------------------------- *)
+
+let test_single_loop_volume () =
+  let f =
+    B.define "main" ~params:[ "n" ] (fun b ->
+        let n = B.prim b "taint:n" [ Reg "n" ] in
+        B.for_ b "i" ~from:(Int 0) ~below:n (fun _ -> B.work b (Int 1));
+        B.ret_unit b)
+  in
+  let t = analyze (prog [ f ] "main") [ VInt 4 ] in
+  let v = V.of_function t "main" in
+  Alcotest.(check string) "g(n) + 1" "(g(n) + 1)" (V.to_string v);
+  Alcotest.(check (list string)) "depends on n" [ "n" ]
+    (SSet.elements (V.params v))
+
+let test_constant_loop_volume () =
+  let f =
+    B.define "main" ~params:[] (fun b ->
+        B.for_ b "i" ~from:(Int 0) ~below:(Int 8) (fun _ -> B.work b (Int 1));
+        B.ret_unit b)
+  in
+  let t = analyze (prog [ f ] "main") [] in
+  Alcotest.(check string) "8 + 1" "9" (V.to_string (V.of_function t "main"));
+  Alcotest.(check bool) "constant" true (V.is_constant (V.of_function t "main"))
+
+let test_nested_volume_multiplies () =
+  let t = analyze Apps.Didactic.matrix_init [ VInt 3; VInt 4 ] in
+  let v = V.of_function t "init" in
+  (* rows loop * (cols loop + 1) + 1 *)
+  Alcotest.(check (slist string compare)) "rows and cols" [ "cols"; "rows" ]
+    (SSet.elements (V.params v));
+  match v with
+  | V.Sum [ V.Product _; V.Const 1 ] -> ()
+  | _ -> Alcotest.failf "unexpected shape %s" (V.to_string v)
+
+let test_inclusive_volume_call_in_loop () =
+  (* iterate's loop multiplies compute's (constant) volume: inclusive
+     volume of main must contain 2*g(size,step). *)
+  let t = analyze Apps.Didactic.iterate_example [ VInt 10; VInt 2 ] in
+  let v = V.of_program t in
+  Alcotest.(check string) "2g + 3" "(2*g(size,step) + 3)" (V.to_string v)
+
+let test_lulesh_program_volume_params () =
+  let t =
+    analyze ~world:Apps.Lulesh.taint_world Apps.Lulesh.program
+      Apps.Lulesh.taint_args
+  in
+  let v = V.of_program t in
+  (* Theorem 1: compute volume covers every loop-relevant parameter. *)
+  Alcotest.(check (slist string compare))
+    "volume parameters"
+    [ "balance"; "cost"; "iters"; "regions"; "size" ]
+    (SSet.elements (V.params v))
+
+(* Claim 2, empirically: evaluating the inclusive volume with the
+   per-entry iteration averages observed by the tainted run bounds the
+   number of loop-body executions the interpreter actually performed. *)
+let test_volume_bounds_execution () =
+  let t = analyze Apps.Didactic.matrix_init [ VInt 3; VInt 4 ] in
+  (* Per-entry average iterations per static loop. *)
+  let avg_iters ~func ~header =
+    let matching =
+      Interp.Observations.loop_list t.Perf_taint.Pipeline.obs
+      |> List.filter (fun lo ->
+             lo.Interp.Observations.lo_func = func
+             && lo.Interp.Observations.lo_header = header)
+    in
+    match matching with
+    | [] -> 0.
+    | _ ->
+      let iters =
+        List.fold_left
+          (fun acc lo -> acc + lo.Interp.Observations.lo_iters)
+          0 matching
+      in
+      let entries =
+        List.fold_left
+          (fun acc lo -> acc + lo.Interp.Observations.lo_entries)
+          0 matching
+      in
+      if entries = 0 then 0. else float_of_int iters /. float_of_int entries
+  in
+  let v = Perf_taint.Volume.inclusive t "main" in
+  let bound = Perf_taint.Volume.eval_with avg_iters v in
+  (* Total observed loop-body executions. *)
+  let total_iters =
+    List.fold_left
+      (fun acc lo -> acc + lo.Interp.Observations.lo_iters)
+      0
+      (Interp.Observations.loop_list t.Perf_taint.Pipeline.obs)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "volume bound %.0f >= %d executed bodies" bound total_iters)
+    true
+    (bound >= float_of_int total_iters)
+
+let test_minicg_spmv_volume () =
+  let t =
+    Perf_taint.Pipeline.analyze ~world:Apps.Minicg.taint_world
+      Apps.Minicg.program ~args:Apps.Minicg.taint_args
+  in
+  let v = Perf_taint.Volume.of_function t "spmv" in
+  Alcotest.(check (slist string compare)) "spmv volume parameters"
+    [ "n"; "nnz"; "p" ]
+    (SSet.elements (Perf_taint.Volume.params v))
+
+(* -- design planner ----------------------------------------------------------------- *)
+
+let test_design_lulesh () =
+  let t =
+    analyze ~world:Apps.Lulesh.taint_world Apps.Lulesh.program
+      Apps.Lulesh.taint_args
+  in
+  let axes =
+    [
+      { Perf_taint.Design.param = "p"; values = [ 8.; 64. ] };
+      { param = "size"; values = [ 25.; 35.; 45. ] };
+      { param = "iters"; values = [ 1000.; 2000. ] };
+      { param = "verbose"; values = [ 0.; 1. ] };
+    ]
+  in
+  let plan = Perf_taint.Design.propose t ~axes ~reps:3 in
+  let decision p = List.assoc p plan.Perf_taint.Design.decisions in
+  Alcotest.(check string) "iters is a global factor" "fixed: global linear factor"
+    (Perf_taint.Design.decision_name (decision "iters"));
+  Alcotest.(check string) "verbose is irrelevant"
+    "fixed: no effect on performance"
+    (Perf_taint.Design.decision_name (decision "verbose"));
+  (match decision "p" with
+  | Perf_taint.Design.Swept_jointly g ->
+    Alcotest.(check bool) "p joint with size" true (List.mem "size" g)
+  | _ -> Alcotest.fail "p must be swept jointly");
+  (* Joint (p,size): 2*3 = 6 configs, times 3 reps. *)
+  Alcotest.(check int) "planned runs" 18 plan.Perf_taint.Design.runs_planned;
+  Alcotest.(check int) "full factorial" 72
+    plan.Perf_taint.Design.runs_full_factorial
+
+let test_design_additive_decoupled () =
+  (* Two additive parameters: two 1-D sweeps sharing the base point. *)
+  let f =
+    B.define "main" ~params:[ "a"; "b" ] (fun b ->
+        let a = B.prim b "taint:a" [ Reg "a" ] in
+        let bb = B.prim b "taint:b" [ Reg "b" ] in
+        B.for_ b "i" ~from:(Int 0) ~below:a (fun _ -> B.work b (Int 1));
+        B.for_ b "j" ~from:(Int 0) ~below:bb (fun _ -> B.work b (Int 1));
+        B.ret_unit b)
+  in
+  let t = analyze (prog [ f ] "main") [ VInt 3; VInt 4 ] in
+  let axes =
+    [
+      { Perf_taint.Design.param = "a"; values = [ 1.; 2.; 3.; 4. ] };
+      { param = "b"; values = [ 1.; 2.; 3.; 4. ] };
+    ]
+  in
+  let plan = Perf_taint.Design.propose t ~axes ~reps:1 in
+  Alcotest.(check string) "a swept alone" "swept alone (1-D)"
+    (Perf_taint.Design.decision_name
+       (List.assoc "a" plan.Perf_taint.Design.decisions));
+  (* 4 + 4 - 1 shared base point = 7 runs, vs 16 full factorial. *)
+  Alcotest.(check int) "planned" 7 plan.Perf_taint.Design.runs_planned;
+  Alcotest.(check int) "full" 16 plan.Perf_taint.Design.runs_full_factorial
+
+let tests =
+  [
+    Alcotest.test_case "sum folding" `Quick test_sum_folding;
+    Alcotest.test_case "product folding" `Quick test_product_folding;
+    Alcotest.test_case "normalize merges summands" `Quick test_normalize_merges;
+    Alcotest.test_case "params and constancy" `Quick test_params_and_constant;
+    Alcotest.test_case "single-loop volume" `Quick test_single_loop_volume;
+    Alcotest.test_case "constant-loop volume" `Quick test_constant_loop_volume;
+    Alcotest.test_case "nested volume multiplies" `Quick
+      test_nested_volume_multiplies;
+    Alcotest.test_case "inclusive volume through calls" `Quick
+      test_inclusive_volume_call_in_loop;
+    Alcotest.test_case "lulesh volume parameters (Theorem 1)" `Quick
+      test_lulesh_program_volume_params;
+    Alcotest.test_case "minicg spmv volume parameters" `Quick
+      test_minicg_spmv_volume;
+    Alcotest.test_case "volume bounds executed bodies (Claim 2)" `Quick
+      test_volume_bounds_execution;
+    Alcotest.test_case "design: lulesh plan" `Quick test_design_lulesh;
+    Alcotest.test_case "design: additive decoupling" `Quick
+      test_design_additive_decoupled;
+  ]
