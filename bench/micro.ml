@@ -24,6 +24,30 @@ let tainted_run_test =
          let m = Interp.Machine.create Apps.Didactic.iterate_example in
          ignore (Interp.Machine.run m [ Ir.Types.VInt 10; Ir.Types.VInt 2 ])))
 
+(* Same run with per-instruction metrics on: the pair quantifies the
+   observability overhead (the disabled path above must stay flat). *)
+let tainted_run_metrics_test =
+  Test.make ~name:"tainted-run-iterate-metrics"
+    (Staged.stage (fun () ->
+         let reg = Obs_metrics.create () in
+         let m =
+           Interp.Machine.create ~metrics:reg Apps.Didactic.iterate_example
+         in
+         ignore (Interp.Machine.run m [ Ir.Types.VInt 10; Ir.Types.VInt 2 ])))
+
+let counter_incr_test =
+  let reg = Obs_metrics.create () in
+  let c = Obs_metrics.counter reg "bench.counter" in
+  Test.make ~name:"obs-counter-incr"
+    (Staged.stage (fun () -> Obs_metrics.incr c))
+
+let trace_span_test =
+  let sink = Obs_trace.create () in
+  Test.make ~name:"obs-trace-span"
+    (Staged.stage (fun () ->
+         Obs_trace.span_begin sink "bench";
+         Obs_trace.span_end sink "bench"))
+
 let tripcount_test =
   Test.make ~name:"static-tripcount-lulesh"
     (Staged.stage (fun () ->
@@ -55,7 +79,8 @@ let simulator_test =
 
 let tests =
   Test.make_grouped ~name:"perf-taint"
-    [ label_union_test; tainted_run_test; tripcount_test; pmnf_search_test;
+    [ label_union_test; tainted_run_test; tainted_run_metrics_test;
+      counter_incr_test; trace_span_test; tripcount_test; pmnf_search_test;
       simulator_test; full_analysis_test ]
 
 let benchmark () =

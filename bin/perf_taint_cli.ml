@@ -127,8 +127,34 @@ let resolve name ranks params =
     Fmt.epr "error: %s@." msg;
     exit 2
 
-let analyze_target t =
-  Perf_taint.Pipeline.analyze ~world:t.world t.program ~args:t.args
+let trace_arg =
+  let doc =
+    "Write a Chrome trace (chrome://tracing / Perfetto JSON) of the \
+     analysis — pipeline phases, function-call spans, loop-entry instants \
+     — to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+(* Run the pipeline over a target; when [trace] names a file, record the
+   full span/instant stream and dump it as Chrome trace JSON. *)
+let analyze_target ?metrics ?trace t =
+  match trace with
+  | None ->
+    Perf_taint.Pipeline.analyze ?metrics ~world:t.world t.program ~args:t.args
+  | Some path ->
+    let sink = Obs_trace.create () in
+    let a =
+      Perf_taint.Pipeline.analyze ?metrics ~trace:sink ~world:t.world t.program
+        ~args:t.args
+    in
+    (try Obs_trace.write_file sink path
+     with Sys_error msg ->
+       Fmt.epr "error: cannot write trace: %s@." msg;
+       exit 2);
+    Fmt.epr "trace: %d events written to %s@."
+      (List.length (Obs_trace.events sink))
+      path;
+    a
 
 (* -- commands ---------------------------------------------------------------- *)
 
@@ -137,9 +163,9 @@ let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc)
 
 let analyze_cmd =
-  let run name ranks params json =
+  let run name ranks params json trace =
     let t = resolve name ranks params in
-    let a = analyze_target t in
+    let a = analyze_target ?trace t in
     if json then
       Fmt.pr "%a@."
         Perf_taint.Export.pp
@@ -147,8 +173,11 @@ let analyze_cmd =
     else begin
     let ov = Perf_taint.Report.overview a ~model_params:t.model_params in
     Fmt.pr "%a@.@." Perf_taint.Report.pp_overview ov;
+    let ls = Taint.Label.table_stats a.labels in
     Fmt.pr "tainted run: %d instructions, %d taint labels@." a.steps
-      (Taint.Label.label_count a.labels);
+      ls.Taint.Label.labels;
+    Fmt.pr "label table: %d union calls, %d dedup hits@."
+      ls.Taint.Label.unions ls.Taint.Label.dedup_hits;
     List.iter
       (fun w -> Fmt.pr "warning: %s@." w)
       a.static.Static_an.Classify.warnings;
@@ -158,12 +187,12 @@ let analyze_cmd =
   in
   let doc = "Run the static + dynamic taint analysis and print the report." in
   Cmd.v (Cmd.info "analyze" ~doc)
-    Term.(const run $ app_arg $ ranks_arg $ param_arg $ json_arg)
+    Term.(const run $ app_arg $ ranks_arg $ param_arg $ json_arg $ trace_arg)
 
 let select_cmd =
-  let run name ranks params =
+  let run name ranks params trace =
     let t = resolve name ranks params in
-    let a = analyze_target t in
+    let a = analyze_target ?trace t in
     let relevant =
       Perf_taint.Pipeline.relevant_functions a ~model_params:t.model_params
     in
@@ -175,7 +204,7 @@ let select_cmd =
   in
   let doc = "Print the taint-derived instrumentation selection." in
   Cmd.v (Cmd.info "select" ~doc)
-    Term.(const run $ app_arg $ ranks_arg $ param_arg)
+    Term.(const run $ app_arg $ ranks_arg $ param_arg $ trace_arg)
 
 let print_cmd =
   let run name ranks params =
@@ -187,9 +216,9 @@ let print_cmd =
     Term.(const run $ app_arg $ ranks_arg $ param_arg)
 
 let coverage_cmd =
-  let run name ranks params =
+  let run name ranks params trace =
     let t = resolve name ranks params in
-    let a = analyze_target t in
+    let a = analyze_target ?trace t in
     let all = Ir.Cfg.SSet.elements (Perf_taint.Pipeline.observed_params a) in
     Fmt.pr "per-parameter coverage:@.";
     List.iter
@@ -200,16 +229,16 @@ let coverage_cmd =
   in
   let doc = "Print per-parameter function/loop coverage (Table 3 style)." in
   Cmd.v (Cmd.info "coverage" ~doc)
-    Term.(const run $ app_arg $ ranks_arg $ param_arg)
+    Term.(const run $ app_arg $ ranks_arg $ param_arg $ trace_arg)
 
 let volume_cmd =
   let func_arg =
     let doc = "Function whose iteration volume to print (default: all)." in
     Arg.(value & opt (some string) None & info [ "func" ] ~doc)
   in
-  let run name ranks params func =
+  let run name ranks params func trace =
     let t = resolve name ranks params in
-    let a = analyze_target t in
+    let a = analyze_target ?trace t in
     (match func with
     | Some f ->
       Fmt.pr "%-36s %s@." f
@@ -230,7 +259,7 @@ let volume_cmd =
      scaffolding the empirical modeler parametrises."
   in
   Cmd.v (Cmd.info "volume" ~doc)
-    Term.(const run $ app_arg $ ranks_arg $ param_arg $ func_arg)
+    Term.(const run $ app_arg $ ranks_arg $ param_arg $ func_arg $ trace_arg)
 
 let mode_arg =
   let doc = "Modeling mode: tainted (hybrid) or black-box." in
@@ -246,7 +275,7 @@ let func_arg =
   Arg.(value & opt (some string) None & info [ "func" ] ~doc)
 
 let model_cmd =
-  let run name ranks params mode func =
+  let run name ranks params mode func trace =
     let t = resolve name ranks params in
     let spec =
       match t.spec with
@@ -255,7 +284,7 @@ let model_cmd =
         Fmt.epr "error: %s has no measurement spec (use lulesh or milc)@." name;
         exit 2
     in
-    let a = analyze_target t in
+    let a = analyze_target ?trace t in
     let machine = Mpi_sim.Machine.skylake_cluster in
     let selective =
       Measure.Instrument.SSet.of_list
@@ -308,12 +337,14 @@ let model_cmd =
      models."
   in
   Cmd.v (Cmd.info "model" ~doc)
-    Term.(const run $ app_arg $ ranks_arg $ param_arg $ mode_arg $ func_arg)
+    Term.(
+      const run $ app_arg $ ranks_arg $ param_arg $ mode_arg $ func_arg
+      $ trace_arg)
 
 let profile_cmd =
-  let run name ranks params =
+  let run name ranks params trace =
     let t = resolve name ranks params in
-    let a = analyze_target t in
+    let a = analyze_target ?trace t in
     let rows =
       Interp.Observations.func_list a.Perf_taint.Pipeline.obs
       |> List.sort (fun x y ->
@@ -330,10 +361,41 @@ let profile_cmd =
   in
   let doc = "Per-function statistics of the tainted run (the analysis cost)." in
   Cmd.v (Cmd.info "profile" ~doc)
-    Term.(const run $ app_arg $ ranks_arg $ param_arg)
+    Term.(const run $ app_arg $ ranks_arg $ param_arg $ trace_arg)
+
+let stats_cmd =
+  let run name ranks params json trace =
+    let t = resolve name ranks params in
+    let metrics = Obs_metrics.create () in
+    let a = analyze_target ~metrics ?trace t in
+    if json then
+      Fmt.pr "%a@." Perf_taint.Export.pp (Perf_taint.Export.stats_json a)
+    else begin
+      Fmt.pr "self-profile: %s@.@." t.program.Ir.Types.pname;
+      Fmt.pr "phase timings:@.";
+      List.iter
+        (fun (phase, s) -> Fmt.pr "  %-12s %12.6f s@." phase s)
+        (Perf_taint.Pipeline.phases a);
+      let ls = Taint.Label.table_stats a.labels in
+      Fmt.pr "@.label table:@.";
+      Fmt.pr "  %-12s %12d@." "labels" ls.Taint.Label.labels;
+      Fmt.pr "  %-12s %12d@." "unions" ls.Taint.Label.unions;
+      Fmt.pr "  %-12s %12d@." "dedup hits" ls.Taint.Label.dedup_hits;
+      Fmt.pr "@.metrics:@.%a" Obs_metrics.pp_summary a.snapshot
+    end
+  in
+  let doc =
+    "Self-profile of the analysis: phase timings (static / tainted run / \
+     post-processing), instruction counts by opcode class, memory and \
+     shadow traffic, label-table statistics.  The overhead the paper \
+     amortizes against the measurement campaign, measured on our own \
+     pipeline."
+  in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(const run $ app_arg $ ranks_arg $ param_arg $ json_arg $ trace_arg)
 
 let contention_cmd =
-  let run name ranks params =
+  let run name ranks params trace =
     let t = resolve name ranks params in
     let spec =
       match t.spec with
@@ -342,7 +404,7 @@ let contention_cmd =
         Fmt.epr "error: %s has no measurement spec@." name;
         exit 2
     in
-    let a = analyze_target t in
+    let a = analyze_target ?trace t in
     let selective =
       Measure.Instrument.SSet.of_list
         (Perf_taint.Pipeline.relevant_functions a ~model_params:t.model_params
@@ -387,16 +449,16 @@ let contention_cmd =
     "Sweep ranks-per-node at a fixed configuration and report functions      whose growth contradicts the taint analysis (Figure 5 / C1)."
   in
   Cmd.v (Cmd.info "contention" ~doc)
-    Term.(const run $ app_arg $ ranks_arg $ param_arg)
+    Term.(const run $ app_arg $ ranks_arg $ param_arg $ trace_arg)
 
 let design_cmd =
   let reps_arg =
     let doc = "Repetitions per configuration." in
     Arg.(value & opt int 5 & info [ "reps" ] ~doc)
   in
-  let run name ranks params reps =
+  let run name ranks params reps trace =
     let t = resolve name ranks params in
-    let a = analyze_target t in
+    let a = analyze_target ?trace t in
     (* Five-point axes over every parameter the program declares. *)
     let entry =
       Ir.Types.find_func t.program t.program.Ir.Types.entry
@@ -413,7 +475,7 @@ let design_cmd =
     "Propose an experiment design from the taint results: which parameters      to fix, sweep alone, or sweep jointly (A1/A2)."
   in
   Cmd.v (Cmd.info "design" ~doc)
-    Term.(const run $ app_arg $ ranks_arg $ param_arg $ reps_arg)
+    Term.(const run $ app_arg $ ranks_arg $ param_arg $ reps_arg $ trace_arg)
 
 let validate_cmd =
   let at_arg =
@@ -458,6 +520,6 @@ let main_cmd =
   let doc = "tainted performance modeling (Perf-Taint reproduction)" in
   Cmd.group (Cmd.info "perf-taint" ~version:"1.0.0" ~doc)
     [ analyze_cmd; select_cmd; coverage_cmd; volume_cmd; print_cmd; model_cmd;
-      profile_cmd; contention_cmd; design_cmd; validate_cmd ]
+      profile_cmd; stats_cmd; contention_cmd; design_cmd; validate_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

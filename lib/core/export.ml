@@ -31,8 +31,10 @@ let escape s =
     s;
   Buffer.contents buf
 
+(* NaN and the infinities have no JSON representation — "%g" would print
+   "nan"/"inf" and corrupt the document — so they all become null. *)
 let float_repr f =
-  if Float.is_nan f then "null"
+  if not (Float.is_finite f) then "null"
   else if Float.is_integer f && Float.abs f < 1e15 then
     Printf.sprintf "%.1f" f
   else Printf.sprintf "%.12g" f
@@ -195,6 +197,65 @@ let analysis_json (t : Pipeline.t) ~model_params =
              (Pipeline.function_names t)) );
       ( "warnings",
         strings t.static.Static_an.Classify.warnings );
+    ]
+
+(* -- self-profile ------------------------------------------------------------ *)
+
+let hist_snapshot_json (hs : Obs_metrics.hist_snapshot) =
+  Obj
+    [
+      ( "buckets",
+        List
+          (List.map
+             (fun (bound, count) ->
+               Obj [ ("le", Float bound); ("count", Int count) ])
+             hs.Obs_metrics.hs_buckets) );
+      ("overflow", Int hs.Obs_metrics.hs_overflow);
+      ("count", Int hs.Obs_metrics.hs_count);
+      ("sum", Float hs.Obs_metrics.hs_sum);
+      ("min", Float hs.Obs_metrics.hs_min);
+      ("max", Float hs.Obs_metrics.hs_max);
+    ]
+
+(** A metrics snapshot: counters, gauges, histograms, each as an object
+    keyed by metric name. *)
+let snapshot_json (s : Obs_metrics.snapshot) =
+  Obj
+    [
+      ( "counters",
+        Obj (List.map (fun (n, v) -> (n, Int v)) s.Obs_metrics.counters) );
+      ("gauges", Obj (List.map (fun (n, v) -> (n, Float v)) s.Obs_metrics.gauges));
+      ( "histograms",
+        Obj
+          (List.map
+             (fun (n, hs) -> (n, hist_snapshot_json hs))
+             s.Obs_metrics.histograms) );
+    ]
+
+(** Self-profile of one analysis: phase durations, instruction counts by
+    opcode class, label-table statistics, and the raw metrics snapshot. *)
+let stats_json (t : Pipeline.t) =
+  let s = t.Pipeline.snapshot in
+  let lstats = Taint.Label.table_stats t.Pipeline.labels in
+  Obj
+    [
+      ("program", String t.Pipeline.program.Ir.Types.pname);
+      ( "phases",
+        Obj (List.map (fun (n, v) -> (n, Float v)) (Pipeline.phases t)) );
+      ( "instructions",
+        Obj
+          (("total", Int t.Pipeline.steps)
+          :: List.map
+               (fun (cls, v) -> (cls, Int v))
+               (Obs_metrics.counters_with_prefix s "interp.instr.")) );
+      ( "label_table",
+        Obj
+          [
+            ("labels", Int lstats.Taint.Label.labels);
+            ("unions", Int lstats.Taint.Label.unions);
+            ("dedup_hits", Int lstats.Taint.Label.dedup_hits);
+          ] );
+      ("metrics", snapshot_json s);
     ]
 
 (** Fitted models of a campaign, with quality statistics. *)

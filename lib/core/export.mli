@@ -21,6 +21,13 @@ val func_deps_json : Deps.func_deps -> json
 val analysis_json : Pipeline.t -> model_params:string list -> json
 (** Program summary, per-function classification/dependencies, warnings. *)
 
+val snapshot_json : Obs_metrics.snapshot -> json
+(** Counters, gauges, and histograms keyed by metric name. *)
+
+val stats_json : Pipeline.t -> json
+(** Self-profile of one analysis: phase durations, instruction counts by
+    class, label-table statistics, full metrics snapshot. *)
+
 val models_json :
   (string * Model.Search.result * Model.Dataset.t) list -> json
 (** Fitted models of a campaign, with quality statistics. *)

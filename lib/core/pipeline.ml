@@ -19,6 +19,10 @@ type t = {
   taint_args : (string * Ir.Types.value) list;
       (** entry bindings used for the tainted run *)
   steps : int;  (** instructions interpreted during the tainted run *)
+  snapshot : Obs_metrics.snapshot;
+      (** self-profile of this analysis: phase durations, label-table
+          traffic, and (when a registry was supplied) per-instruction
+          accounting *)
 }
 
 (** How a function is treated after the two pruning phases, relative to a
@@ -38,23 +42,62 @@ let status_name = function
   | Comm_routine -> "comm"
   | Unexecuted -> "unexecuted"
 
+(* Phase gauge names; `phases` below extracts them from the snapshot. *)
+let phase_static = "pipeline.phase.static_s"
+let phase_taint_run = "pipeline.phase.taint_run_s"
+let phase_post = "pipeline.phase.post_s"
+let phase_total = "pipeline.phase.total_s"
+
 (** Run the full analysis: static classification, then one tainted run of
-    [program] with entry arguments [args] under MPI world [world]. *)
+    [program] with entry arguments [args] under MPI world [world].
+
+    [metrics] turns on per-instruction accounting in the interpreter and
+    collects everything into the given registry; without it a private
+    registry still captures phase durations and label-table statistics
+    (three clock reads and a handful of counters — negligible next to the
+    run itself).  [trace] records pipeline-phase spans, per-call function
+    spans and loop-entry instants. *)
 let analyze ?(config = Interp.Machine.default_config)
-    ?(world = Mpi_sim.Runtime.default_world) program ~args =
-  Ir.Validate.check_exn program;
-  let static =
-    Static_an.Classify.classify program
-      ~relevant_prim:Mpi_sim.Costdb.relevant_prim
+    ?(world = Mpi_sim.Runtime.default_world) ?metrics
+    ?(trace = Obs_trace.disabled) program ~args =
+  let reg = match metrics with Some m -> m | None -> Obs_metrics.create () in
+  let timed gauge_name span_name f =
+    let g = Obs_metrics.gauge reg gauge_name in
+    let t0 = Obs_clock.now_ns () in
+    let r = Obs_trace.with_span trace ~cat:"pipeline" span_name f in
+    Obs_metrics.set_gauge g (Obs_clock.seconds_since t0);
+    r
   in
-  let m = Interp.Machine.create ~config program in
-  Mpi_sim.Runtime.install world m;
+  let t0 = Obs_clock.now_ns () in
+  let static =
+    timed phase_static "pipeline.static" (fun () ->
+        Ir.Validate.check_exn program;
+        Static_an.Classify.classify program
+          ~relevant_prim:Mpi_sim.Costdb.relevant_prim)
+  in
+  let m = Interp.Machine.create ~config ?metrics ~trace program in
   let entry = Ir.Types.find_func program program.Ir.Types.entry in
-  let _ = Interp.Machine.run m args in
+  timed phase_taint_run "pipeline.taint_run" (fun () ->
+      Mpi_sim.Runtime.install world m;
+      ignore (Interp.Machine.run m args));
   let obs = Interp.Machine.observations m in
   let labels = Interp.Machine.label_table m in
-  let deps = Deps.of_observations labels obs in
-  let mpi_params = Deps.routine_params labels obs in
+  let deps, mpi_params =
+    timed phase_post "pipeline.post" (fun () ->
+        (Deps.of_observations labels obs, Deps.routine_params labels obs))
+  in
+  Obs_metrics.set_gauge
+    (Obs_metrics.gauge reg phase_total)
+    (Obs_clock.seconds_since t0);
+  let lstats = Taint.Label.table_stats labels in
+  Obs_metrics.add (Obs_metrics.counter reg "taint.labels") lstats.Taint.Label.labels;
+  Obs_metrics.add (Obs_metrics.counter reg "taint.unions") lstats.Taint.Label.unions;
+  Obs_metrics.add
+    (Obs_metrics.counter reg "taint.dedup_hits")
+    lstats.Taint.Label.dedup_hits;
+  Obs_metrics.add
+    (Obs_metrics.counter reg "interp.steps")
+    (Interp.Machine.steps_executed m);
   {
     program;
     static;
@@ -65,7 +108,21 @@ let analyze ?(config = Interp.Machine.default_config)
     world;
     taint_args = List.combine entry.Ir.Types.fparams args;
     steps = Interp.Machine.steps_executed m;
+    snapshot = Obs_metrics.snapshot reg;
   }
+
+(** Phase durations of this analysis, seconds, in pipeline order:
+    [static], [taint_run], [post]. *)
+let phases t =
+  List.filter_map
+    (fun (key, name) ->
+      Option.map (fun v -> (name, v)) (Obs_metrics.find_gauge t.snapshot key))
+    [
+      (phase_static, "static");
+      (phase_taint_run, "taint_run");
+      (phase_post, "post");
+      (phase_total, "total");
+    ]
 
 let executed t fname =
   match Hashtbl.find_opt t.obs.Obs.funcs fname with

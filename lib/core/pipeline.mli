@@ -16,6 +16,10 @@ type t = {
   world : Mpi_sim.Runtime.world;
   taint_args : (string * Ir.Types.value) list;
   steps : int;  (** instructions interpreted by the tainted run *)
+  snapshot : Obs_metrics.snapshot;
+      (** self-profile: phase durations ([pipeline.phase.*_s] gauges),
+          label-table traffic ([taint.*] counters), and — when {!analyze}
+          was given a registry — instruction-class counters *)
 }
 
 type func_status =
@@ -30,12 +34,22 @@ val status_name : func_status -> string
 val analyze :
   ?config:Interp.Machine.config ->
   ?world:Mpi_sim.Runtime.world ->
+  ?metrics:Obs_metrics.t ->
+  ?trace:Obs_trace.sink ->
   Ir.Types.program ->
   args:Ir.Types.value list ->
   t
-(** Validate, statically classify, then run the tainted execution.
+(** Validate, statically classify, then run the tainted execution.  The
+    three phases (static analysis, tainted run, post-processing) are
+    individually timed; [metrics] additionally enables per-instruction
+    accounting in the interpreter and [trace] records phase/function
+    spans and loop-entry instants.
     @raise Ir.Types.Ir_error on malformed programs
     @raise Interp.Machine.Runtime_error on dynamic errors. *)
+
+val phases : t -> (string * float) list
+(** Phase durations of this analysis in seconds: [static], [taint_run],
+    [post], [total]. *)
 
 val executed : t -> string -> bool
 val status : t -> model_params:string list -> string -> func_status

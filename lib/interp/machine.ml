@@ -29,6 +29,46 @@ type config = {
 
 let default_config = { control_flow_taint = true; max_steps = 200_000_000 }
 
+(* Pre-interned instruction counters (opcode classes, memory and shadow
+   traffic, control flow, loops).  Held as an [option] on the machine:
+   the disabled path is one field load and branch per instruction, with
+   no hashing and no allocation. *)
+type icounters = {
+  ic_alu : Obs_metrics.counter;      (** Assign/Binop/Unop *)
+  ic_mem : Obs_metrics.counter;      (** Alloc/Load/Store *)
+  ic_call : Obs_metrics.counter;     (** Call instructions *)
+  ic_prim : Obs_metrics.counter;     (** Prim instructions *)
+  ic_ctl : Obs_metrics.counter;      (** block terminators *)
+  ic_loads : Obs_metrics.counter;
+  ic_stores : Obs_metrics.counter;
+  ic_allocs : Obs_metrics.counter;
+  ic_heap_cells : Obs_metrics.counter;
+  ic_branches : Obs_metrics.counter;
+  ic_tainted_branches : Obs_metrics.counter;
+  ic_loop_entries : Obs_metrics.counter;
+  ic_loop_iters : Obs_metrics.counter;
+  ic_calls : Obs_metrics.counter;    (** function invocations *)
+}
+
+let icounters_of m =
+  let c = Obs_metrics.counter m in
+  {
+    ic_alu = c "interp.instr.alu";
+    ic_mem = c "interp.instr.mem";
+    ic_call = c "interp.instr.call";
+    ic_prim = c "interp.instr.prim";
+    ic_ctl = c "interp.instr.ctl";
+    ic_loads = c "interp.mem.loads";
+    ic_stores = c "interp.mem.stores";
+    ic_allocs = c "interp.mem.allocs";
+    ic_heap_cells = c "interp.mem.heap_cells";
+    ic_branches = c "interp.ctl.branches";
+    ic_tainted_branches = c "interp.ctl.tainted_branches";
+    ic_loop_entries = c "interp.loop.entries";
+    ic_loop_iters = c "interp.loop.iterations";
+    ic_calls = c "interp.calls";
+  }
+
 (* Static per-function facts needed during execution. *)
 type fstatic = {
   cfg : Ir.Cfg.t;
@@ -65,6 +105,8 @@ type t = {
   obs : Obs.t;
   prims : (string, prim_fn) Hashtbl.t;
   mutable call_depth : int;
+  im : icounters option;     (** instruction metrics, when enabled *)
+  trace : Obs_trace.sink;    (** span/instant sink, [disabled] by default *)
 }
 
 and prim_fn = t -> frame -> (value * Label.t) list -> value * Label.t
@@ -181,6 +223,9 @@ let alloc_array t size =
   t.next_alloc <- t.next_alloc + 1;
   Hashtbl.replace t.heap h (Array.make (max size 0) (VInt 0));
   Shadow.on_alloc t.shadow ~alloc:h ~size;
+  (match t.im with
+  | None -> ()
+  | Some ic -> Obs_metrics.add ic.ic_heap_cells (max size 0));
   h
 
 let heap_get t h i =
@@ -202,10 +247,25 @@ let step t =
   if t.steps > t.config.max_steps then
     Eval.error "instruction budget exceeded (%d steps)" t.config.max_steps
 
+let count_instr ic = function
+  | Assign _ | Binop _ | Unop _ -> Obs_metrics.incr ic.ic_alu
+  | Alloc _ ->
+    Obs_metrics.incr ic.ic_mem;
+    Obs_metrics.incr ic.ic_allocs
+  | Load _ ->
+    Obs_metrics.incr ic.ic_mem;
+    Obs_metrics.incr ic.ic_loads
+  | Store _ ->
+    Obs_metrics.incr ic.ic_mem;
+    Obs_metrics.incr ic.ic_stores
+  | Call _ -> Obs_metrics.incr ic.ic_call
+  | Prim _ -> Obs_metrics.incr ic.ic_prim
+
 let rec exec_instr t frame instr =
   step t;
   let fo = Obs.func_obs t.obs frame.ffunc.fname in
   fo.Obs.fo_instrs <- fo.Obs.fo_instrs + 1;
+  (match t.im with None -> () | Some ic -> count_instr ic instr);
   match instr with
   | Assign (d, a) ->
     let v, l = eval_operand frame a in
@@ -287,7 +347,16 @@ and call ?(enclosing = []) t callpath fname argv =
     f.fparams argv;
   let fo = Obs.func_obs t.obs fname in
   fo.Obs.fo_calls <- fo.Obs.fo_calls + 1;
-  let result = exec_from t frame (entry_block f) ~prev:None in
+  (match t.im with None -> () | Some ic -> Obs_metrics.incr ic.ic_calls);
+  let result =
+    if Obs_trace.enabled t.trace then begin
+      Obs_trace.span_begin t.trace ~cat:"interp" fname;
+      Fun.protect
+        ~finally:(fun () -> Obs_trace.span_end t.trace fname)
+        (fun () -> exec_from t frame (entry_block f) ~prev:None)
+    end
+    else exec_from t frame (entry_block f) ~prev:None
+  in
   t.call_depth <- t.call_depth - 1;
   result
 
@@ -324,6 +393,14 @@ and note_loop_arrival t frame block ~prev =
     in
     (if from_inside then lo.Obs.lo_iters <- lo.Obs.lo_iters + 1
      else lo.Obs.lo_entries <- lo.Obs.lo_entries + 1);
+    (match t.im with
+    | None -> ()
+    | Some ic ->
+      if from_inside then Obs_metrics.incr ic.ic_loop_iters
+      else Obs_metrics.incr ic.ic_loop_entries);
+    if (not from_inside) && Obs_trace.enabled t.trace then
+      Obs_trace.instant t.trace ~cat:"loop"
+        (frame.ffunc.fname ^ "/" ^ block.label);
     let self = (frame.cp_key, block.label) in
     let ctx =
       List.filter (fun k -> k <> self) frame.active_loops @ frame.enclosing
@@ -391,6 +468,7 @@ and exec_from t frame block ~prev =
   | None -> ());
   List.iter (exec_instr t frame) block.instrs;
   step t;
+  (match t.im with None -> () | Some ic -> Obs_metrics.incr ic.ic_ctl);
   match block.term with
   | Return op ->
     let v, l = eval_operand frame op in
@@ -407,6 +485,12 @@ and exec_from t frame block ~prev =
       else l
     in
     let taken = Eval.as_bool v in
+    (match t.im with
+    | None -> ()
+    | Some ic ->
+      Obs_metrics.incr ic.ic_branches;
+      if not (Label.is_empty dep) then
+        Obs_metrics.incr ic.ic_tainted_branches);
     note_branch t frame block dep taken;
     note_loop_sink t frame block dep;
     (if t.config.control_flow_taint && not (Label.is_empty l) then
@@ -419,7 +503,8 @@ and exec_from t frame block ~prev =
 
 (* -- entry points -------------------------------------------------------- *)
 
-let create ?(config = default_config) program =
+let create ?(config = default_config) ?metrics ?(trace = Obs_trace.disabled)
+    program =
   let t =
     {
       program;
@@ -433,6 +518,8 @@ let create ?(config = default_config) program =
       obs = Obs.create ();
       prims = Hashtbl.create 16;
       call_depth = 0;
+      im = Option.map icounters_of metrics;
+      trace;
     }
   in
   t
@@ -464,3 +551,4 @@ let run_named t bindings =
 let observations t = t.obs
 let label_table t = t.labels
 let steps_executed t = t.steps
+let trace_sink t = t.trace

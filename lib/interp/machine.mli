@@ -28,7 +28,18 @@ type prim_fn =
 (** A host primitive: receives evaluated arguments with their labels and
     returns the result value and label. *)
 
-val create : ?config:config -> Ir.Types.program -> t
+val create :
+  ?config:config ->
+  ?metrics:Obs_metrics.t ->
+  ?trace:Obs_trace.sink ->
+  Ir.Types.program ->
+  t
+(** [metrics] enables per-instruction accounting (opcode classes,
+    memory/shadow traffic, branches, loop entries) into the given
+    registry; [trace] records a function-call span per invocation and a
+    loop-entry instant event per dynamic loop entry.  Both default to
+    off, in which case the interpreter's hot path is unchanged: one
+    field test per instruction, no allocation. *)
 
 val register_prim : t -> string -> prim_fn -> unit
 (** Install or replace a primitive.  [taint:<name>], [work] and [print]
@@ -46,3 +57,6 @@ val run_named :
 val observations : t -> Observations.t
 val label_table : t -> Taint.Label.table
 val steps_executed : t -> int
+
+val trace_sink : t -> Obs_trace.sink
+(** The sink passed at creation ([Obs_trace.disabled] otherwise). *)

@@ -23,12 +23,15 @@ let configs design =
         acc)
     [ [] ] design.grid
 
-let run_design app machine design =
+let run_design ?metrics app machine design =
+  (match metrics with
+  | None -> ()
+  | Some reg -> Obs_metrics.incr (Obs_metrics.counter reg "sim.campaigns"));
   List.concat_map
     (fun params ->
       List.init design.reps (fun rep ->
-          Simulator.measure ~sigma:design.sigma ~seed:design.seed ~rep app
-            machine ~params ~mode:design.mode))
+          Simulator.measure ~sigma:design.sigma ~seed:design.seed ~rep ?metrics
+            app machine ~params ~mode:design.mode))
     (configs design)
 
 (** Modeling dataset for one kernel: one point per configuration, one

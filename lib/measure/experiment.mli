@@ -14,7 +14,12 @@ val default_design : design
 val configs : design -> Spec.params list
 (** The cartesian product of the grid. *)
 
-val run_design : Spec.app -> Mpi_sim.Machine.t -> design -> Simulator.run list
+val run_design :
+  ?metrics:Obs_metrics.t ->
+  Spec.app -> Mpi_sim.Machine.t -> design -> Simulator.run list
+(** Execute the full-factorial design.  [metrics] counts campaigns and
+    runs and accumulates the simulated core-hour cost (see
+    {!Simulator.measure}). *)
 
 val kernel_dataset :
   Simulator.run list -> params:string list -> kernel:string -> Model.Dataset.t

@@ -28,8 +28,11 @@ val ranks_per_node_of : Machine.t -> Spec.params -> int
 val true_time : Machine.t -> ranks_per_node:int -> Spec.kernel -> Spec.params -> float
 
 val measure :
-  ?sigma:float -> ?seed:int -> ?rep:int ->
+  ?sigma:float -> ?seed:int -> ?rep:int -> ?metrics:Obs_metrics.t ->
   Spec.app -> Machine.t -> params:Spec.params -> mode:Instrument.mode -> run
+(** [metrics] tags the campaign with its simulated cost: a [sim.runs]
+    counter, a [sim.run_wall_s] histogram, and an accumulated
+    [sim.core_hours] gauge. *)
 
 val overhead : run -> float
 (** Relative instrumentation overhead (0.0 = none). *)

@@ -17,6 +17,9 @@ type config = {
       (** a parametric hypothesis must beat the constant model's
           cross-validated error by this relative margin to be accepted —
           the guard against modeling noise on constant functions *)
+  metrics : Obs_metrics.t option;
+      (** when set, the search counts candidates generated (per term
+          class), evaluated, and rejected into this registry *)
 }
 
 (* The exact single-parameter search space printed in the paper. *)
@@ -32,6 +35,7 @@ let default_config =
        modeling overfits noise on constant functions (B1).  The margin is
        an opt-in guard. *)
     min_improvement = 0.;
+    metrics = None;
   }
 
 (* The paper notes the sets can be expanded when expectations about the
@@ -123,14 +127,38 @@ let loocv_smape (h : hypothesis) points =
     if !ok then Some (Dataset.smape !preds) else None
   end
 
+(* Search-cost accounting: resolved once per select_best call; a [None]
+   registry costs nothing on the scoring path. *)
+let bump = function None -> () | Some c -> Obs_metrics.incr c
+let bump_n n = function None -> () | Some c -> Obs_metrics.add c n
+
+let candidate_counter metrics cls =
+  Option.map
+    (fun reg -> Obs_metrics.counter reg ("search.candidates." ^ cls))
+    metrics
+
 (* Score every hypothesis; return the winner as a [result].  The constant
    model (intercept only) always participates; a parametric hypothesis
    must beat its cross-validated error by [min_improvement] (relative) to
    be selected — otherwise noise on constant functions gets modeled. *)
-let select_best ?(min_improvement = 0.) hypotheses points =
+let select_best ?(min_improvement = 0.) ?metrics hypotheses points =
+  let evaluated =
+    Option.map (fun reg -> Obs_metrics.counter reg "search.evaluated") metrics
+  in
+  let rej_unfit =
+    Option.map
+      (fun reg -> Obs_metrics.counter reg "search.rejected.unfit")
+      metrics
+  in
+  let rej_threshold =
+    Option.map
+      (fun reg -> Obs_metrics.counter reg "search.rejected.threshold")
+      metrics
+  in
   let tried = ref 0 in
   let consider best (h : hypothesis) =
     incr tried;
+    bump evaluated;
     match (loocv_smape h points, fit_hypothesis h points) with
     | Some err, Some (coeffs, rss) ->
       let cand = (model_of_fit h coeffs, err, rss, List.length h) in
@@ -147,7 +175,9 @@ let select_best ?(min_improvement = 0.) hypotheses points =
                   || (cterms = bterms && crss < brss)))
         then Some cand
         else best)
-    | _ -> best
+    | _ ->
+      bump rej_unfit;
+      best
   in
   (* Score the constant hypothesis first to anchor the threshold. *)
   let constant = consider None [] in
@@ -159,11 +189,17 @@ let select_best ?(min_improvement = 0.) hypotheses points =
   let best =
     List.fold_left
       (fun best h ->
-        match consider best h with
-        | Some (_, err, _, terms) as cand
-          when terms = 0 || err <= threshold +. 1e-12 ->
+        let cand = consider best h in
+        match cand with
+        | Some (_, err, _, terms) when terms = 0 || err <= threshold +. 1e-12
+          ->
           cand
-        | _ -> best)
+        | _ ->
+          (* Only a *new* candidate reaching this branch was beaten by
+             the constant-model margin; an unchanged best was counted
+             already. *)
+          if cand != best then bump rej_threshold;
+          best)
       constant hypotheses
   in
   match best with
@@ -182,7 +218,9 @@ let allowed_param constraints p =
 let single ?(config = default_config) ?(constraints = unconstrained) ~param
     samples =
   let points = List.map (fun (x, y) -> ([ (param, x) ], y)) samples in
-  let select_best = select_best ~min_improvement:config.min_improvement in
+  let select_best =
+    select_best ~min_improvement:config.min_improvement ?metrics:config.metrics
+  in
   if not (allowed_param constraints param) then select_best [] points
   else begin
     let terms = simple_terms config in
@@ -201,6 +239,8 @@ let single ?(config = default_config) ?(constraints = unconstrained) ~param
           arr;
         !acc
     in
+    bump_n (List.length n1) (candidate_counter config.metrics "single_term");
+    bump_n (List.length n2) (candidate_counter config.metrics "two_term");
     select_best (n1 @ n2) points
   end
 
@@ -276,7 +316,9 @@ let multi ?(config = default_config) ?(constraints = unconstrained) data =
       (fun p -> (p.Dataset.coords, Dataset.point_mean p))
       data.Dataset.points
   in
-  let select_best = select_best ~min_improvement:config.min_improvement in
+  let select_best =
+    select_best ~min_improvement:config.min_improvement ?metrics:config.metrics
+  in
   match params with
   | [] -> select_best [] points
   | [ p ] ->
@@ -349,4 +391,6 @@ let multi ?(config = default_config) ?(constraints = unconstrained) data =
                     else None))
       |> List.sort_uniq compare
     in
+    bump_n (List.length hypotheses)
+      (candidate_counter config.metrics "multi_param");
     select_best hypotheses points

@@ -13,6 +13,12 @@ type config = {
           pure best-fit selection, which is what lets noise on constant
           functions be modeled (the B1 failure mode); set to ~0.1 as an
           opt-in guard. *)
+  metrics : Obs_metrics.t option;
+      (** when set, the search records [search.candidates.single_term],
+          [search.candidates.two_term], [search.candidates.multi_param],
+          [search.evaluated], [search.rejected.unfit] and
+          [search.rejected.threshold] counters into this registry.
+          Default [None]: no accounting, no overhead. *)
 }
 
 val default_config : config

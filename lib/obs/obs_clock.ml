@@ -1,0 +1,8 @@
+(** Monotonic time source: a thin veneer over the CLOCK_MONOTONIC stub
+    that ships with bechamel, so the observability layer needs no
+    additional system dependency. *)
+
+let now_ns () = Monotonic_clock.now ()
+
+let seconds_since t0 =
+  Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) *. 1e-9

@@ -1,0 +1,9 @@
+(** Monotonic time source for the observability layer.  All spans and
+    phase timings are measured against this clock, never wall time, so
+    NTP adjustments cannot produce negative durations. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on the system monotonic clock (CLOCK_MONOTONIC). *)
+
+val seconds_since : int64 -> float
+(** Elapsed seconds between an earlier {!now_ns} reading and now. *)

@@ -1,0 +1,227 @@
+(** In-memory trace recorder with Chrome [trace_event] export.  Events are
+    prepended to a list (reversed on read); timestamps are monotonic
+    nanoseconds relative to sink creation. *)
+
+type arg = Int of int | Float of float | String of string
+type phase = Begin | End | Instant
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ph : phase;
+  ev_ts_ns : int64;
+  ev_args : (string * arg) list;
+}
+
+type recorder = {
+  t0 : int64;
+  max_events : int;
+  mutable rev_events : event list;
+  mutable count : int;
+  mutable dropped : int;
+  mutable skip_depth : int;
+      (* spans whose Begin was dropped at the cap: their End must be
+         dropped too so recorded pairs stay matched *)
+}
+
+type sink = Disabled | Recording of recorder
+
+let disabled = Disabled
+
+let create ?(max_events = 1_000_000) () =
+  Recording
+    {
+      t0 = Obs_clock.now_ns ();
+      max_events;
+      rev_events = [];
+      count = 0;
+      dropped = 0;
+      skip_depth = 0;
+    }
+
+let enabled = function Disabled -> false | Recording _ -> true
+
+let now r = Int64.sub (Obs_clock.now_ns ()) r.t0
+
+let push r ev =
+  r.rev_events <- ev :: r.rev_events;
+  r.count <- r.count + 1
+
+let span_begin sink ?(cat = "perf-taint") ?(args = []) name =
+  match sink with
+  | Disabled -> ()
+  | Recording r ->
+    if r.count >= r.max_events then begin
+      r.dropped <- r.dropped + 1;
+      r.skip_depth <- r.skip_depth + 1
+    end
+    else
+      push r
+        { ev_name = name; ev_cat = cat; ev_ph = Begin; ev_ts_ns = now r;
+          ev_args = args }
+
+let span_end sink ?(args = []) name =
+  match sink with
+  | Disabled -> ()
+  | Recording r ->
+    if r.skip_depth > 0 then begin
+      r.dropped <- r.dropped + 1;
+      r.skip_depth <- r.skip_depth - 1
+    end
+    else
+      (* Ends of spans whose Begin made it into the buffer are recorded
+         even past the cap, keeping every emitted pair matched. *)
+      push r
+        { ev_name = name; ev_cat = ""; ev_ph = End; ev_ts_ns = now r;
+          ev_args = args }
+
+let instant sink ?(cat = "perf-taint") ?(args = []) name =
+  match sink with
+  | Disabled -> ()
+  | Recording r ->
+    if r.count >= r.max_events then r.dropped <- r.dropped + 1
+    else
+      push r
+        { ev_name = name; ev_cat = cat; ev_ph = Instant; ev_ts_ns = now r;
+          ev_args = args }
+
+let with_span sink ?cat name f =
+  match sink with
+  | Disabled -> f ()
+  | Recording _ ->
+    span_begin sink ?cat name;
+    let finally () = span_end sink name in
+    Fun.protect ~finally f
+
+let events = function
+  | Disabled -> []
+  | Recording r -> List.rev r.rev_events
+
+let dropped_events = function Disabled -> 0 | Recording r -> r.dropped
+
+let balanced evs =
+  let rec go stack = function
+    | [] -> stack = []
+    | ev :: rest -> (
+      match ev.ev_ph with
+      | Begin -> go (ev.ev_name :: stack) rest
+      | End -> (
+        match stack with
+        | top :: stack' when top = ev.ev_name -> go stack' rest
+        | _ -> false)
+      | Instant -> go stack rest)
+  in
+  go [] evs
+
+(* -- Chrome trace_event serialization ------------------------------------ *)
+
+(* The JSON subset needed here: names/categories are identifiers plus the
+   odd '/' or ':', but escape defensively anyway. *)
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let arg_repr = function
+  | Int i -> string_of_int i
+  | Float f ->
+    if Float.is_nan f || not (Float.is_finite f) then "null"
+    else Printf.sprintf "%.12g" f
+  | String s -> Printf.sprintf "\"%s\"" (escape s)
+
+let ts_us ns = Int64.to_float ns /. 1e3
+
+let event_repr buf ev =
+  let ph =
+    match ev.ev_ph with Begin -> "B" | End -> "E" | Instant -> "i"
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"name\": \"%s\", \"ph\": \"%s\", \"ts\": %.3f, \"pid\": 1, \"tid\": 1"
+       (escape ev.ev_name) ph (ts_us ev.ev_ts_ns));
+  if ev.ev_cat <> "" then
+    Buffer.add_string buf (Printf.sprintf ", \"cat\": \"%s\"" (escape ev.ev_cat));
+  (* Instant events need a scope; thread scope renders as a tick mark. *)
+  if ev.ev_ph = Instant then Buffer.add_string buf ", \"s\": \"t\"";
+  (match ev.ev_args with
+  | [] -> ()
+  | args ->
+    Buffer.add_string buf ", \"args\": {";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string buf ", ";
+        Buffer.add_string buf
+          (Printf.sprintf "\"%s\": %s" (escape k) (arg_repr v)))
+      args;
+    Buffer.add_string buf "}");
+  Buffer.add_string buf "}"
+
+let to_chrome_string sink =
+  let evs = events sink in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\": [";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_string buf ",\n ";
+      event_repr buf ev)
+    evs;
+  Buffer.add_string buf "],\n \"displayTimeUnit\": \"ms\"";
+  let d = dropped_events sink in
+  if d > 0 then
+    Buffer.add_string buf (Printf.sprintf ",\n \"droppedEvents\": %d" d);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file sink path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_chrome_string sink))
+
+(* -- summary ------------------------------------------------------------- *)
+
+type span_total = { st_name : string; st_count : int; st_total_s : float }
+
+let span_totals sink =
+  let totals : (string, int * float) Hashtbl.t = Hashtbl.create 16 in
+  let rec go stack = function
+    | [] -> ()
+    | ev :: rest ->
+      (match ev.ev_ph with
+      | Begin -> go ((ev.ev_name, ev.ev_ts_ns) :: stack) rest
+      | End -> (
+        match stack with
+        | (name, t0) :: stack' when name = ev.ev_name ->
+          let dt = Int64.to_float (Int64.sub ev.ev_ts_ns t0) *. 1e-9 in
+          let n, total =
+            Option.value ~default:(0, 0.) (Hashtbl.find_opt totals name)
+          in
+          Hashtbl.replace totals name (n + 1, total +. dt);
+          go stack' rest
+        | _ -> go stack rest)
+      | Instant -> go stack rest)
+  in
+  go [] (events sink);
+  Hashtbl.fold
+    (fun name (n, total) acc ->
+      { st_name = name; st_count = n; st_total_s = total } :: acc)
+    totals []
+  |> List.sort (fun a b -> compare b.st_total_s a.st_total_s)
+
+let pp_summary ppf sink =
+  List.iter
+    (fun st ->
+      Fmt.pf ppf "  %-40s %8d x %12.6f s@." st.st_name st.st_count st.st_total_s)
+    (span_totals sink);
+  let d = dropped_events sink in
+  if d > 0 then Fmt.pf ppf "  (%d events dropped at buffer cap)@." d

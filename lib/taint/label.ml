@@ -20,6 +20,11 @@ type table = {
   by_pair : (t * t, t) Hashtbl.t;
   mutable memo_sets : string list option array;
       (** cached base-name expansion per label *)
+  mutable union_calls : int;
+      (** total {!union} invocations (DFSan's dfsan_union count) *)
+  mutable dedup_hits : int;
+      (** union calls satisfied without allocating a node: fast paths
+          (equal/empty/subsuming operands) plus interned-pair reuse *)
 }
 
 let max_labels = 1 lsl 16
@@ -31,6 +36,8 @@ let create () =
     by_name = Hashtbl.create 16;
     by_pair = Hashtbl.create 64;
     memo_sets = Array.make 64 None;
+    union_calls = 0;
+    dedup_hits = 0;
   }
 
 exception Label_overflow
@@ -95,14 +102,29 @@ let subsumes tbl big small =
     operand subsuming the other; otherwise reuse an interned pair or
     allocate a new union node — exactly DFSan's [dfsan_union]. *)
 let union tbl a b =
-  if a = b || b = 0 then a
-  else if a = 0 then b
-  else if subsumes tbl a b then a
-  else if subsumes tbl b a then b
+  tbl.union_calls <- tbl.union_calls + 1;
+  if a = b || b = 0 then begin
+    tbl.dedup_hits <- tbl.dedup_hits + 1;
+    a
+  end
+  else if a = 0 then begin
+    tbl.dedup_hits <- tbl.dedup_hits + 1;
+    b
+  end
+  else if subsumes tbl a b then begin
+    tbl.dedup_hits <- tbl.dedup_hits + 1;
+    a
+  end
+  else if subsumes tbl b a then begin
+    tbl.dedup_hits <- tbl.dedup_hits + 1;
+    b
+  end
   else
     let key = if a < b then (a, b) else (b, a) in
     match Hashtbl.find_opt tbl.by_pair key with
-    | Some l -> l
+    | Some l ->
+      tbl.dedup_hits <- tbl.dedup_hits + 1;
+      l
     | None ->
       let l = alloc tbl (Union (fst key, snd key)) in
       Hashtbl.replace tbl.by_pair key l;
@@ -114,6 +136,17 @@ let union_all tbl = List.fold_left (union tbl) empty
 let has tbl l name = List.mem name (names tbl l)
 
 let label_count tbl = tbl.count - 1
+
+type stats = { labels : int; unions : int; dedup_hits : int }
+
+(** Runtime statistics of the label store.  [labels] is also the peak
+    table size: labels are never reclaimed, so the count is monotonic. *)
+let table_stats tbl =
+  {
+    labels = label_count tbl;
+    unions = tbl.union_calls;
+    dedup_hits = tbl.dedup_hits;
+  }
 
 let pp tbl ppf l =
   if l = 0 then Fmt.string ppf "{}"

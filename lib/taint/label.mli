@@ -45,4 +45,14 @@ val has : table -> t -> string -> bool
 val label_count : table -> int
 (** Number of allocated labels (excluding the empty label). *)
 
+type stats = {
+  labels : int;      (** allocated labels — also the peak table size *)
+  unions : int;      (** total {!union} calls *)
+  dedup_hits : int;  (** union calls resolved without a new node *)
+}
+
+val table_stats : table -> stats
+(** Runtime statistics: table size, union traffic, dedup effectiveness
+    (DFSan's runtime statistics counterpart). *)
+
 val pp : table -> t Fmt.t

@@ -13,5 +13,6 @@ let () =
       ("volume", Suite_volume.tests);
       ("stats", Suite_stats.tests);
       ("export", Suite_export.tests);
+      ("obs", Suite_obs.tests);
       ("soundness", Suite_soundness.tests);
     ]

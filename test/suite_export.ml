@@ -6,6 +6,11 @@ module J = Perf_taint.Export
 
 let str j = J.to_string j
 
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
 let test_scalars () =
   Alcotest.(check string) "null" "null" (str J.Null);
   Alcotest.(check string) "true" "true" (str (J.Bool true));
@@ -14,15 +19,37 @@ let test_scalars () =
   Alcotest.(check string) "integral float" "3.0" (str (J.Float 3.));
   Alcotest.(check string) "nan becomes null" "null" (str (J.Float Float.nan))
 
+let test_non_finite_floats () =
+  (* "inf"/"nan" are not JSON tokens: every non-finite float must emit
+     null, also nested inside structures. *)
+  Alcotest.(check string) "+inf becomes null" "null" (str (J.Float Float.infinity));
+  Alcotest.(check string) "-inf becomes null" "null"
+    (str (J.Float Float.neg_infinity));
+  Alcotest.(check string) "huge finite survives" "1e+300" (str (J.Float 1e300));
+  let s =
+    str
+      (J.Obj
+         [ ("a", J.Float Float.nan);
+           ("b", J.List [ J.Float Float.infinity; J.Float 2. ]) ])
+  in
+  Alcotest.(check bool) "no inf token" false (contains s "inf");
+  Alcotest.(check bool) "no nan token" false (contains s "nan")
+
 let test_escaping () =
   Alcotest.(check string) "quotes" "\"a\\\"b\"" (str (J.String "a\"b"));
   Alcotest.(check string) "backslash" "\"a\\\\b\"" (str (J.String "a\\b"));
-  Alcotest.(check string) "newline" "\"a\\nb\"" (str (J.String "a\nb"))
-
-let contains haystack needle =
-  let n = String.length needle and h = String.length haystack in
-  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
-  go 0
+  Alcotest.(check string) "newline" "\"a\\nb\"" (str (J.String "a\nb"));
+  Alcotest.(check string) "carriage return" "\"a\\rb\"" (str (J.String "a\rb"));
+  Alcotest.(check string) "tab" "\"a\\tb\"" (str (J.String "a\tb"));
+  Alcotest.(check string) "control chars take the \\u path" "\"a\\u0001\\u001fb\""
+    (str (J.String "a\x01\x1fb"));
+  (* Non-ASCII bytes pass through untouched: the emitter writes UTF-8
+     strings byte for byte. *)
+  Alcotest.(check string) "utf-8 passthrough" "\"\xc3\xa9\""
+    (str (J.String "\xc3\xa9"));
+  (* Keys are escaped with the same machinery as values. *)
+  Alcotest.(check string) "escaped key" "{\"a\\nb\": 1}"
+    (str (J.Obj [ ("a\nb", J.Int 1) ]))
 
 let test_structure () =
   let j = J.Obj [ ("xs", J.List [ J.Int 1; J.Int 2 ]); ("k", J.String "v") ] in
@@ -86,6 +113,7 @@ let test_dataset_json () =
 let tests =
   [
     Alcotest.test_case "scalar emission" `Quick test_scalars;
+    Alcotest.test_case "non-finite floats" `Quick test_non_finite_floats;
     Alcotest.test_case "string escaping" `Quick test_escaping;
     Alcotest.test_case "object structure" `Quick test_structure;
     Alcotest.test_case "model json" `Quick test_model_json;
