@@ -516,10 +516,84 @@ let validate_cmd =
   Cmd.v (Cmd.info "validate" ~doc)
     Term.(const run $ app_arg $ ranks_arg $ param_arg $ at_arg)
 
+let fuzz_cmd =
+  let seed_arg =
+    let doc =
+      "PRNG seed for the campaign (also settable via $(b,FUZZ_SEED))."
+    in
+    Arg.(value & opt int (Fuzz.Seed.get ()) & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let budget_arg =
+    let doc = "Number of random programs to generate and check." in
+    Arg.(value & opt int 2000 & info [ "budget" ] ~docv:"N" ~doc)
+  in
+  let corpus_arg =
+    let doc = "Directory where minimized counterexamples are saved." in
+    Arg.(value & opt string "fuzz-corpus" & info [ "corpus" ] ~docv:"DIR" ~doc)
+  in
+  let replay_arg =
+    let doc =
+      "Corpus .pir files to replay against every oracle instead of running \
+       a campaign."
+    in
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc)
+  in
+  let run seed budget corpus files =
+    match files with
+    | _ :: _ ->
+      let failed = ref 0 in
+      List.iter
+        (fun file ->
+          Fmt.pr "replay %s:@." file;
+          List.iter
+            (fun (name, verdict) ->
+              match verdict with
+              | Fuzz.Oracle.Pass -> Fmt.pr "  %-18s ok@." name
+              | Fuzz.Oracle.Fail msg ->
+                incr failed;
+                Fmt.pr "  %-18s FAIL: %s@." name msg)
+            (Fuzz.Driver.replay_file file))
+        files;
+      if !failed > 0 then exit 1
+    | [] ->
+      let report = Fuzz.Driver.run_campaign ~seed ~budget () in
+      Fmt.pr "fuzz campaign: seed %d, budget %d@." seed budget;
+      List.iter
+        (fun (r : Fuzz.Driver.oracle_result) ->
+          match r.or_cx with
+          | None -> Fmt.pr "  %-18s %5d programs, ok@." r.or_name r.or_runs
+          | Some cx ->
+            Fmt.pr "  %-18s %5d programs, FAIL at program %d@." r.or_name
+              r.or_runs cx.cx_index)
+        report.rp_results;
+      let cxs = Fuzz.Driver.counterexamples report in
+      if cxs <> [] then begin
+        List.iter
+          (fun (cx : Fuzz.Driver.counterexample) ->
+            let path = Fuzz.Driver.save ~dir:corpus ~seed cx in
+            Fmt.pr "@.%s: %s@." cx.cx_oracle cx.cx_message;
+            Fmt.pr "minimized to %d lines, saved to %s:@.%s@." cx.cx_lines path
+              cx.cx_text)
+          cxs;
+        exit 1
+      end
+  in
+  let doc =
+    "Fuzz the pipeline with random PIR programs checked against \
+     differential oracles (taint soundness under parameter perturbation, \
+     printer/parser round trip, validator/interpreter agreement, static \
+     vs dynamic trip counts, observability invariance).  Counterexamples \
+     are minimized and saved to the corpus; pass corpus files to replay \
+     them."
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(const run $ seed_arg $ budget_arg $ corpus_arg $ replay_arg)
+
 let main_cmd =
   let doc = "tainted performance modeling (Perf-Taint reproduction)" in
   Cmd.group (Cmd.info "perf-taint" ~version:"1.0.0" ~doc)
     [ analyze_cmd; select_cmd; coverage_cmd; volume_cmd; print_cmd; model_cmd;
-      profile_cmd; stats_cmd; contention_cmd; design_cmd; validate_cmd ]
+      profile_cmd; stats_cmd; contention_cmd; design_cmd; validate_cmd;
+      fuzz_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,103 @@
+(** Fuzzing campaigns: generate, check against every oracle, shrink the
+    first failure per oracle, persist minimized counterexamples as
+    replayable [.pir] files. *)
+
+type counterexample = {
+  cx_oracle : string;
+  cx_message : string;
+  cx_index : int;
+  cx_program : Ir.Types.program;
+  cx_text : string;
+  cx_lines : int;
+}
+
+type oracle_result = {
+  or_name : string;
+  or_runs : int;
+  or_cx : counterexample option;
+}
+
+type report = { rp_seed : int; rp_budget : int; rp_results : oracle_result list }
+
+let count_lines s =
+  String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 s
+  + if s <> "" && s.[String.length s - 1] <> '\n' then 1 else 0
+
+let make_cx oracle ~index p0 =
+  (* Shrink against this oracle only; the minimized program must still
+     fail it (minimize only moves between failing programs). *)
+  let failing q =
+    match Oracle.check oracle (Gen.to_program q) with
+    | Oracle.Fail _ -> true
+    | Oracle.Pass -> false
+  in
+  let small = Shrink.minimize failing p0 in
+  let prog = Gen.to_program small in
+  let message =
+    match Oracle.check oracle prog with
+    | Oracle.Fail m -> m
+    | Oracle.Pass -> "unshrunk failure (minimized form passes?)"
+  in
+  let text = Ir.Pp.program_to_string prog in
+  {
+    cx_oracle = oracle.Oracle.name;
+    cx_message = message;
+    cx_index = index;
+    cx_program = prog;
+    cx_text = text;
+    cx_lines = count_lines text;
+  }
+
+let run_campaign ?(oracles = Oracle.all) ~seed ~budget () =
+  let st = Random.State.make [| seed |] in
+  let slots =
+    List.map (fun o -> (o, ref 0, ref None)) oracles
+  in
+  for index = 0 to budget - 1 do
+    (* Generation consumes the PRNG identically whichever oracles are
+       still live, so a campaign is reproducible from its seed alone. *)
+    let p = Gen.generate st in
+    let prog = Gen.to_program p in
+    List.iter
+      (fun (o, runs, cx) ->
+        if !cx = None then begin
+          incr runs;
+          match Oracle.check o prog with
+          | Oracle.Pass -> ()
+          | Oracle.Fail _ -> cx := Some (make_cx o ~index p)
+        end)
+      slots
+  done;
+  {
+    rp_seed = seed;
+    rp_budget = budget;
+    rp_results =
+      List.map
+        (fun (o, runs, cx) ->
+          { or_name = o.Oracle.name; or_runs = !runs; or_cx = !cx })
+        slots;
+  }
+
+let counterexamples r = List.filter_map (fun o -> o.or_cx) r.rp_results
+
+let oneline s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let save ~dir ~seed cx =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let file =
+    Printf.sprintf "cx-%s-seed%d-%d.pir" cx.cx_oracle seed cx.cx_index
+  in
+  let path = Filename.concat dir file in
+  let oc = open_out path in
+  Printf.fprintf oc "; counterexample: oracle %s (seed %d, program %d)\n"
+    cx.cx_oracle seed cx.cx_index;
+  Printf.fprintf oc "; %s\n" (oneline cx.cx_message);
+  Printf.fprintf oc "; replay: perf_taint fuzz %s\n" path;
+  output_string oc cx.cx_text;
+  close_out oc;
+  path
+
+let replay_file ?(oracles = Oracle.all) path =
+  let prog = Ir.Parser.parse_file path in
+  List.map (fun o -> (o.Oracle.name, Oracle.check o prog)) oracles

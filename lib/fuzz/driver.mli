@@ -1,0 +1,37 @@
+(** Fuzzing campaigns over the {!Gen} grammar and {!Oracle} checks. *)
+
+type counterexample = {
+  cx_oracle : string;           (** name of the violated oracle *)
+  cx_message : string;          (** failure message on the minimized program *)
+  cx_index : int;               (** index of the generated program in the campaign *)
+  cx_program : Ir.Types.program; (** minimized failing program *)
+  cx_text : string;             (** its [.pir] concrete syntax *)
+  cx_lines : int;               (** line count of [cx_text] *)
+}
+
+type oracle_result = {
+  or_name : string;
+  or_runs : int;                (** programs this oracle checked *)
+  or_cx : counterexample option; (** first failure, minimized *)
+}
+
+type report = { rp_seed : int; rp_budget : int; rp_results : oracle_result list }
+
+val run_campaign :
+  ?oracles:Oracle.t list -> seed:int -> budget:int -> unit -> report
+(** Generate [budget] programs from [seed] and check each against every
+    oracle.  An oracle stops checking after its first failure, which is
+    shrunk with {!Shrink.minimize} before being reported.  Generation
+    consumes the PRNG identically regardless of oracle outcomes, so a
+    campaign is reproducible from its seed alone. *)
+
+val counterexamples : report -> counterexample list
+
+val save : dir:string -> seed:int -> counterexample -> string
+(** Persist a minimized counterexample under [dir] (created if missing)
+    as a replayable [.pir] file with a provenance header; returns the
+    path. *)
+
+val replay_file :
+  ?oracles:Oracle.t list -> string -> (string * Oracle.verdict) list
+(** Parse a corpus [.pir] file and run each oracle on it. *)

@@ -1,0 +1,252 @@
+(** Random PIR program generation for the fuzzing subsystem.
+
+    Programs are described by a small structured AST — the [prog] type —
+    rather than generated as raw instruction lists: the AST is what the
+    structural shrinker minimizes, and emitting it through {!Ir.Builder}
+    guarantees every generated program is well-formed (reducible CFG,
+    def-before-use, existing call targets) and terminating, so oracle
+    failures always indicate analysis bugs, never generator bugs.
+
+    The grammar goes well beyond the counted-loops-only generator the
+    soundness suite started with: direct calls into helper functions,
+    memory aliasing through a shared array reachable by two registers,
+    float arithmetic (including float-compared branches), irregular
+    (triangular) loop nests whose inner bound is the outer induction
+    variable, non-canonical halving loops the static trip-count analysis
+    must refuse, and branches on tainted conditions. *)
+
+open Ir.Types
+module B = Ir.Builder
+
+(** Upper bound of a counted loop. *)
+type bound =
+  | Bconst of int  (** constant *)
+  | Bparam of int  (** a marked parameter *)
+  | Bhalf of int   (** param / 2 *)
+  | Bmem of int    (** param round-tripped through fresh memory *)
+  | Bouter         (** induction variable of the enclosing loop *)
+  | Bfloat of int  (** int_of_float (float_of_int param *. 0.75) *)
+  | Bshared of int (** load from the shared array (aliased stores) *)
+
+(** Branch conditions. *)
+type cond =
+  | Cparam of int * int  (** param i > k *)
+  | Cpair of int * int   (** param i < param j *)
+  | Cfloat of int        (** float_of_int param i *. 0.5 > 2.0 *)
+
+type stmt =
+  | Work of int
+  | Seq of stmt * stmt
+  | For of bound * stmt
+  | While_half of int          (** while p > 1 do p <- p / 2: non-canonical *)
+  | If of cond * stmt * stmt
+  | Call_helper of int * bound (** call helper [i] with the bound's value *)
+  | Shared_store of int * int  (** store param [i] into shared slot *)
+  | Float_work of int          (** float chain on param [i] folded into work *)
+
+type prog = {
+  nparams : int;       (** marked entry parameters, 1..3 *)
+  helpers : stmt list; (** bodies of the callable helper functions *)
+  main : stmt;
+}
+
+let shared_slots = 4
+
+let param_name i = Printf.sprintf "p%d" i
+let helper_name i = Printf.sprintf "h%d" i
+
+(* -- emission through the builder ----------------------------------------- *)
+
+type ctx = {
+  params : operand array;        (** registers holding the tainted values *)
+  outers : operand list;         (** enclosing induction variables, innermost first *)
+  shared : operand option;       (** shared array, load side *)
+  shared_alias : operand option; (** shared array, aliasing store side *)
+  ncallees : int;                (** helpers callable from this context *)
+}
+
+(* Parameter indices wrap instead of failing so the shrinker may reduce
+   [nparams] without remapping every index in the tree. *)
+let pidx ctx i = ctx.params.(i mod Array.length ctx.params)
+
+let emit_bound b ctx = function
+  | Bconst k -> Int k
+  | Bparam i -> pidx ctx i
+  | Bhalf i -> B.div b (pidx ctx i) (Int 2)
+  | Bmem i ->
+    (* The parameter round-trips through memory: exercises the shadow. *)
+    let a = B.alloc b (Int 1) in
+    B.store b a (Int 0) (pidx ctx i);
+    B.load b a (Int 0)
+  | Bouter -> ( match ctx.outers with iv :: _ -> iv | [] -> Int 2)
+  | Bfloat i ->
+    let f = B.unop b FloatOfInt (pidx ctx i) in
+    B.unop b IntOfFloat (B.fmul b f (Float 0.75))
+  | Bshared s -> (
+    match ctx.shared with
+    | Some arr -> B.load b arr (Int (s mod shared_slots))
+    | None -> Int 1)
+
+let emit_cond b ctx = function
+  | Cparam (i, k) -> B.gt b (pidx ctx i) (Int k)
+  | Cpair (i, j) -> B.lt b (pidx ctx i) (pidx ctx j)
+  | Cfloat i ->
+    let f = B.unop b FloatOfInt (pidx ctx i) in
+    B.binop b Gt (B.fmul b f (Float 0.5)) (Float 2.0)
+
+let rec emit_stmt b ctx depth = function
+  | Work k -> B.work b (Int (max 1 k))
+  | Seq (s1, s2) ->
+    emit_stmt b ctx depth s1;
+    emit_stmt b ctx depth s2
+  | For (bd, body) ->
+    let below = emit_bound b ctx bd in
+    B.for_ b (Printf.sprintf "i%d" depth) ~from:(Int 0) ~below (fun iv ->
+        emit_stmt b { ctx with outers = iv :: ctx.outers } (depth + 1) body)
+  | While_half i ->
+    let v = B.fresh_name b "w" in
+    B.set b v (pidx ctx i);
+    B.while_ b
+      ~cond:(fun () -> B.gt b (Reg v) (Int 1))
+      ~body:(fun () ->
+        B.work b (Int 1);
+        B.set b v (B.div b (Reg v) (Int 2)))
+  | If (c, s1, s2) ->
+    let cv = emit_cond b ctx c in
+    B.if_ b cv
+      ~then_:(fun () -> emit_stmt b ctx (depth + 1) s1)
+      ~else_:(fun () -> emit_stmt b ctx (depth + 1) s2)
+      ()
+  | Call_helper (h, bd) ->
+    if ctx.ncallees = 0 then B.work b (Int 1)
+    else
+      let arg = emit_bound b ctx bd in
+      B.call_unit b (helper_name (h mod ctx.ncallees)) [ arg ]
+  | Shared_store (slot, i) -> (
+    match ctx.shared_alias with
+    | Some arr -> B.store b arr (Int (slot mod shared_slots)) (pidx ctx i)
+    | None -> B.work b (Int 1))
+  | Float_work i ->
+    let f = B.unop b FloatOfInt (pidx ctx i) in
+    let f = B.fadd b (B.fmul b f (Float 0.5)) (Float 1.0) in
+    B.work b (B.imax b (B.unop b IntOfFloat f) (Int 0))
+
+let bound_uses_shared = function Bshared _ -> true | _ -> false
+
+let rec stmt_uses_shared = function
+  | Shared_store _ -> true
+  | For (bd, s) -> bound_uses_shared bd || stmt_uses_shared s
+  | Call_helper (_, bd) -> bound_uses_shared bd
+  | Seq (a, b) | If (_, a, b) -> stmt_uses_shared a || stmt_uses_shared b
+  | Work _ | While_half _ | Float_work _ -> false
+
+let to_program ?(name = "fuzz") p =
+  let nh = List.length p.helpers in
+  let helpers =
+    List.mapi
+      (fun k body ->
+        B.define (helper_name k) ~params:[ "a" ] (fun b ->
+            let ctx =
+              { params = [| Reg "a" |]; outers = []; shared = None;
+                shared_alias = None; ncallees = 0 }
+            in
+            emit_stmt b ctx 0 body;
+            if B.in_block b then B.ret_unit b))
+      p.helpers
+  in
+  let main =
+    B.define "main" ~params:(List.init p.nparams param_name) (fun b ->
+        let params =
+          Array.init p.nparams (fun i ->
+              B.prim b ("taint:" ^ param_name i) [ Reg (param_name i) ])
+        in
+        (* One shared array reachable through two registers: stores go
+           through the alias, loads through the original handle.  Only
+           emitted when the body uses it, so shrunk counterexamples stay
+           free of dead setup code. *)
+        let shared, shared_alias =
+          if stmt_uses_shared p.main then begin
+            let arr = B.alloc b (Int shared_slots) in
+            B.set b "sh" arr;
+            (Some arr, Some (Reg "sh"))
+          end
+          else (None, None)
+        in
+        let ctx = { params; outers = []; shared; shared_alias; ncallees = nh } in
+        emit_stmt b ctx 0 p.main;
+        if B.in_block b then B.ret_unit b)
+  in
+  { pname = name; funcs = main :: helpers; entry = "main" }
+
+let print p = Ir.Pp.program_to_string (to_program p)
+
+(* -- generation ------------------------------------------------------------ *)
+
+let gen_bound ~nparams ~in_helper =
+  let open QCheck.Gen in
+  let pi = int_bound (nparams - 1) in
+  frequency
+    ([ (3, map (fun k -> Bconst (k mod 5)) small_nat);
+       (4, map (fun i -> Bparam i) pi);
+       (2, map (fun i -> Bhalf i) pi);
+       (2, map (fun i -> Bmem i) pi);
+       (1, map (fun i -> Bfloat i) pi);
+       (1, return Bouter) ]
+    @
+    if in_helper then []
+    else [ (1, map (fun s -> Bshared (s mod shared_slots)) small_nat) ])
+
+let gen_cond ~nparams =
+  let open QCheck.Gen in
+  let pi = int_bound (nparams - 1) in
+  frequency
+    [ (3, map2 (fun i k -> Cparam (i, k mod 5)) pi small_nat);
+      (2, map2 (fun i j -> Cpair (i, j)) pi pi);
+      (1, map (fun i -> Cfloat i) pi) ]
+
+let gen_stmt ~nparams ~ncallees ~in_helper =
+  let open QCheck.Gen in
+  let pi = int_bound (nparams - 1) in
+  sized_size (int_bound 8)
+  @@ fix (fun self n ->
+         if n = 0 then map (fun k -> Work (1 + (k mod 3))) small_nat
+         else
+           frequency
+             ([ (2, map (fun k -> Work (1 + (k mod 3))) small_nat);
+                (3, map2 (fun a b -> Seq (a, b)) (self (n / 2)) (self (n / 2)));
+                ( 4,
+                  map2
+                    (fun bd t -> For (bd, t))
+                    (gen_bound ~nparams ~in_helper)
+                    (self (n - 1)) );
+                (1, map (fun i -> While_half i) pi);
+                ( 2,
+                  map3
+                    (fun c a b -> If (c, a, b))
+                    (gen_cond ~nparams) (self (n / 2)) (self (n / 2)) );
+                (1, map (fun i -> Float_work i) pi) ]
+             @ (if in_helper then []
+                else
+                  [ ( 1,
+                      map2
+                        (fun s i -> Shared_store (s mod shared_slots, i))
+                        small_nat pi ) ])
+             @
+             if ncallees = 0 || in_helper then []
+             else
+               [ ( 2,
+                   map2
+                     (fun h bd -> Call_helper (h mod ncallees, bd))
+                     small_nat
+                     (gen_bound ~nparams ~in_helper) ) ]))
+
+let gen =
+  let open QCheck.Gen in
+  int_range 1 3 >>= fun nparams ->
+  int_bound 2 >>= fun nhelpers ->
+  list_repeat nhelpers (gen_stmt ~nparams ~ncallees:0 ~in_helper:true)
+  >>= fun helpers ->
+  gen_stmt ~nparams ~ncallees:nhelpers ~in_helper:false >>= fun main ->
+  return { nparams; helpers; main }
+
+let generate st = gen st

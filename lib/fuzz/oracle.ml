@@ -1,0 +1,301 @@
+(** Differential and metamorphic oracles over PIR programs.
+
+    Each oracle takes a whole [Ir.Types.program] (not the generator AST),
+    so the same checks run on freshly generated programs and on replayed
+    [.pir] corpus files.  All oracles are exception-safe through {!check}:
+    an unexpected exception is itself a finding, not a campaign abort. *)
+
+module M = Interp.Machine
+module O = Interp.Observations
+module L = Taint.Label
+module T = Static_an.Tripcount
+open Ir.Types
+
+type verdict = Pass | Fail of string
+
+type t = { name : string; check : Ir.Types.program -> verdict }
+
+(* A deliberately small budget: generated loop nests can be exponential in
+   depth, and a campaign must never hang.  Budget exhaustion is a skip
+   (Pass), not a finding — Budget_exceeded is distinct from Runtime_error
+   exactly so we can tell the two apart. *)
+let interp_config = { M.default_config with max_steps = 500_000 }
+
+let base_value = VInt 3
+let perturbed_value = VInt 7
+
+type exec_result = Finished of M.t * value | Budget | Crash of string
+
+let exec ?(config = interp_config) ?metrics ?trace prog args =
+  let m =
+    match (metrics, trace) with
+    | None, None -> M.create ~config prog
+    | Some im, None -> M.create ~config ~metrics:im prog
+    | None, Some tr -> M.create ~config ~trace:tr prog
+    | Some im, Some tr -> M.create ~config ~metrics:im ~trace:tr prog
+  in
+  match M.run m args with
+  | v, _ -> Finished (m, v)
+  | exception M.Budget_exceeded _ -> Budget
+  | exception M.Runtime_error msg -> Crash msg
+
+let entry_func p = List.find_opt (fun f -> f.fname = p.entry) p.funcs
+
+let entry_params p =
+  match entry_func p with Some f -> f.fparams | None -> []
+
+let base_args p = List.map (fun _ -> base_value) (entry_params p)
+
+(* -- taint soundness ------------------------------------------------------ *)
+
+let taint_prefix = "taint:"
+
+let marked_params p =
+  match entry_func p with
+  | None -> []
+  | Some f ->
+    List.concat_map
+      (fun blk ->
+        List.filter_map
+          (function
+            | Prim (_, name, [ Reg r ])
+              when String.starts_with ~prefix:taint_prefix name
+                   && List.mem r f.fparams ->
+              let n = String.length taint_prefix in
+              Some (r, String.sub name n (String.length name - n))
+            | _ -> None)
+          blk.instrs)
+      f.blocks
+
+(* Does the loop observation (or, transitively, a dynamically enclosing
+   loop) carry the base label of [pname]? *)
+let loop_carries m pname key0 =
+  let obs = M.observations m and tbl = M.label_table m in
+  let rec go seen key =
+    match Hashtbl.find_opt obs.O.loops key with
+    | None -> false
+    | Some lo ->
+      L.has tbl lo.O.lo_dep pname
+      || List.exists
+           (fun k -> (not (List.mem k seen)) && go (key :: seen) k)
+           lo.O.lo_enclosing
+  in
+  go [] key0
+
+let loop_keys m =
+  Hashtbl.fold (fun k _ acc -> k :: acc) (M.observations m).O.loops []
+
+let loop_counts m key =
+  match Hashtbl.find_opt (M.observations m).O.loops key with
+  | None -> (0, 0)
+  | Some lo -> (lo.O.lo_iters, lo.O.lo_entries)
+
+let loop_func m key =
+  match Hashtbl.find_opt (M.observations m).O.loops key with
+  | None -> None
+  | Some lo -> Some lo.O.lo_func
+
+(* The soundness rule mirrors what the analysis actually guarantees.
+   Control taint is scoped to a function (it does not flow into callees),
+   so for loops outside the entry function a count difference is only
+   required to be labelled when both runs performed the same number of
+   entries — then the difference comes from a data-flow-propagated
+   argument.  For entry-function loops every count difference (iterations
+   or entries) must be reflected in the loop's labels or those of a
+   dynamically enclosing loop. *)
+let soundness_violation m1 m2 ~entry ~pname =
+  let keys = List.sort_uniq compare (loop_keys m1 @ loop_keys m2) in
+  List.find_map
+    (fun key ->
+      let i1, e1 = loop_counts m1 key and i2, e2 = loop_counts m2 key in
+      if (i1, e1) = (i2, e2) then None
+      else
+        let func =
+          match loop_func m1 key with
+          | Some f -> Some f
+          | None -> loop_func m2 key
+        in
+        let checkable =
+          match func with
+          | Some f when f = entry -> true
+          | Some _ -> e1 = e2 (* helper loop: only when call counts agree *)
+          | None -> false
+        in
+        if not checkable then None
+        else if loop_carries m1 pname key || loop_carries m2 pname key then
+          None
+        else
+          let cp, header = key in
+          Some
+            (Printf.sprintf
+               "loop %s at %s: iters %d vs %d (entries %d vs %d) when \
+                perturbing %s, but its labels never mention %s"
+               header cp i1 i2 e1 e2 pname pname))
+    keys
+
+let taint_soundness_with config =
+  let check p =
+    let marked = marked_params p in
+    if marked = [] then Pass
+    else
+      let formals = entry_params p in
+      match exec ~config p (base_args p) with
+      | Budget | Crash _ -> Pass
+      | Finished (m1, _) ->
+        let rec try_params = function
+          | [] -> Pass
+          | (formal, pname) :: rest -> (
+            let args =
+              List.map
+                (fun f -> if f = formal then perturbed_value else base_value)
+                formals
+            in
+            match exec ~config p args with
+            | Budget | Crash _ -> try_params rest
+            | Finished (m2, _) -> (
+              match soundness_violation m1 m2 ~entry:p.entry ~pname with
+              | Some msg -> Fail msg
+              | None -> try_params rest))
+        in
+        try_params marked
+  in
+  { name = "taint-soundness"; check }
+
+let taint_soundness = taint_soundness_with interp_config
+
+(* -- printer/parser round trip ------------------------------------------- *)
+
+let printer_roundtrip =
+  let check p =
+    let text = Ir.Pp.program_to_string p in
+    match Ir.Parser.parse text with
+    | exception Ir.Parser.Parse_error { line; message } ->
+      Fail (Printf.sprintf "printed program fails to reparse (line %d: %s)" line message)
+    | p' ->
+      if compare p p' = 0 then Pass
+      else
+        Fail
+          (Printf.sprintf
+             "print/parse round trip changed the program (reprint differs: %b)"
+             (String.equal text (Ir.Pp.program_to_string p')))
+  in
+  { name = "printer-roundtrip"; check }
+
+(* -- validator / interpreter agreement ------------------------------------ *)
+
+let validator_interp =
+  let check p =
+    match Ir.Validate.errors (Ir.Validate.check_program p) with
+    | _ :: _ as errs ->
+      let e = List.hd errs in
+      Fail
+        (Printf.sprintf "validator rejects a generated program: %s: %s"
+           e.Ir.Validate.where e.Ir.Validate.message)
+    | [] -> (
+      match exec p (base_args p) with
+      | Finished _ | Budget -> Pass
+      | Crash msg ->
+        Fail (Printf.sprintf "validated program crashed the interpreter: %s" msg))
+  in
+  { name = "validator-interp"; check }
+
+(* -- static trip counts vs dynamic iteration counts ----------------------- *)
+
+let tripcount =
+  let check p =
+    let static = T.analyze_program p in
+    match exec p (base_args p) with
+    | Budget | Crash _ -> Pass
+    | Finished (m, _) ->
+      let obs = M.observations m in
+      let bad =
+        Hashtbl.fold
+          (fun _ (lo : O.loop_obs) acc ->
+            match acc with
+            | Some _ -> acc
+            | None -> (
+              let summary =
+                List.find_opt
+                  (fun (s : T.loop_summary) ->
+                    s.T.ls_func = lo.O.lo_func
+                    && s.T.ls_header = lo.O.lo_header)
+                  static
+              in
+              match summary with
+              | Some { T.ls_trip = T.Constant n; _ }
+                when lo.O.lo_iters <> n * lo.O.lo_entries ->
+                Some
+                  (Printf.sprintf
+                     "static trip count of %s.%s is %d but dynamics saw %d \
+                      iters over %d entries"
+                     lo.O.lo_func lo.O.lo_header n lo.O.lo_iters
+                     lo.O.lo_entries)
+              | _ -> None))
+          obs.O.loops None
+      in
+      (match bad with Some msg -> Fail msg | None -> Pass)
+  in
+  { name = "tripcount"; check }
+
+(* -- metamorphic: observability must not change observations --------------- *)
+
+type snapshot = {
+  sn_value : value;
+  sn_loops : (string * string * int * int * string list) list;
+  sn_funcs : (string * int * int * int) list;
+  sn_events : int;
+  sn_steps : int;
+}
+
+let snapshot m v =
+  let obs = M.observations m and tbl = M.label_table m in
+  {
+    sn_value = v;
+    sn_loops =
+      O.loop_list obs
+      |> List.map (fun (lo : O.loop_obs) ->
+             ( O.callpath_key lo.O.lo_callpath,
+               lo.O.lo_header,
+               lo.O.lo_iters,
+               lo.O.lo_entries,
+               L.names tbl lo.O.lo_dep ))
+      |> List.sort compare;
+    sn_funcs =
+      O.func_list obs
+      |> List.map (fun (fo : O.func_obs) ->
+             (fo.O.fo_func, fo.O.fo_calls, fo.O.fo_instrs, fo.O.fo_work))
+      |> List.sort compare;
+    sn_events = List.length (O.event_list obs);
+    sn_steps = M.steps_executed m;
+  }
+
+let obs_invariance =
+  let check p =
+    let args = base_args p in
+    let plain = exec p args in
+    let instrumented =
+      exec
+        ~metrics:(Obs_metrics.create ())
+        ~trace:(Obs_trace.create ())
+        p args
+    in
+    match (plain, instrumented) with
+    | Budget, Budget -> Pass
+    | Crash a, Crash b when String.equal a b -> Pass
+    | Finished (m1, v1), Finished (m2, v2) ->
+      if compare (snapshot m1 v1) (snapshot m2 v2) = 0 then Pass
+      else Fail "enabling metrics+trace instrumentation changed observations"
+    | _ ->
+      Fail "enabling metrics+trace instrumentation changed the run outcome"
+  in
+  { name = "obs-invariance"; check }
+
+let all =
+  [ taint_soundness; printer_roundtrip; validator_interp; tripcount;
+    obs_invariance ]
+
+let check o p =
+  match o.check p with
+  | v -> v
+  | exception exn ->
+    Fail (Printf.sprintf "oracle raised %s" (Printexc.to_string exn))

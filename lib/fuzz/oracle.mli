@@ -1,0 +1,55 @@
+(** Differential and metamorphic oracles over PIR programs.
+
+    Every oracle checks a whole [Ir.Types.program], so the same checks
+    apply to freshly generated programs and to replayed [.pir] corpus
+    files.  Run them through {!check}, which converts an unexpected
+    exception into a [Fail] — in differential testing an escaping
+    exception is a finding, not an abort. *)
+
+type verdict = Pass | Fail of string
+
+type t = { name : string; check : Ir.Types.program -> verdict }
+
+val interp_config : Interp.Machine.config
+(** Oracle execution budget (500k steps): exhausting it is a skip, not a
+    finding — generated loop nests can be exponential in depth and a
+    campaign must never hang. *)
+
+val marked_params : Ir.Types.program -> (string * string) list
+(** Entry parameters marked as taint sources, as
+    [(formal, source name)] pairs — found by scanning the entry function
+    for [!taint:<name>(%formal)] primitives. *)
+
+val taint_soundness : t
+(** Perturb each marked parameter in turn (3 → 7) and re-execute: any
+    loop whose dynamic counts change must carry the parameter in its
+    labels (or in a dynamically enclosing loop's).  Loops outside the
+    entry function are only required to be labelled when both runs
+    entered them equally often, because control taint is function-scoped
+    and does not flow into callees. *)
+
+val taint_soundness_with : Interp.Machine.config -> t
+(** {!taint_soundness} under an explicit interpreter configuration —
+    used by the suite to demonstrate that the oracle catches the
+    [control_flow_taint = false] ablation as a genuine soundness bug. *)
+
+val printer_roundtrip : t
+(** Printing and reparsing must reproduce the program exactly. *)
+
+val validator_interp : t
+(** A program the validator accepts must not raise [Runtime_error]
+    (budget exhaustion excepted); a generated program the validator
+    rejects is equally a finding. *)
+
+val tripcount : t
+(** Static [Constant n] trip counts must agree with dynamics:
+    [iterations = n * entries] for every observation of the loop. *)
+
+val obs_invariance : t
+(** Metamorphic: enabling the [lib/obs] metrics and trace instrumentation
+    must not change the result value, observations, or step count. *)
+
+val all : t list
+
+val check : t -> Ir.Types.program -> verdict
+(** Exception-safe oracle application. *)

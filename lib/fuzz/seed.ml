@@ -1,0 +1,13 @@
+let default = 42
+
+let env_var = "FUZZ_SEED"
+
+let get () =
+  match Sys.getenv_opt env_var with
+  | None -> default
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n -> n
+    | None -> default)
+
+let state () = Random.State.make [| get () |]

@@ -1,0 +1,18 @@
+(** Deterministic seeding for every randomized test and campaign.
+
+    Randomized suites are reproducible by default: they all draw their
+    PRNG state from here, the fixed default seed is {!default}, and the
+    [FUZZ_SEED] environment variable overrides it (failure output prints
+    the seed to replay with). *)
+
+val default : int
+(** The fixed default seed (42). *)
+
+val env_var : string
+(** ["FUZZ_SEED"]. *)
+
+val get : unit -> int
+(** [FUZZ_SEED] when set to an integer, {!default} otherwise. *)
+
+val state : unit -> Random.State.t
+(** A fresh PRNG state seeded from {!get}. *)

@@ -1,0 +1,115 @@
+(** Structural shrinking of generated programs.
+
+    [candidates] proposes strictly smaller variants of a failing program;
+    [minimize] greedily applies them to a fixpoint.  Every candidate has a
+    strictly smaller {!size} (bounds and conditions shrink toward
+    [Bconst 0]/[Cparam (0,0)], statements toward [Work 1], helper lists
+    toward empty, [nparams] toward 1), so minimization terminates. *)
+
+open Gen
+
+let bound_size = function
+  | Bconst k -> if k = 0 then 1 else 2
+  | Bouter -> 3
+  | Bparam _ -> 4
+  | Bhalf _ | Bshared _ -> 5
+  | Bmem _ | Bfloat _ -> 6
+
+let cond_size = function
+  | Cparam (i, k) -> 1 + (if i = 0 then 0 else 1) + if k = 0 then 0 else 1
+  | Cpair _ -> 4
+  | Cfloat _ -> 5
+
+let rec stmt_size = function
+  | Work k -> if k = 1 then 1 else 2
+  | Seq (a, b) -> 1 + stmt_size a + stmt_size b
+  | For (bd, s) -> 1 + bound_size bd + stmt_size s
+  | While_half _ -> 6
+  | If (c, a, b) -> 1 + cond_size c + stmt_size a + stmt_size b
+  | Call_helper (_, bd) -> 4 + bound_size bd
+  | Shared_store (_, _) -> 5
+  | Float_work _ -> 5
+
+let size p =
+  stmt_size p.main
+  + List.fold_left (fun acc s -> acc + 2 + stmt_size s) 0 p.helpers
+  + (p.nparams - 1)
+
+(* Each shrinker returns candidates strictly smaller under the matching
+   size measure, most aggressive first. *)
+
+let shrink_bound = function
+  | Bconst 0 -> []
+  | Bconst _ -> [ Bconst 0 ]
+  | Bouter -> [ Bconst 0; Bconst 2 ]
+  | Bparam _ -> [ Bconst 0; Bconst 2; Bouter ]
+  | Bhalf i | Bshared i -> [ Bconst 0; Bparam i ]
+  | Bmem i | Bfloat i -> [ Bconst 0; Bparam i; Bhalf i ]
+
+let shrink_cond = function
+  | Cparam (0, 0) -> []
+  | Cparam (i, k) ->
+    (if i = 0 then [] else [ Cparam (0, k) ])
+    @ if k = 0 then [] else [ Cparam (i, 0) ]
+  | Cpair (i, _) -> [ Cparam (0, 0); Cparam (i, 0) ]
+  | Cfloat i -> [ Cparam (0, 0); Cparam (i, 0); Cpair (i, i) ]
+
+let rec shrink_stmt = function
+  | Work 1 -> []
+  | Work _ -> [ Work 1 ]
+  | Seq (a, b) ->
+    [ a; b ]
+    @ List.map (fun a' -> Seq (a', b)) (shrink_stmt a)
+    @ List.map (fun b' -> Seq (a, b')) (shrink_stmt b)
+  | For (bd, s) ->
+    [ s ]
+    @ List.map (fun bd' -> For (bd', s)) (shrink_bound bd)
+    @ List.map (fun s' -> For (bd, s')) (shrink_stmt s)
+  | While_half _ -> [ Work 1 ]
+  | If (c, a, b) ->
+    [ a; b ]
+    @ List.map (fun c' -> If (c', a, b)) (shrink_cond c)
+    @ List.map (fun a' -> If (c, a', b)) (shrink_stmt a)
+    @ List.map (fun b' -> If (c, a, b')) (shrink_stmt b)
+  | Call_helper (h, bd) ->
+    [ Work 1 ] @ List.map (fun bd' -> Call_helper (h, bd')) (shrink_bound bd)
+  | Shared_store _ -> [ Work 1 ]
+  | Float_work _ -> [ Work 1 ]
+
+let rec stmt_calls = function
+  | Call_helper _ -> true
+  | Seq (a, b) | If (_, a, b) -> stmt_calls a || stmt_calls b
+  | For (_, s) -> stmt_calls s
+  | Work _ | While_half _ | Shared_store _ | Float_work _ -> false
+
+let candidates p =
+  (* Drop all helpers at once when main never calls (size strictly drops
+     because each helper costs at least 3). *)
+  (if p.helpers <> [] && not (stmt_calls p.main) then
+     [ { p with helpers = [] } ]
+   else [])
+  @ (if p.nparams > 1 then [ { p with nparams = 1 } ] else [])
+  @ List.map (fun m -> { p with main = m }) (shrink_stmt p.main)
+  @ List.concat
+      (List.mapi
+         (fun k s ->
+           List.map
+             (fun s' ->
+               { p with
+                 helpers = List.mapi (fun j t -> if j = k then s' else t) p.helpers
+               })
+             (shrink_stmt s))
+         p.helpers)
+
+let minimize pred p0 =
+  let rec go p =
+    match List.find_opt pred (candidates p) with
+    | Some p' -> go p'
+    | None -> p
+  in
+  go p0
+
+let arbitrary =
+  QCheck.make ~print:Gen.print
+    ~shrink:(fun p yield -> List.iter yield (candidates p))
+    Gen.gen

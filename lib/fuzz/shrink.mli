@@ -1,0 +1,19 @@
+(** Structural shrinking of generated programs. *)
+
+val size : Gen.prog -> int
+(** Structural size; every candidate produced by {!candidates} is
+    strictly smaller, which makes {!minimize} terminate. *)
+
+val candidates : Gen.prog -> Gen.prog list
+(** Strictly smaller variants of a program, most aggressive first:
+    drop unused helpers, collapse to one parameter, then pointwise
+    statement/bound/condition reductions. *)
+
+val minimize : (Gen.prog -> bool) -> Gen.prog -> Gen.prog
+(** [minimize still_failing p] greedily applies the first candidate that
+    still satisfies the predicate, to a fixpoint.  Terminates because
+    {!size} strictly decreases on every step. *)
+
+val arbitrary : Gen.prog QCheck.arbitrary
+(** QCheck arbitrary combining {!Gen.gen}, {!candidates} and a [.pir]
+    printer — the drop-in replacement for ad-hoc suite generators. *)

@@ -20,6 +20,8 @@ module Obs = Observations
 
 exception Runtime_error = Eval.Runtime_error
 
+exception Budget_exceeded of int
+
 type config = {
   control_flow_taint : bool;
       (** propagate taint through control dependencies (paper default:
@@ -244,8 +246,7 @@ let heap_set t h i v =
 
 let step t =
   t.steps <- t.steps + 1;
-  if t.steps > t.config.max_steps then
-    Eval.error "instruction budget exceeded (%d steps)" t.config.max_steps
+  if t.steps > t.config.max_steps then raise (Budget_exceeded t.config.max_steps)
 
 let count_instr ic = function
   | Assign _ | Binop _ | Unop _ -> Obs_metrics.incr ic.ic_alu

@@ -6,6 +6,12 @@
 
 exception Runtime_error of string
 
+exception Budget_exceeded of int
+(** Raised when the [max_steps] instruction budget is exhausted — kept
+    distinct from {!Runtime_error} so callers (notably the fuzzing
+    oracles) can tell a genuinely too-long execution from a dynamic
+    error in the program. *)
+
 type config = {
   control_flow_taint : bool;
       (** propagate taint through control dependencies (paper default:
@@ -48,7 +54,8 @@ val register_prim : t -> string -> prim_fn -> unit
 val run : t -> Ir.Types.value list -> Ir.Types.value * Taint.Label.t
 (** Execute the entry function with positional arguments.
     @raise Runtime_error on dynamic errors (kind mismatch, out-of-bounds,
-    unknown primitive, budget exhaustion, ...). *)
+    unknown primitive, ...).
+    @raise Budget_exceeded when [max_steps] instructions were executed. *)
 
 val run_named :
   t -> (string * Ir.Types.value) list -> Ir.Types.value * Taint.Label.t

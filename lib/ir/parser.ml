@@ -138,6 +138,11 @@ let operand_of_token line = function
       | None -> fail line "bad numeric literal %s" s))
   | Ident "true" -> Bool true
   | Ident "false" -> Bool false
+  (* Non-finite float literals as printed by {!Pp.float_literal}; "-inf"
+     lexes as one identifier because '-' is an identifier character. *)
+  | Ident "nan" -> Float Float.nan
+  | Ident "inf" -> Float Float.infinity
+  | Ident "-inf" -> Float Float.neg_infinity
   | Punct '(' -> Unit (* "()" handled by caller *)
   | Ident w -> fail line "expected operand, got %s" w
   | _ -> fail line "expected operand"

@@ -2,9 +2,25 @@
 
 open Types
 
+(* Float literals must survive a parse round trip with their kind intact:
+   non-finite values print as the [nan]/[inf]/[-inf] keywords the parser
+   accepts, [%g] is upgraded to [%.17g] when it loses precision, and a
+   trailing dot keeps integral floats (e.g. 1.0) from reparsing as ints. *)
+let float_literal f =
+  if Float.is_nan f then "nan"
+  else if f = Float.infinity then "inf"
+  else if f = Float.neg_infinity then "-inf"
+  else
+    let s = Printf.sprintf "%g" f in
+    let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+    else s ^ "."
+
+let pp_float ppf f = Fmt.string ppf (float_literal f)
+
 let pp_value ppf = function
   | VInt i -> Fmt.int ppf i
-  | VFloat f -> Fmt.float ppf f
+  | VFloat f -> pp_float ppf f
   | VBool b -> Fmt.bool ppf b
   | VArr h -> Fmt.pf ppf "arr#%d" h
   | VUnit -> Fmt.string ppf "()"
@@ -12,7 +28,7 @@ let pp_value ppf = function
 let pp_operand ppf = function
   | Reg r -> Fmt.pf ppf "%%%s" r
   | Int i -> Fmt.int ppf i
-  | Float f -> Fmt.pf ppf "%g" f
+  | Float f -> pp_float ppf f
   | Bool b -> Fmt.bool ppf b
   | Unit -> Fmt.string ppf "()"
 

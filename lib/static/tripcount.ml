@@ -176,6 +176,10 @@ let analyze_function f =
       })
     forest.Ir.Loops.loops
 
+(** Trip-count summaries for every loop of every function — the static
+    side of the fuzzer's static-vs-dynamic iteration-count oracle. *)
+let analyze_program (p : program) = List.concat_map analyze_function p.funcs
+
 let is_constant = function Constant _ -> true | Unknown -> false
 
 let pp_trip ppf = function

@@ -16,6 +16,9 @@ type loop_summary = {
 val analyze_function : Ir.Types.func -> loop_summary list
 (** Trip-count summaries for every natural loop of the function. *)
 
+val analyze_program : Ir.Types.program -> loop_summary list
+(** {!analyze_function} over every function of the program. *)
+
 val is_constant : trip -> bool
 
 val closed_form : init:int -> step:int -> bound:int -> Ir.Types.binop -> trip

@@ -19,6 +19,10 @@ type table
 exception Label_overflow
 (** Raised when more than 2^16 distinct labels are required. *)
 
+val max_labels : int
+(** The 2^16 identifier-space bound of the DFSan label encoding;
+    {!label_count} never reaches it (label 0 is the empty taint). *)
+
 val create : unit -> table
 
 val base : table -> string -> t

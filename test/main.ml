@@ -15,4 +15,5 @@ let () =
       ("export", Suite_export.tests);
       ("obs", Suite_obs.tests);
       ("soundness", Suite_soundness.tests);
+      ("fuzz", Suite_fuzz.tests);
     ]

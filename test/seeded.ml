@@ -1,0 +1,19 @@
+(** Deterministic QCheck-to-Alcotest adapter.
+
+    Every randomized suite goes through this wrapper: the PRNG state comes
+    from {!Fuzz.Seed} (fixed default 42, [FUZZ_SEED] overrides), so test
+    runs are reproducible by default, and a failing property prints the
+    seed to replay with. *)
+
+let to_alcotest test =
+  let name, speed, run =
+    QCheck_alcotest.to_alcotest ~rand:(Fuzz.Seed.state ()) test
+  in
+  let run' () =
+    try run ()
+    with e ->
+      Printf.eprintf "\nrandomized test failed under %s=%d (set %s to replay)\n%!"
+        Fuzz.Seed.env_var (Fuzz.Seed.get ()) Fuzz.Seed.env_var;
+      raise e
+  in
+  (name, speed, run')

@@ -272,10 +272,18 @@ let test_step_budget () =
         B.ret_unit b)
   in
   let config = { M.default_config with max_steps = 1000 } in
+  (try
+     ignore (run_fn ~config f []);
+     Alcotest.fail "expected budget exhaustion"
+   with M.Budget_exceeded n -> Alcotest.(check int) "budget in exception" 1000 n);
+  (* Budget exhaustion is not a runtime error: the two must stay distinct
+     so the fuzzing oracles can tell a long run from a broken program. *)
   try
     ignore (run_fn ~config f []);
     Alcotest.fail "expected budget exhaustion"
-  with M.Runtime_error _ -> ()
+  with
+  | M.Runtime_error _ -> Alcotest.fail "Budget_exceeded leaked as Runtime_error"
+  | M.Budget_exceeded _ -> ()
 
 let test_mpi_comm_size_taint () =
   let f =

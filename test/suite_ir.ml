@@ -303,69 +303,120 @@ let test_parse_header () =
   Alcotest.(check string) "program name" "myapp" p.pname;
   Alcotest.(check string) "entry" "start" p.entry
 
+(* -- printer/parser edge cases --------------------------------------------- *)
+
+let roundtrip_operand op =
+  (* One-instruction program carrying the operand; parse back the printed
+     form and extract the operand again. *)
+  let p =
+    { pname = "t"; entry = "f";
+      funcs =
+        [ { fname = "f"; fparams = [];
+            blocks =
+              [ { label = "entry"; instrs = [ Assign ("x", op) ];
+                  term = Return Unit } ] } ] }
+  in
+  let p' = Ir.Parser.parse (Ir.Pp.program_to_string p) in
+  match (entry_block (find_func p' "f")).instrs with
+  | [ Assign ("x", op') ] -> op'
+  | _ -> Alcotest.fail "round trip lost the instruction"
+
+let test_float_literals_roundtrip () =
+  (* %g alone would print 1.0 as "1", which reparses as the *integer* 1 —
+     the literal printer must keep the kind. *)
+  List.iter
+    (fun f ->
+      match roundtrip_operand (Float f) with
+      | Float f' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "float %h survives" f)
+          true
+          (Int64.bits_of_float f = Int64.bits_of_float f')
+      | op ->
+        Alcotest.failf "float %h reparsed as %s" f
+          (Fmt.str "%a" Ir.Pp.pp_operand op))
+    [ 1.0; -0.0; 0.0; 2.5; 1e300; 1e-300; -17.; 0.1; 3.14159265358979312;
+      1.5e-3; 1e22 ]
+
+let test_special_float_literals () =
+  (match roundtrip_operand (Float Float.nan) with
+  | Float f -> Alcotest.(check bool) "nan survives" true (Float.is_nan f)
+  | _ -> Alcotest.fail "nan lost its kind");
+  (match roundtrip_operand (Float Float.infinity) with
+  | Float f -> Alcotest.(check bool) "inf survives" true (f = Float.infinity)
+  | _ -> Alcotest.fail "inf lost its kind");
+  (match roundtrip_operand (Float Float.neg_infinity) with
+  | Float f -> Alcotest.(check bool) "-inf survives" true (f = Float.neg_infinity)
+  | _ -> Alcotest.fail "-inf lost its kind");
+  Alcotest.(check string) "nan literal" "nan" (Ir.Pp.float_literal Float.nan);
+  Alcotest.(check string) "1.0 keeps a float marker" "1."
+    (Ir.Pp.float_literal 1.0)
+
+let prop_float_literal_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"float literals round trip bit-exactly"
+    QCheck.float (fun f ->
+      match roundtrip_operand (Float f) with
+      | Float f' ->
+        Float.is_nan f' && Float.is_nan f
+        || Int64.bits_of_float f = Int64.bits_of_float f'
+      | _ -> false)
+
+let test_long_identifiers () =
+  (* Maximal-length names: registers, functions, labels survive printing
+     and reparsing unchanged. *)
+  let long = String.make 200 'x' in
+  let f =
+    B.define long ~params:[ long ^ "p" ] (fun b ->
+        B.set b long (Reg (long ^ "p"));
+        B.ret b (Reg long))
+  in
+  let p = prog_of [ f ] long in
+  let p' = Ir.Parser.parse (Ir.Pp.program_to_string p) in
+  Alcotest.(check string) "entry name" long p'.entry;
+  Alcotest.(check bool) "program round trips" true (compare p p' = 0)
+
+let test_parse_error_line_numbers () =
+  let expect_line n src =
+    try
+      ignore (Ir.Parser.parse src);
+      Alcotest.fail "expected a parse error"
+    with Ir.Parser.Parse_error { line; _ } ->
+      Alcotest.(check int) "error line" n line
+  in
+  expect_line 3 "func @f() {\nentry:\n  %x = frobnicate %y\n  ret ()\n}";
+  expect_line 4 "func @f() {\nentry:\n  %x = 1\n  %y = add %x\n  ret ()\n}";
+  expect_line 1 "garbage"
+
 (* -- random structured programs (properties) ----------------------------------- *)
 
-(* Generate a random structured function body: a tree of work / if / for
-   constructs over integer registers. *)
-let gen_body =
-  QCheck.Gen.(
-    sized_size (int_bound 4) @@ fix (fun self n ->
-        if n = 0 then return `Work
-        else
-          frequency
-            [
-              (2, return `Work);
-              (2, map2 (fun a b -> `Seq (a, b)) (self (n / 2)) (self (n / 2)));
-              (2, map (fun t -> `For t) (self (n - 1)));
-              (1, map2 (fun a b -> `If (a, b)) (self (n / 2)) (self (n / 2)));
-            ]))
-
-let rec emit_body b depth = function
-  | `Work -> B.work b (Int 1)
-  | `Seq (x, y) ->
-    emit_body b depth x;
-    emit_body b depth y
-  | `For t ->
-    B.for_ b (Printf.sprintf "i%d" depth) ~from:(Int 0) ~below:(Int 3)
-      (fun _ -> emit_body b (depth + 1) t)
-  | `If (x, y) ->
-    let c = B.lt b (Reg "x") (Int 2) in
-    B.if_ b c
-      ~then_:(fun () -> emit_body b (depth + 1) x)
-      ~else_:(fun () -> emit_body b (depth + 1) y)
-      ()
-
-let program_of_body body =
-  let f =
-    B.define "main" ~params:[ "x" ] (fun b ->
-        emit_body b 0 body;
-        B.ret_unit b)
-  in
-  prog_of [ f ] "main"
-
-let body_arbitrary = QCheck.make gen_body
-
+(* Random programs come from the shared lib/fuzz grammar (calls, memory
+   aliasing, floats, irregular nests, tainted branches), so these
+   properties cover far more CFG shapes than the old local work/if/for
+   tree — and failures shrink structurally. *)
 let prop_random_programs_valid =
   QCheck.Test.make ~count:200 ~name:"builder output always validates"
-    body_arbitrary (fun body ->
-      Ir.Validate.errors (Ir.Validate.check_program (program_of_body body)) = [])
+    Fuzz.Shrink.arbitrary (fun prog ->
+      let p = Fuzz.Gen.to_program prog in
+      Ir.Validate.errors (Ir.Validate.check_program p) = [])
 
 let prop_random_programs_roundtrip =
   QCheck.Test.make ~count:200 ~name:"pp/parse round trip on random programs"
-    body_arbitrary (fun body ->
-      let p = program_of_body body in
+    Fuzz.Shrink.arbitrary (fun prog ->
+      let p = Fuzz.Gen.to_program prog in
       let s1 = Ir.Pp.program_to_string p in
       Ir.Pp.program_to_string (Ir.Parser.parse s1) = s1)
 
 let prop_dominators_reflexive_entry =
   QCheck.Test.make ~count:100 ~name:"entry dominates every reachable block"
-    body_arbitrary (fun body ->
-      let p = program_of_body body in
-      let f = find_func p "main" in
-      let cfg = Ir.Cfg.build f in
+    Fuzz.Shrink.arbitrary (fun prog ->
+      let p = Fuzz.Gen.to_program prog in
       List.for_all
-        (fun l -> Ir.Cfg.dominates cfg (entry_block f).label l)
-        (Ir.Cfg.reachable_labels cfg))
+        (fun f ->
+          let cfg = Ir.Cfg.build f in
+          List.for_all
+            (fun l -> Ir.Cfg.dominates cfg (entry_block f).label l)
+            (Ir.Cfg.reachable_labels cfg))
+        p.funcs)
 
 (* Brute-force dominance: a dominates b iff b is unreachable from the
    entry once a is removed from the graph. *)
@@ -390,17 +441,19 @@ let brute_dominates f a b =
 
 let prop_dominators_match_brute_force =
   QCheck.Test.make ~count:60 ~name:"CHK dominators match brute force"
-    body_arbitrary (fun body ->
-      let p = program_of_body body in
-      let f = find_func p "main" in
-      let cfg = Ir.Cfg.build f in
-      let labels = Ir.Cfg.reachable_labels cfg in
+    Fuzz.Shrink.arbitrary (fun prog ->
+      let p = Fuzz.Gen.to_program prog in
       List.for_all
-        (fun a ->
+        (fun f ->
+          let cfg = Ir.Cfg.build f in
+          let labels = Ir.Cfg.reachable_labels cfg in
           List.for_all
-            (fun b -> Ir.Cfg.dominates cfg a b = brute_dominates f a b)
+            (fun a ->
+              List.for_all
+                (fun b -> Ir.Cfg.dominates cfg a b = brute_dominates f a b)
+                labels)
             labels)
-        labels)
+        p.funcs)
 
 (* The parser must never raise anything except Parse_error, even on
    garbage or mutated programs. *)
@@ -414,9 +467,9 @@ let prop_parser_total_on_garbage =
 
 let prop_parser_total_on_mutations =
   QCheck.Test.make ~count:200 ~name:"parser is total on mutated programs"
-    QCheck.(pair body_arbitrary (pair small_nat printable_char))
-    (fun (body, (pos, c)) ->
-      let s = Ir.Pp.program_to_string (program_of_body body) in
+    QCheck.(pair Fuzz.Shrink.arbitrary (pair small_nat printable_char))
+    (fun (prog, (pos, c)) ->
+      let s = Ir.Pp.program_to_string (Fuzz.Gen.to_program prog) in
       let s =
         if String.length s = 0 then s
         else begin
@@ -433,19 +486,21 @@ let prop_parser_total_on_mutations =
 let prop_loop_bodies_nest =
   QCheck.Test.make ~count:100
     ~name:"loop forest: child bodies are subsets of parent bodies"
-    body_arbitrary (fun body ->
-      let p = program_of_body body in
-      let f = find_func p "main" in
-      let forest = Ir.Loops.detect (Ir.Cfg.build f) in
+    Fuzz.Shrink.arbitrary (fun prog ->
+      let p = Fuzz.Gen.to_program prog in
       List.for_all
-        (fun (l : Ir.Loops.loop) ->
-          match l.Ir.Loops.parent with
-          | None -> true
-          | Some parent -> (
-            match Ir.Loops.find forest parent with
-            | Some pl -> SSet.subset l.Ir.Loops.body pl.Ir.Loops.body
-            | None -> false))
-        forest.Ir.Loops.loops)
+        (fun f ->
+          let forest = Ir.Loops.detect (Ir.Cfg.build f) in
+          List.for_all
+            (fun (l : Ir.Loops.loop) ->
+              match l.Ir.Loops.parent with
+              | None -> true
+              | Some parent -> (
+                match Ir.Loops.find forest parent with
+                | Some pl -> SSet.subset l.Ir.Loops.body pl.Ir.Loops.body
+                | None -> false))
+            forest.Ir.Loops.loops)
+        p.funcs)
 
 let tests =
   [
@@ -484,11 +539,20 @@ let tests =
       test_parse_comments_and_blanks;
     Alcotest.test_case "parse zero-argument calls" `Quick
       test_parse_call_no_args;
-    QCheck_alcotest.to_alcotest prop_random_programs_valid;
-    QCheck_alcotest.to_alcotest prop_random_programs_roundtrip;
-    QCheck_alcotest.to_alcotest prop_dominators_reflexive_entry;
-    QCheck_alcotest.to_alcotest prop_dominators_match_brute_force;
-    QCheck_alcotest.to_alcotest prop_parser_total_on_garbage;
-    QCheck_alcotest.to_alcotest prop_parser_total_on_mutations;
-    QCheck_alcotest.to_alcotest prop_loop_bodies_nest;
+    Alcotest.test_case "float literals keep their kind" `Quick
+      test_float_literals_roundtrip;
+    Alcotest.test_case "nan/inf/-inf literals" `Quick
+      test_special_float_literals;
+    Alcotest.test_case "maximal-length identifiers" `Quick
+      test_long_identifiers;
+    Alcotest.test_case "parse errors carry line numbers" `Quick
+      test_parse_error_line_numbers;
+    Seeded.to_alcotest prop_float_literal_roundtrip;
+    Seeded.to_alcotest prop_random_programs_valid;
+    Seeded.to_alcotest prop_random_programs_roundtrip;
+    Seeded.to_alcotest prop_dominators_reflexive_entry;
+    Seeded.to_alcotest prop_dominators_match_brute_force;
+    Seeded.to_alcotest prop_parser_total_on_garbage;
+    Seeded.to_alcotest prop_parser_total_on_mutations;
+    Seeded.to_alcotest prop_loop_bodies_nest;
   ]

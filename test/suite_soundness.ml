@@ -1,142 +1,64 @@
-(** Property tests of Claim 1 on randomly generated programs: whenever
-    changing a marked parameter changes a loop's observed iteration count,
-    that loop (or a loop dynamically enclosing it) must carry the
-    parameter's taint label.  Also: exact search-space cardinality checks
-    for the Extra-P heuristics. *)
+(** Property tests of Claim 1 on randomly generated programs, now driven
+    by the shared [lib/fuzz] grammar: whenever changing a marked parameter
+    changes a loop's observed iteration count, that loop (or a loop
+    dynamically enclosing it) must carry the parameter's taint label.
+    Also: exact search-space cardinality checks for the Extra-P
+    heuristics. *)
 
-open Ir.Types
-module B = Ir.Builder
 module Obs = Interp.Observations
 
-(* -- random programs with a parameter in some loop bounds ------------------- *)
-
-(* Body grammar: work | seq | for over (constant | x | x/2 | stored-x) |
-   if on x. *)
-type bound = Bconst of int | Bparam | Bhalf | Bmem
-
-type body =
-  | Work
-  | Seq of body * body
-  | For of bound * body
-  | If of body * body
-
-let gen_bound =
-  QCheck.Gen.(
-    frequency
-      [ (3, map (fun k -> Bconst (k mod 4)) small_nat); (3, return Bparam);
-        (2, return Bhalf); (2, return Bmem) ])
-
-let gen_body =
-  QCheck.Gen.(
-    sized_size (int_bound 4) @@ fix (fun self n ->
-        if n = 0 then return Work
-        else
-          frequency
-            [
-              (2, return Work);
-              (2, map2 (fun a b -> Seq (a, b)) (self (n / 2)) (self (n / 2)));
-              (3, map2 (fun bd t -> For (bd, t)) gen_bound (self (n - 1)));
-              (1, map2 (fun a b -> If (a, b)) (self (n / 2)) (self (n / 2)));
-            ]))
-
-let rec emit b depth = function
-  | Work -> B.work b (Int 1)
-  | Seq (x, y) ->
-    emit b depth x;
-    emit b depth y
-  | For (bound, t) ->
-    let below =
-      match bound with
-      | Bconst k -> Int k
-      | Bparam -> Reg "x"
-      | Bhalf -> B.div b (Reg "x") (Int 2)
-      | Bmem ->
-        (* Parameter round-trips through memory: tests the shadow. *)
-        let a = B.alloc b (Int 1) in
-        B.store b a (Int 0) (Reg "x");
-        B.load b a (Int 0)
-    in
-    B.for_ b (Printf.sprintf "i%d" depth) ~from:(Int 0) ~below (fun _ ->
-        emit b (depth + 1) t)
-  | If (x, y) ->
-    let c = B.gt b (Reg "x") (Int 3) in
-    B.if_ b c
-      ~then_:(fun () -> emit b (depth + 1) x)
-      ~else_:(fun () -> emit b (depth + 1) y)
-      ()
-
-let program_of body =
-  let main =
-    B.define "main" ~params:[ "x0" ] (fun b ->
-        let x = B.prim b "taint:x" [ Reg "x0" ] in
-        B.set b "x" x;
-        emit b 0 body;
-        B.ret_unit b)
-  in
-  { pname = "rand"; funcs = [ main ]; entry = "main" }
-
-let run_and_observe program x =
-  let m = Interp.Machine.create program in
-  let _ = Interp.Machine.run m [ VInt x ] in
-  (Interp.Machine.observations m, Interp.Machine.label_table m)
-
-(* Claim 1 on random programs: loops whose iteration totals differ between
-   two values of x must account for x (directly or via an enclosing
-   loop). *)
+(* Claim 1, as the fuzzer's differential oracle: perturb each marked
+   parameter and require the taint labels to account for every observed
+   count difference.  The programs come from the full lib/fuzz grammar
+   (calls, aliasing, floats, irregular nests, tainted branches) and
+   failures shrink structurally before being printed. *)
 let prop_loop_taint_soundness =
   QCheck.Test.make ~count:300 ~name:"Claim 1 on random programs"
-    (QCheck.make gen_body)
-    (fun body ->
-      let program = program_of body in
-      let obs1, _ = run_and_observe program 2 in
-      let obs2, labels2 = run_and_observe program 7 in
-      let key lo = (Obs.callpath_key lo.Obs.lo_callpath, lo.Obs.lo_header) in
-      let iters1 =
-        List.map (fun lo -> (key lo, lo.Obs.lo_iters)) (Obs.loop_list obs1)
-      in
-      let loops2 = Obs.loop_list obs2 in
-      let carries lo = List.mem "x" (Taint.Label.names labels2 lo.Obs.lo_dep) in
-      let enclosing_carries lo =
-        List.exists
-          (fun k ->
-            List.exists (fun lo' -> key lo' = k && carries lo') loops2)
-          lo.Obs.lo_enclosing
-      in
-      List.for_all
-        (fun lo ->
-          match List.assoc_opt (key lo) iters1 with
-          | Some n1 when n1 <> lo.Obs.lo_iters ->
-            carries lo || enclosing_carries lo
-          | _ -> true)
-        loops2)
+    Fuzz.Shrink.arbitrary (fun p ->
+      match Fuzz.Oracle.(check taint_soundness) (Fuzz.Gen.to_program p) with
+      | Fuzz.Oracle.Pass -> true
+      | Fuzz.Oracle.Fail msg -> QCheck.Test.fail_report msg)
 
 (* The ablation direction: without control-flow taint, the data-flow-only
    dependency sets are a subset of the full ones. *)
 let prop_control_flow_monotone =
   QCheck.Test.make ~count:150
     ~name:"control-flow taint only adds dependencies"
-    (QCheck.make gen_body)
-    (fun body ->
-      let program = program_of body in
+    Fuzz.Shrink.arbitrary (fun p ->
+      let program = Fuzz.Gen.to_program p in
+      let args =
+        List.map
+          (fun _ -> Ir.Types.VInt 6)
+          (Ir.Types.find_func program program.Ir.Types.entry).Ir.Types.fparams
+      in
       let deps config =
         let m = Interp.Machine.create ~config program in
-        let _ = Interp.Machine.run m [ VInt 6 ] in
-        Obs.loop_list (Interp.Machine.observations m)
-        |> List.map (fun lo ->
-               ( (Obs.callpath_key lo.Obs.lo_callpath, lo.Obs.lo_header),
-                 Taint.Label.names (Interp.Machine.label_table m) lo.Obs.lo_dep
-               ))
+        match Interp.Machine.run m args with
+        | _ | (exception Interp.Machine.Budget_exceeded _) ->
+          Some
+            (Obs.loop_list (Interp.Machine.observations m)
+            |> List.map (fun lo ->
+                   ( (Obs.callpath_key lo.Obs.lo_callpath, lo.Obs.lo_header),
+                     Taint.Label.names
+                       (Interp.Machine.label_table m)
+                       lo.Obs.lo_dep )))
+        | exception Interp.Machine.Runtime_error _ -> None
       in
-      let full = deps Interp.Machine.default_config in
-      let dataflow_only =
-        deps { Interp.Machine.default_config with control_flow_taint = false }
+      let config =
+        { Interp.Machine.default_config with max_steps = 500_000 }
       in
-      List.for_all
-        (fun (k, names) ->
-          match List.assoc_opt k full with
-          | Some full_names -> List.for_all (fun n -> List.mem n full_names) names
-          | None -> false)
-        dataflow_only)
+      match
+        (deps config, deps { config with control_flow_taint = false })
+      with
+      | None, _ | _, None -> true (* crash: the validator oracle's business *)
+      | Some full, Some dataflow_only ->
+        List.for_all
+          (fun (k, names) ->
+            match List.assoc_opt k full with
+            | Some full_names ->
+              List.for_all (fun n -> List.mem n full_names) names
+            | None -> false)
+          dataflow_only)
 
 (* -- search-space cardinality (the paper's heuristics) ------------------------ *)
 
@@ -167,8 +89,8 @@ let test_multi_search_space_small () =
 
 let tests =
   [
-    QCheck_alcotest.to_alcotest prop_loop_taint_soundness;
-    QCheck_alcotest.to_alcotest prop_control_flow_monotone;
+    Seeded.to_alcotest prop_loop_taint_soundness;
+    Seeded.to_alcotest prop_control_flow_monotone;
     Alcotest.test_case "single search space = 1432 hypotheses" `Quick
       test_single_search_space_size;
     Alcotest.test_case "multi search space stays under 1000" `Quick

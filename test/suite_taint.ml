@@ -143,6 +143,43 @@ let prop_names_sorted_unique =
       let ns = names tbl a in
       ns = List.sort_uniq compare ns)
 
+(* Sorted-pair interning means commutativity holds on the *handles*, not
+   just on the expanded name sets: union a b and union b a return the
+   same label, so no table space is wasted on mirrored pairs. *)
+let prop_union_commutative_handles =
+  QCheck.Test.make ~count:200 ~name:"union is commutative on handles"
+    (QCheck.make QCheck.Gen.(pair gen_param_names gen_param_names))
+    (fun (xs, ys) ->
+      let tbl = L.create () in
+      let mk ns = L.union_all tbl (List.map (L.base tbl) ns) in
+      let a = mk xs and b = mk ys in
+      L.union tbl a b = L.union tbl b a)
+
+let prop_label_count_bounded =
+  QCheck.Test.make ~count:100 ~name:"label count stays under 2^16"
+    (QCheck.make QCheck.Gen.(list_size (int_bound 8) (pair gen_param_names gen_param_names)))
+    (fun pairs ->
+      let tbl = L.create () in
+      List.iter
+        (fun (xs, ys) ->
+          let mk ns = L.union_all tbl (List.map (L.base tbl) ns) in
+          ignore (L.union tbl (mk xs) (mk ys)))
+        pairs;
+      L.label_count tbl < L.max_labels)
+
+let test_label_space_cap () =
+  (* The DFSan encoding gives 16-bit identifiers: the 2^16th allocation
+     must raise instead of silently wrapping. *)
+  let tbl = L.create () in
+  (try
+     for i = 0 to L.max_labels do
+       ignore (L.base tbl (Printf.sprintf "q%d" i))
+     done;
+     Alcotest.fail "expected Label_overflow"
+   with L.Label_overflow -> ());
+  Alcotest.(check bool) "count stayed under the cap" true
+    (L.label_count tbl < L.max_labels)
+
 let prop_union_matches_set_union =
   QCheck.Test.make ~count:200 ~name:"label union = set union of names"
     (QCheck.make QCheck.Gen.(pair gen_param_names gen_param_names))
@@ -167,9 +204,12 @@ let tests =
     Alcotest.test_case "shadow out of bounds" `Quick test_shadow_out_of_bounds;
     Alcotest.test_case "shadow taint_all + summary" `Quick
       test_shadow_taint_all_and_summary;
-    QCheck_alcotest.to_alcotest prop_union_commutative;
-    QCheck_alcotest.to_alcotest prop_union_associative;
-    QCheck_alcotest.to_alcotest prop_union_idempotent;
-    QCheck_alcotest.to_alcotest prop_names_sorted_unique;
-    QCheck_alcotest.to_alcotest prop_union_matches_set_union;
+    Alcotest.test_case "2^16 label-space cap" `Quick test_label_space_cap;
+    Seeded.to_alcotest prop_union_commutative;
+    Seeded.to_alcotest prop_union_commutative_handles;
+    Seeded.to_alcotest prop_union_associative;
+    Seeded.to_alcotest prop_union_idempotent;
+    Seeded.to_alcotest prop_names_sorted_unique;
+    Seeded.to_alcotest prop_union_matches_set_union;
+    Seeded.to_alcotest prop_label_count_bounded;
   ]
