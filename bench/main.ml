@@ -21,6 +21,8 @@ let experiments =
     ("minicg", "Appendix: third application (miniCG) end to end", Exp_minicg.run);
     ("catalog", "Model catalog: every fitted hybrid model", Exp_catalog.run);
     ("micro", "bechamel microbenchmarks", Micro.run);
+    ("policy", "policy overhead: taint vs plain interpretation",
+     Micro.policy_speedup);
   ]
 
 let usage () =

@@ -135,17 +135,43 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+let max_steps_arg =
+  let doc =
+    "Interpreter instruction budget for program-running commands \
+     (default: the engine's 200M steps; the fuzz oracles default to 500k)."
+  in
+  Arg.(value & opt (some int) None & info [ "max-steps" ] ~docv:"N" ~doc)
+
+let config_of max_steps =
+  Option.map
+    (fun n -> { Interp.Machine.default_config with max_steps = n })
+    max_steps
+
+(* Every command that interprets a program reports budget exhaustion as a
+   clean cmdliner error (exit 124 territory is for shells; here it is a
+   plain failure with the step count) rather than an uncaught exception. *)
+let budget_guard f =
+  try `Ok (f ())
+  with Interp.Machine.Budget_exceeded n ->
+    `Error
+      ( false,
+        Printf.sprintf
+          "interpreter instruction budget exceeded after %d steps; raise it \
+           with --max-steps"
+          n )
+
 (* Run the pipeline over a target; when [trace] names a file, record the
    full span/instant stream and dump it as Chrome trace JSON. *)
-let analyze_target ?metrics ?trace t =
+let analyze_target ?config ?metrics ?trace t =
   match trace with
   | None ->
-    Perf_taint.Pipeline.analyze ?metrics ~world:t.world t.program ~args:t.args
+    Perf_taint.Pipeline.analyze ?config ?metrics ~world:t.world t.program
+      ~args:t.args
   | Some path ->
     let sink = Obs_trace.create () in
     let a =
-      Perf_taint.Pipeline.analyze ?metrics ~trace:sink ~world:t.world t.program
-        ~args:t.args
+      Perf_taint.Pipeline.analyze ?config ?metrics ~trace:sink ~world:t.world
+        t.program ~args:t.args
     in
     (try Obs_trace.write_file sink path
      with Sys_error msg ->
@@ -163,9 +189,10 @@ let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc)
 
 let analyze_cmd =
-  let run name ranks params json trace =
+  let run name ranks params json trace max_steps =
+    budget_guard @@ fun () ->
     let t = resolve name ranks params in
-    let a = analyze_target ?trace t in
+    let a = analyze_target ?config:(config_of max_steps) ?trace t in
     if json then
       Fmt.pr "%a@."
         Perf_taint.Export.pp
@@ -187,12 +214,16 @@ let analyze_cmd =
   in
   let doc = "Run the static + dynamic taint analysis and print the report." in
   Cmd.v (Cmd.info "analyze" ~doc)
-    Term.(const run $ app_arg $ ranks_arg $ param_arg $ json_arg $ trace_arg)
+    Term.(
+      ret
+        (const run $ app_arg $ ranks_arg $ param_arg $ json_arg $ trace_arg
+        $ max_steps_arg))
 
 let select_cmd =
-  let run name ranks params trace =
+  let run name ranks params trace max_steps =
+    budget_guard @@ fun () ->
     let t = resolve name ranks params in
-    let a = analyze_target ?trace t in
+    let a = analyze_target ?config:(config_of max_steps) ?trace t in
     let relevant =
       Perf_taint.Pipeline.relevant_functions a ~model_params:t.model_params
     in
@@ -204,7 +235,9 @@ let select_cmd =
   in
   let doc = "Print the taint-derived instrumentation selection." in
   Cmd.v (Cmd.info "select" ~doc)
-    Term.(const run $ app_arg $ ranks_arg $ param_arg $ trace_arg)
+    Term.(
+      ret (const run $ app_arg $ ranks_arg $ param_arg $ trace_arg
+          $ max_steps_arg))
 
 let print_cmd =
   let run name ranks params =
@@ -216,29 +249,64 @@ let print_cmd =
     Term.(const run $ app_arg $ ranks_arg $ param_arg)
 
 let coverage_cmd =
-  let run name ranks params trace =
-    let t = resolve name ranks params in
-    let a = analyze_target ?trace t in
-    let all = Ir.Cfg.SSet.elements (Perf_taint.Pipeline.observed_params a) in
-    Fmt.pr "per-parameter coverage:@.";
-    List.iter
-      (fun (r : Perf_taint.Report.coverage_row) ->
-        Fmt.pr "  %-10s functions=%3d loops=%3d@." r.cov_param r.cov_functions
-          r.cov_loops)
-      (Perf_taint.Report.coverage a ~params:all)
+  let blocks_arg =
+    let doc =
+      "Execute the program through the Coverage policy and print dynamic \
+       block/edge hit counts instead of the taint-derived parameter \
+       coverage."
+    in
+    Arg.(value & flag & info [ "blocks" ] ~doc)
   in
-  let doc = "Print per-parameter function/loop coverage (Table 3 style)." in
+  let run name ranks params blocks trace max_steps =
+    budget_guard @@ fun () ->
+    let t = resolve name ranks params in
+    if blocks then begin
+      let config =
+        Option.value ~default:Interp.Machine.default_config
+          (config_of max_steps)
+      in
+      let m = Interp.Coverage.create ~config t.program in
+      Mpi_sim.Runtime.install_coverage t.world m;
+      ignore (Interp.Coverage.run m t.args);
+      let cov = Interp.Coverage.policy_state m in
+      Fmt.pr "block coverage: %d blocks, %d edges, %d steps@."
+        (Interp.Coverage_policy.blocks_covered cov)
+        (Interp.Coverage_policy.edges_covered cov)
+        (Interp.Coverage.steps_executed m);
+      List.iter
+        (fun ((f, b), n) -> Fmt.pr "  %-28s %-12s %10d@." f b n)
+        (Interp.Coverage_policy.block_hits cov)
+    end
+    else begin
+      let a = analyze_target ?config:(config_of max_steps) ?trace t in
+      let all = Ir.Cfg.SSet.elements (Perf_taint.Pipeline.observed_params a) in
+      Fmt.pr "per-parameter coverage:@.";
+      List.iter
+        (fun (r : Perf_taint.Report.coverage_row) ->
+          Fmt.pr "  %-10s functions=%3d loops=%3d@." r.cov_param r.cov_functions
+            r.cov_loops)
+        (Perf_taint.Report.coverage a ~params:all)
+    end
+  in
+  let doc =
+    "Print per-parameter function/loop coverage (Table 3 style), or \
+     dynamic block coverage with $(b,--blocks)."
+  in
   Cmd.v (Cmd.info "coverage" ~doc)
-    Term.(const run $ app_arg $ ranks_arg $ param_arg $ trace_arg)
+    Term.(
+      ret
+        (const run $ app_arg $ ranks_arg $ param_arg $ blocks_arg $ trace_arg
+        $ max_steps_arg))
 
 let volume_cmd =
   let func_arg =
     let doc = "Function whose iteration volume to print (default: all)." in
     Arg.(value & opt (some string) None & info [ "func" ] ~doc)
   in
-  let run name ranks params func trace =
+  let run name ranks params func trace max_steps =
+    budget_guard @@ fun () ->
     let t = resolve name ranks params in
-    let a = analyze_target ?trace t in
+    let a = analyze_target ?config:(config_of max_steps) ?trace t in
     (match func with
     | Some f ->
       Fmt.pr "%-36s %s@." f
@@ -259,7 +327,10 @@ let volume_cmd =
      scaffolding the empirical modeler parametrises."
   in
   Cmd.v (Cmd.info "volume" ~doc)
-    Term.(const run $ app_arg $ ranks_arg $ param_arg $ func_arg $ trace_arg)
+    Term.(
+      ret
+        (const run $ app_arg $ ranks_arg $ param_arg $ func_arg $ trace_arg
+        $ max_steps_arg))
 
 let mode_arg =
   let doc = "Modeling mode: tainted (hybrid) or black-box." in
@@ -275,7 +346,8 @@ let func_arg =
   Arg.(value & opt (some string) None & info [ "func" ] ~doc)
 
 let model_cmd =
-  let run name ranks params mode func trace =
+  let run name ranks params mode func trace max_steps =
+    budget_guard @@ fun () ->
     let t = resolve name ranks params in
     let spec =
       match t.spec with
@@ -284,7 +356,7 @@ let model_cmd =
         Fmt.epr "error: %s has no measurement spec (use lulesh or milc)@." name;
         exit 2
     in
-    let a = analyze_target ?trace t in
+    let a = analyze_target ?config:(config_of max_steps) ?trace t in
     let machine = Mpi_sim.Machine.skylake_cluster in
     let selective =
       Measure.Instrument.SSet.of_list
@@ -338,13 +410,15 @@ let model_cmd =
   in
   Cmd.v (Cmd.info "model" ~doc)
     Term.(
-      const run $ app_arg $ ranks_arg $ param_arg $ mode_arg $ func_arg
-      $ trace_arg)
+      ret
+        (const run $ app_arg $ ranks_arg $ param_arg $ mode_arg $ func_arg
+        $ trace_arg $ max_steps_arg))
 
 let profile_cmd =
-  let run name ranks params trace =
+  let run name ranks params trace max_steps =
+    budget_guard @@ fun () ->
     let t = resolve name ranks params in
-    let a = analyze_target ?trace t in
+    let a = analyze_target ?config:(config_of max_steps) ?trace t in
     let rows =
       Interp.Observations.func_list a.Perf_taint.Pipeline.obs
       |> List.sort (fun x y ->
@@ -361,13 +435,16 @@ let profile_cmd =
   in
   let doc = "Per-function statistics of the tainted run (the analysis cost)." in
   Cmd.v (Cmd.info "profile" ~doc)
-    Term.(const run $ app_arg $ ranks_arg $ param_arg $ trace_arg)
+    Term.(
+      ret (const run $ app_arg $ ranks_arg $ param_arg $ trace_arg
+          $ max_steps_arg))
 
 let stats_cmd =
-  let run name ranks params json trace =
+  let run name ranks params json trace max_steps =
+    budget_guard @@ fun () ->
     let t = resolve name ranks params in
     let metrics = Obs_metrics.create () in
-    let a = analyze_target ~metrics ?trace t in
+    let a = analyze_target ?config:(config_of max_steps) ~metrics ?trace t in
     if json then
       Fmt.pr "%a@." Perf_taint.Export.pp (Perf_taint.Export.stats_json a)
     else begin
@@ -392,10 +469,14 @@ let stats_cmd =
      pipeline."
   in
   Cmd.v (Cmd.info "stats" ~doc)
-    Term.(const run $ app_arg $ ranks_arg $ param_arg $ json_arg $ trace_arg)
+    Term.(
+      ret
+        (const run $ app_arg $ ranks_arg $ param_arg $ json_arg $ trace_arg
+        $ max_steps_arg))
 
 let contention_cmd =
-  let run name ranks params trace =
+  let run name ranks params trace max_steps =
+    budget_guard @@ fun () ->
     let t = resolve name ranks params in
     let spec =
       match t.spec with
@@ -404,7 +485,7 @@ let contention_cmd =
         Fmt.epr "error: %s has no measurement spec@." name;
         exit 2
     in
-    let a = analyze_target ?trace t in
+    let a = analyze_target ?config:(config_of max_steps) ?trace t in
     let selective =
       Measure.Instrument.SSet.of_list
         (Perf_taint.Pipeline.relevant_functions a ~model_params:t.model_params
@@ -449,16 +530,19 @@ let contention_cmd =
     "Sweep ranks-per-node at a fixed configuration and report functions      whose growth contradicts the taint analysis (Figure 5 / C1)."
   in
   Cmd.v (Cmd.info "contention" ~doc)
-    Term.(const run $ app_arg $ ranks_arg $ param_arg $ trace_arg)
+    Term.(
+      ret (const run $ app_arg $ ranks_arg $ param_arg $ trace_arg
+          $ max_steps_arg))
 
 let design_cmd =
   let reps_arg =
     let doc = "Repetitions per configuration." in
     Arg.(value & opt int 5 & info [ "reps" ] ~doc)
   in
-  let run name ranks params reps trace =
+  let run name ranks params reps trace max_steps =
+    budget_guard @@ fun () ->
     let t = resolve name ranks params in
-    let a = analyze_target ?trace t in
+    let a = analyze_target ?config:(config_of max_steps) ?trace t in
     (* Five-point axes over every parameter the program declares. *)
     let entry =
       Ir.Types.find_func t.program t.program.Ir.Types.entry
@@ -475,19 +559,24 @@ let design_cmd =
     "Propose an experiment design from the taint results: which parameters      to fix, sweep alone, or sweep jointly (A1/A2)."
   in
   Cmd.v (Cmd.info "design" ~doc)
-    Term.(const run $ app_arg $ ranks_arg $ param_arg $ reps_arg $ trace_arg)
+    Term.(
+      ret
+        (const run $ app_arg $ ranks_arg $ param_arg $ reps_arg $ trace_arg
+        $ max_steps_arg))
 
 let validate_cmd =
   let at_arg =
     let doc = "Rank count to analyze at (repeatable), e.g. --at 4 --at 32." in
     Arg.(value & opt_all int [ 4; 32 ] & info [ "at" ] ~doc)
   in
-  let run name ranks params ats =
+  let run name ranks params ats max_steps =
+    budget_guard @@ fun () ->
     let t = resolve name ranks params in
     let runs =
       List.map
         (fun p ->
           Perf_taint.Pipeline.analyze
+            ?config:(config_of max_steps)
             ~world:{ Mpi_sim.Runtime.ranks = p; rank = 0 }
             t.program ~args:t.args)
         ats
@@ -514,7 +603,9 @@ let validate_cmd =
   in
   let doc = "Compare taint runs across rank counts (C2-style validation)." in
   Cmd.v (Cmd.info "validate" ~doc)
-    Term.(const run $ app_arg $ ranks_arg $ param_arg $ at_arg)
+    Term.(
+      ret (const run $ app_arg $ ranks_arg $ param_arg $ at_arg
+          $ max_steps_arg))
 
 let fuzz_cmd =
   let seed_arg =
@@ -538,7 +629,8 @@ let fuzz_cmd =
     in
     Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc)
   in
-  let run seed budget corpus files =
+  let run seed budget corpus files max_steps =
+    budget_guard @@ fun () ->
     match files with
     | _ :: _ ->
       let failed = ref 0 in
@@ -552,11 +644,11 @@ let fuzz_cmd =
               | Fuzz.Oracle.Fail msg ->
                 incr failed;
                 Fmt.pr "  %-18s FAIL: %s@." name msg)
-            (Fuzz.Driver.replay_file file))
+            (Fuzz.Driver.replay_file ?max_steps file))
         files;
       if !failed > 0 then exit 1
     | [] ->
-      let report = Fuzz.Driver.run_campaign ~seed ~budget () in
+      let report = Fuzz.Driver.run_campaign ?max_steps ~seed ~budget () in
       Fmt.pr "fuzz campaign: seed %d, budget %d@." seed budget;
       List.iter
         (fun (r : Fuzz.Driver.oracle_result) ->
@@ -582,12 +674,15 @@ let fuzz_cmd =
     "Fuzz the pipeline with random PIR programs checked against \
      differential oracles (taint soundness under parameter perturbation, \
      printer/parser round trip, validator/interpreter agreement, static \
-     vs dynamic trip counts, observability invariance).  Counterexamples \
-     are minimized and saved to the corpus; pass corpus files to replay \
-     them."
+     vs dynamic trip counts, observability invariance, Taint-vs-Plain \
+     policy agreement, coverage accounting).  Counterexamples are \
+     minimized and saved to the corpus; pass corpus files to replay them."
   in
   Cmd.v (Cmd.info "fuzz" ~doc)
-    Term.(const run $ seed_arg $ budget_arg $ corpus_arg $ replay_arg)
+    Term.(
+      ret
+        (const run $ seed_arg $ budget_arg $ corpus_arg $ replay_arg
+        $ max_steps_arg))
 
 let main_cmd =
   let doc = "tainted performance modeling (Perf-Taint reproduction)" in

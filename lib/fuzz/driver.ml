@@ -48,7 +48,16 @@ let make_cx oracle ~index p0 =
     cx_lines = count_lines text;
   }
 
-let run_campaign ?(oracles = Oracle.all) ~seed ~budget () =
+(* [max_steps] rebuilds the default oracle set under an explicit budget;
+   an explicit [oracles] list wins when both are given. *)
+let oracle_set oracles max_steps =
+  match (oracles, max_steps) with
+  | Some os, _ -> os
+  | None, Some n -> Oracle.all_with ~max_steps:n
+  | None, None -> Oracle.all
+
+let run_campaign ?oracles ?max_steps ~seed ~budget () =
+  let oracles = oracle_set oracles max_steps in
   let st = Random.State.make [| seed |] in
   let slots =
     List.map (fun o -> (o, ref 0, ref None)) oracles
@@ -98,6 +107,7 @@ let save ~dir ~seed cx =
   close_out oc;
   path
 
-let replay_file ?(oracles = Oracle.all) path =
+let replay_file ?oracles ?max_steps path =
+  let oracles = oracle_set oracles max_steps in
   let prog = Ir.Parser.parse_file path in
   List.map (fun o -> (o.Oracle.name, Oracle.check o prog)) oracles

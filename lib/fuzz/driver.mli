@@ -18,12 +18,15 @@ type oracle_result = {
 type report = { rp_seed : int; rp_budget : int; rp_results : oracle_result list }
 
 val run_campaign :
-  ?oracles:Oracle.t list -> seed:int -> budget:int -> unit -> report
+  ?oracles:Oracle.t list -> ?max_steps:int -> seed:int -> budget:int ->
+  unit -> report
 (** Generate [budget] programs from [seed] and check each against every
     oracle.  An oracle stops checking after its first failure, which is
     shrunk with {!Shrink.minimize} before being reported.  Generation
     consumes the PRNG identically regardless of oracle outcomes, so a
-    campaign is reproducible from its seed alone. *)
+    campaign is reproducible from its seed alone.  [max_steps] runs the
+    default oracle set under an explicit interpreter budget
+    ({!Oracle.all_with}); an explicit [oracles] list takes precedence. *)
 
 val counterexamples : report -> counterexample list
 
@@ -33,5 +36,7 @@ val save : dir:string -> seed:int -> counterexample -> string
     path. *)
 
 val replay_file :
-  ?oracles:Oracle.t list -> string -> (string * Oracle.verdict) list
-(** Parse a corpus [.pir] file and run each oracle on it. *)
+  ?oracles:Oracle.t list -> ?max_steps:int -> string ->
+  (string * Oracle.verdict) list
+(** Parse a corpus [.pir] file and run each oracle on it.  [max_steps]
+    as in {!run_campaign}. *)

@@ -6,6 +6,8 @@
     an unexpected exception is itself a finding, not a campaign abort. *)
 
 module M = Interp.Machine
+module P = Interp.Plain
+module C = Interp.Coverage
 module O = Interp.Observations
 module L = Taint.Label
 module T = Static_an.Tripcount
@@ -48,8 +50,6 @@ let base_args p = List.map (fun _ -> base_value) (entry_params p)
 
 (* -- taint soundness ------------------------------------------------------ *)
 
-let taint_prefix = "taint:"
-
 let marked_params p =
   match entry_func p with
   | None -> []
@@ -58,11 +58,10 @@ let marked_params p =
       (fun blk ->
         List.filter_map
           (function
-            | Prim (_, name, [ Reg r ])
-              when String.starts_with ~prefix:taint_prefix name
-                   && List.mem r f.fparams ->
-              let n = String.length taint_prefix in
-              Some (r, String.sub name n (String.length name - n))
+            | Prim (_, name, [ Reg r ]) when List.mem r f.fparams -> (
+              match L.source_prim name with
+              | Some pname -> Some (r, pname)
+              | None -> None)
             | _ -> None)
           blk.instrs)
       f.blocks
@@ -183,7 +182,7 @@ let printer_roundtrip =
 
 (* -- validator / interpreter agreement ------------------------------------ *)
 
-let validator_interp =
+let validator_interp_with config =
   let check p =
     match Ir.Validate.errors (Ir.Validate.check_program p) with
     | _ :: _ as errs ->
@@ -192,19 +191,21 @@ let validator_interp =
         (Printf.sprintf "validator rejects a generated program: %s: %s"
            e.Ir.Validate.where e.Ir.Validate.message)
     | [] -> (
-      match exec p (base_args p) with
+      match exec ~config p (base_args p) with
       | Finished _ | Budget -> Pass
       | Crash msg ->
         Fail (Printf.sprintf "validated program crashed the interpreter: %s" msg))
   in
   { name = "validator-interp"; check }
 
+let validator_interp = validator_interp_with interp_config
+
 (* -- static trip counts vs dynamic iteration counts ----------------------- *)
 
-let tripcount =
+let tripcount_with config =
   let check p =
     let static = T.analyze_program p in
-    match exec p (base_args p) with
+    match exec ~config p (base_args p) with
     | Budget | Crash _ -> Pass
     | Finished (m, _) ->
       let obs = M.observations m in
@@ -236,6 +237,8 @@ let tripcount =
       (match bad with Some msg -> Fail msg | None -> Pass)
   in
   { name = "tripcount"; check }
+
+let tripcount = tripcount_with interp_config
 
 (* -- metamorphic: observability must not change observations --------------- *)
 
@@ -269,12 +272,12 @@ let snapshot m v =
     sn_steps = M.steps_executed m;
   }
 
-let obs_invariance =
+let obs_invariance_with config =
   let check p =
     let args = base_args p in
-    let plain = exec p args in
+    let plain = exec ~config p args in
     let instrumented =
-      exec
+      exec ~config
         ~metrics:(Obs_metrics.create ())
         ~trace:(Obs_trace.create ())
         p args
@@ -290,9 +293,162 @@ let obs_invariance =
   in
   { name = "obs-invariance"; check }
 
-let all =
-  [ taint_soundness; printer_roundtrip; validator_interp; tripcount;
-    obs_invariance ]
+let obs_invariance = obs_invariance_with interp_config
+
+(* -- differential: Taint vs Plain policies --------------------------------- *)
+
+(* Label-free view of one run: result value, loop and branch dynamics per
+   callpath, per-function statistics, event and step counts — everything
+   the two policies must agree on ("identical modulo labels"). *)
+type clean_snapshot = {
+  cl_value : value;
+  cl_loops : (string * string * int * int) list;
+  cl_branches : (string * string * int * int) list;
+  cl_funcs : (string * int * int * int) list;
+  cl_events : int;
+  cl_steps : int;
+}
+
+let clean_of (obs : O.t) steps v =
+  {
+    cl_value = v;
+    cl_loops =
+      O.loop_list obs
+      |> List.map (fun (lo : O.loop_obs) ->
+             ( O.callpath_key lo.O.lo_callpath,
+               lo.O.lo_header,
+               lo.O.lo_iters,
+               lo.O.lo_entries ))
+      |> List.sort compare;
+    cl_branches =
+      O.branch_list obs
+      |> List.map (fun (bo : O.branch_obs) ->
+             ( O.callpath_key bo.O.br_callpath,
+               bo.O.br_block,
+               bo.O.br_taken,
+               bo.O.br_not_taken ))
+      |> List.sort compare;
+    cl_funcs =
+      O.func_list obs
+      |> List.map (fun (fo : O.func_obs) ->
+             (fo.O.fo_func, fo.O.fo_calls, fo.O.fo_instrs, fo.O.fo_work))
+      |> List.sort compare;
+    cl_events = List.length (O.event_list obs);
+    cl_steps = steps;
+  }
+
+let exec_taint_clean ~config p args =
+  let m = M.create ~config p in
+  match M.run m args with
+  | v, _ -> `Finished (clean_of (M.observations m) (M.steps_executed m) v)
+  | exception M.Budget_exceeded _ -> `Budget
+  | exception M.Runtime_error msg -> `Crash msg
+
+let exec_plain_clean ~config p args =
+  let m = P.create ~config p in
+  match P.run m args with
+  | v, _ -> `Finished (clean_of (P.observations m) (P.steps_executed m) v)
+  | exception M.Budget_exceeded _ -> `Budget
+  | exception M.Runtime_error msg -> `Crash msg
+
+let diff_component a b =
+  if a.cl_value <> b.cl_value then Some "result value"
+  else if a.cl_loops <> b.cl_loops then Some "loop observations"
+  else if a.cl_branches <> b.cl_branches then Some "branch observations"
+  else if a.cl_funcs <> b.cl_funcs then Some "function statistics"
+  else if a.cl_events <> b.cl_events then Some "event count"
+  else if a.cl_steps <> b.cl_steps then Some "step count"
+  else None
+
+let taint_vs_plain_with config =
+  let check p =
+    let args = base_args p in
+    match (exec_taint_clean ~config p args, exec_plain_clean ~config p args) with
+    | `Budget, `Budget -> Pass
+    | `Crash a, `Crash b when String.equal a b -> Pass
+    | `Finished a, `Finished b -> (
+      match diff_component a b with
+      | None -> Pass
+      | Some what ->
+        Fail
+          (Printf.sprintf
+             "Taint and Plain policies disagree on %s (steps %d vs %d)" what
+             a.cl_steps b.cl_steps))
+    | _ -> Fail "Taint and Plain policy runs diverged in outcome"
+  in
+  { name = "taint-vs-plain"; check }
+
+let taint_vs_plain = taint_vs_plain_with interp_config
+
+(* -- coverage accounting vs observations ----------------------------------- *)
+
+(* Block hit counts must be consistent with the engine's own dynamics:
+   summed over callpaths, a branch block is arrived at exactly
+   taken + not-taken times, and a loop header exactly
+   iterations + entries times. *)
+let coverage_consistency_with config =
+  let check p =
+    let m = C.create ~config p in
+    match C.run m (base_args p) with
+    | exception M.Budget_exceeded _ -> Pass
+    | exception M.Runtime_error _ -> Pass
+    | _ ->
+      let cov = C.policy_state m in
+      let obs = C.observations m in
+      let sum tbl key n =
+        Hashtbl.replace tbl key (n + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+      in
+      let expect = Hashtbl.create 32 in
+      Hashtbl.iter
+        (fun _ (lo : O.loop_obs) ->
+          sum expect
+            ("loop", lo.O.lo_func, lo.O.lo_header)
+            (lo.O.lo_iters + lo.O.lo_entries))
+        obs.O.loops;
+      Hashtbl.iter
+        (fun _ (bo : O.branch_obs) ->
+          sum expect
+            ("branch", bo.O.br_func, bo.O.br_block)
+            (bo.O.br_taken + bo.O.br_not_taken))
+        obs.O.branches;
+      let bad =
+        Hashtbl.fold
+          (fun (kind, func, block) n acc ->
+            match acc with
+            | Some _ -> acc
+            | None ->
+              let hits = Interp.Coverage_policy.hits_of cov ~func ~block in
+              if hits = n then None
+              else
+                Some
+                  (Printf.sprintf
+                     "%s block %s.%s: coverage counted %d arrivals but \
+                      observations imply %d"
+                     kind func block hits n))
+          expect None
+      in
+      (match bad with Some msg -> Fail msg | None -> Pass)
+  in
+  { name = "coverage-consistency"; check }
+
+let coverage_consistency = coverage_consistency_with interp_config
+
+(* -- suites ---------------------------------------------------------------- *)
+
+let oracles_with config =
+  [
+    taint_soundness_with config;
+    printer_roundtrip;
+    validator_interp_with config;
+    tripcount_with config;
+    obs_invariance_with config;
+    taint_vs_plain_with config;
+    coverage_consistency_with config;
+  ]
+
+let all_with ~max_steps = oracles_with { interp_config with max_steps }
+
+let all = oracles_with interp_config
 
 let check o p =
   match o.check p with

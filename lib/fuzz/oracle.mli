@@ -18,7 +18,8 @@ val interp_config : Interp.Machine.config
 val marked_params : Ir.Types.program -> (string * string) list
 (** Entry parameters marked as taint sources, as
     [(formal, source name)] pairs — found by scanning the entry function
-    for [!taint:<name>(%formal)] primitives. *)
+    for [!taint:<name>(%formal)] primitives (recognized by
+    {!Taint.Label.source_prim}, the shared definition). *)
 
 val taint_soundness : t
 (** Perturb each marked parameter in turn (3 → 7) and re-execute: any
@@ -49,7 +50,33 @@ val obs_invariance : t
 (** Metamorphic: enabling the [lib/obs] metrics and trace instrumentation
     must not change the result value, observations, or step count. *)
 
+val taint_vs_plain : t
+(** Differential: running through the Taint policy ({!Interp.Machine})
+    and the Plain policy ({!Interp.Plain}) must produce the same result
+    value, loop/branch dynamics, function statistics, event count and
+    step count — identical runs modulo taint labels. *)
+
+val coverage_consistency : t
+(** The Coverage policy's block hit counts must be consistent with the
+    engine's own observations: summed over callpaths, a branch block is
+    arrived at taken + not-taken times and a loop header
+    iterations + entries times. *)
+
+val validator_interp_with : Interp.Machine.config -> t
+val tripcount_with : Interp.Machine.config -> t
+val obs_invariance_with : Interp.Machine.config -> t
+val taint_vs_plain_with : Interp.Machine.config -> t
+val coverage_consistency_with : Interp.Machine.config -> t
+
+val oracles_with : Interp.Machine.config -> t list
+(** Every oracle, executing under the given configuration. *)
+
+val all_with : max_steps:int -> t list
+(** {!oracles_with} at the default oracle configuration with an explicit
+    step budget — the CLI's [--max-steps]. *)
+
 val all : t list
+(** [oracles_with interp_config]. *)
 
 val check : t -> Ir.Types.program -> verdict
 (** Exception-safe oracle application. *)

@@ -1,0 +1,6 @@
+(** Coverage-collecting PIR execution: the {!Engine} instantiated with
+    {!Coverage_policy}.  Counts block arrivals and intra-function edge
+    traversals; read them back via {!policy_state} and the
+    {!Coverage_policy} accessors. *)
+
+include Engine.Make (Coverage_policy)

@@ -1,0 +1,5 @@
+(** Coverage-collecting PIR execution: the {!Engine} instantiated with
+    {!Coverage_policy}.  [policy_state] exposes the block/edge hit
+    tables; see {!Coverage_policy.block_hits} and friends. *)
+
+include Engine.S with type pstate = Coverage_policy.state

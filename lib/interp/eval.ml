@@ -22,6 +22,18 @@ let as_arr = function
   | VArr h -> h
   | v -> error "expected array, got %s" (value_kind v)
 
+(* Scalar results are produced at interpreter rates, so booleans and
+   small ints are shared pre-boxed values rather than fresh allocations
+   (values are immutable, so sharing is unobservable). *)
+let vtrue = VBool true
+let vfalse = VBool false
+let vbool b = if b then vtrue else vfalse
+let small_ints = Array.init 1024 (fun i -> VInt (i - 256))
+
+let vint i =
+  if i >= -256 && i < 768 then Array.unsafe_get small_ints (i + 256)
+  else VInt i
+
 (* Comparisons accept both int and float operands of matching kind. *)
 let compare_values op a b =
   let c =
@@ -38,35 +50,35 @@ let compare_values op a b =
     | Gt -> c > 0 | Ge -> c >= 0
     | _ -> assert false
   in
-  VBool r
+  vbool r
 
 let binop op a b =
   match op with
-  | Add -> VInt (as_int a + as_int b)
-  | Sub -> VInt (as_int a - as_int b)
-  | Mul -> VInt (as_int a * as_int b)
+  | Add -> vint (as_int a + as_int b)
+  | Sub -> vint (as_int a - as_int b)
+  | Mul -> vint (as_int a * as_int b)
   | Div ->
     let d = as_int b in
-    if d = 0 then error "integer division by zero" else VInt (as_int a / d)
+    if d = 0 then error "integer division by zero" else vint (as_int a / d)
   | Rem ->
     let d = as_int b in
-    if d = 0 then error "integer remainder by zero" else VInt (as_int a mod d)
-  | Min -> VInt (min (as_int a) (as_int b))
-  | Max -> VInt (max (as_int a) (as_int b))
+    if d = 0 then error "integer remainder by zero" else vint (as_int a mod d)
+  | Min -> vint (min (as_int a) (as_int b))
+  | Max -> vint (max (as_int a) (as_int b))
   | FAdd -> VFloat (as_float a +. as_float b)
   | FSub -> VFloat (as_float a -. as_float b)
   | FMul -> VFloat (as_float a *. as_float b)
   | FDiv -> VFloat (as_float a /. as_float b)
   | FMin -> VFloat (Float.min (as_float a) (as_float b))
   | FMax -> VFloat (Float.max (as_float a) (as_float b))
-  | And -> VBool (as_bool a && as_bool b)
-  | Or -> VBool (as_bool a || as_bool b)
+  | And -> vbool (as_bool a && as_bool b)
+  | Or -> vbool (as_bool a || as_bool b)
   | (Eq | Ne | Lt | Le | Gt | Ge) as cmp -> compare_values cmp a b
 
 let unop op a =
   match op with
-  | Neg -> VInt (-as_int a)
+  | Neg -> vint (-as_int a)
   | FNeg -> VFloat (-.as_float a)
-  | Not -> VBool (not (as_bool a))
+  | Not -> vbool (not (as_bool a))
   | FloatOfInt -> VFloat (float_of_int (as_int a))
-  | IntOfFloat -> VInt (int_of_float (as_float a))
+  | IntOfFloat -> vint (int_of_float (as_float a))

@@ -10,5 +10,12 @@ val as_float : Ir.Types.value -> float
 val as_bool : Ir.Types.value -> bool
 val as_arr : Ir.Types.value -> int
 
+val vint : int -> Ir.Types.value
+(** [VInt i], shared from a pre-boxed pool for small [i] (values are
+    immutable, so sharing is unobservable). *)
+
+val vbool : bool -> Ir.Types.value
+(** [VBool b], shared. *)
+
 val binop : Ir.Types.binop -> Ir.Types.value -> Ir.Types.value -> Ir.Types.value
 val unop : Ir.Types.unop -> Ir.Types.value -> Ir.Types.value

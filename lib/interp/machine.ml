@@ -1,4 +1,5 @@
-(** The PIR interpreter with inline dynamic taint analysis.
+(** The PIR interpreter with inline dynamic taint analysis: the
+    policy-parameterized {!Engine} instantiated with {!Taint_policy}.
 
     This module is the analogue of DataFlowSanitizer's instrumented
     execution (paper Section 5.2): every instruction propagates taint
@@ -13,543 +14,15 @@
     dispatched through an extensible registry so higher layers (the MPI
     simulation, the applications) can install their own semantics. *)
 
-open Ir.Types
-module Label = Taint.Label
-module Shadow = Taint.Shadow
-module Obs = Observations
-
 exception Runtime_error = Eval.Runtime_error
 
-exception Budget_exceeded of int
+exception Budget_exceeded = Engine.Budget_exceeded
 
-type config = {
+type config = Engine.config = {
   control_flow_taint : bool;
-      (** propagate taint through control dependencies (paper default:
-          on; exposed for the ablation benchmarks) *)
-  max_steps : int;  (** instruction budget; guards against runaway loops *)
+  max_steps : int;
 }
 
-let default_config = { control_flow_taint = true; max_steps = 200_000_000 }
+let default_config = Engine.default_config
 
-(* Pre-interned instruction counters (opcode classes, memory and shadow
-   traffic, control flow, loops).  Held as an [option] on the machine:
-   the disabled path is one field load and branch per instruction, with
-   no hashing and no allocation. *)
-type icounters = {
-  ic_alu : Obs_metrics.counter;      (** Assign/Binop/Unop *)
-  ic_mem : Obs_metrics.counter;      (** Alloc/Load/Store *)
-  ic_call : Obs_metrics.counter;     (** Call instructions *)
-  ic_prim : Obs_metrics.counter;     (** Prim instructions *)
-  ic_ctl : Obs_metrics.counter;      (** block terminators *)
-  ic_loads : Obs_metrics.counter;
-  ic_stores : Obs_metrics.counter;
-  ic_allocs : Obs_metrics.counter;
-  ic_heap_cells : Obs_metrics.counter;
-  ic_branches : Obs_metrics.counter;
-  ic_tainted_branches : Obs_metrics.counter;
-  ic_loop_entries : Obs_metrics.counter;
-  ic_loop_iters : Obs_metrics.counter;
-  ic_calls : Obs_metrics.counter;    (** function invocations *)
-}
-
-let icounters_of m =
-  let c = Obs_metrics.counter m in
-  {
-    ic_alu = c "interp.instr.alu";
-    ic_mem = c "interp.instr.mem";
-    ic_call = c "interp.instr.call";
-    ic_prim = c "interp.instr.prim";
-    ic_ctl = c "interp.instr.ctl";
-    ic_loads = c "interp.mem.loads";
-    ic_stores = c "interp.mem.stores";
-    ic_allocs = c "interp.mem.allocs";
-    ic_heap_cells = c "interp.mem.heap_cells";
-    ic_branches = c "interp.ctl.branches";
-    ic_tainted_branches = c "interp.ctl.tainted_branches";
-    ic_loop_entries = c "interp.loop.entries";
-    ic_loop_iters = c "interp.loop.iterations";
-    ic_calls = c "interp.calls";
-  }
-
-(* Static per-function facts needed during execution. *)
-type fstatic = {
-  cfg : Ir.Cfg.t;
-  forest : Ir.Loops.forest;
-  exit_of : (string, Ir.Loops.loop list) Hashtbl.t;
-      (** block label -> loops for which this block is exiting *)
-}
-
-type frame = {
-  ffunc : func;
-  fstat : fstatic;
-  regs : (string, value) Hashtbl.t;
-  rshadow : (string, Label.t) Hashtbl.t;
-  mutable ctl : (string * Label.t) list;
-      (** (join label, condition taint); "$never" join is function-scoped *)
-  mutable active_loops : (string * string) list;
-      (** observation keys of loops currently being executed in this
-          frame, innermost first *)
-  enclosing : (string * string) list;
-      (** loop observation keys active in the caller chain at call time *)
-  callpath : Obs.callpath;
-  cp_key : string;
-}
-
-type t = {
-  program : program;
-  config : config;
-  labels : Label.table;
-  heap : (int, value array) Hashtbl.t;
-  shadow : Shadow.t;
-  mutable next_alloc : int;
-  mutable steps : int;
-  statics : (string, fstatic) Hashtbl.t;
-  obs : Obs.t;
-  prims : (string, prim_fn) Hashtbl.t;
-  mutable call_depth : int;
-  im : icounters option;     (** instruction metrics, when enabled *)
-  trace : Obs_trace.sink;    (** span/instant sink, [disabled] by default *)
-}
-
-and prim_fn = t -> frame -> (value * Label.t) list -> value * Label.t
-
-let never_join = "$never"
-let max_call_depth = 10_000
-
-(* -- static info cache --------------------------------------------------- *)
-
-let fstatic_of t fname =
-  match Hashtbl.find_opt t.statics fname with
-  | Some s -> s
-  | None ->
-    let f = find_func t.program fname in
-    let cfg = Ir.Cfg.build f in
-    let forest = Ir.Loops.detect cfg in
-    let exit_of = Hashtbl.create 8 in
-    List.iter
-      (fun (l : Ir.Loops.loop) ->
-        List.iter
-          (fun blk ->
-            let cur = Option.value ~default:[] (Hashtbl.find_opt exit_of blk) in
-            Hashtbl.replace exit_of blk (l :: cur))
-          (Ir.Loops.exiting_blocks l))
-      forest.loops;
-    let s = { cfg; forest; exit_of } in
-    Hashtbl.replace t.statics fname s;
-    s
-
-(* -- taint helpers ------------------------------------------------------- *)
-
-let ctl_taint t frame =
-  List.fold_left (fun acc (_, l) -> Label.union t.labels acc l) Label.empty frame.ctl
-
-let reg_label frame r =
-  Option.value ~default:Label.empty (Hashtbl.find_opt frame.rshadow r)
-
-let operand_value frame = function
-  | Reg r -> (
-    match Hashtbl.find_opt frame.regs r with
-    | Some v -> v
-    | None -> Eval.error "read of unset register %%%s in %s" r frame.ffunc.fname)
-  | Int i -> VInt i
-  | Float f -> VFloat f
-  | Bool b -> VBool b
-  | Unit -> VUnit
-
-let operand_label frame = function
-  | Reg r -> reg_label frame r
-  | Int _ | Float _ | Bool _ | Unit -> Label.empty
-
-let eval_operand frame op = (operand_value frame op, operand_label frame op)
-
-(* Write a register together with its shadow label; control taint is folded
-   in when control-flow tainting is enabled. *)
-let write_reg t frame r v l =
-  let l =
-    if t.config.control_flow_taint then Label.union t.labels l (ctl_taint t frame)
-    else l
-  in
-  Hashtbl.replace frame.regs r v;
-  Hashtbl.replace frame.rshadow r l
-
-(* -- primitives ---------------------------------------------------------- *)
-
-let register_prim t name fn = Hashtbl.replace t.prims name fn
-
-let emit_event t frame prim args =
-  t.obs.Obs.events <-
-    { Obs.ev_func = frame.ffunc.fname;
-      ev_callpath = frame.callpath;
-      ev_prim = prim;
-      ev_args = args }
-    :: t.obs.Obs.events
-
-(* [taint:<name>] is a pass-through taint source: it returns its argument
-   with the base label <name> unioned in — PIR's register_variable. *)
-let dispatch_prim t frame name (args : (value * Label.t) list) =
-  match String.index_opt name ':' with
-  | Some i when String.sub name 0 i = "taint" ->
-    let param = String.sub name (i + 1) (String.length name - i - 1) in
-    let base = Label.base t.labels param in
-    (match args with
-    | [ (VArr h, l) ] ->
-      (* Tainting an array taints every cell. *)
-      Shadow.taint_all t.shadow ~alloc:h base;
-      (VArr h, Label.union t.labels l base)
-    | [ (v, l) ] -> (v, Label.union t.labels l base)
-    | _ -> Eval.error "taint:%s expects one argument" param)
-  | _ -> (
-    match Hashtbl.find_opt t.prims name with
-    | Some fn -> fn t frame args
-    | None -> Eval.error "unknown primitive !%s" name)
-
-let builtin_work t frame = function
-  | [ (VInt n, _) ] ->
-    let fo = Obs.func_obs t.obs frame.ffunc.fname in
-    fo.Obs.fo_work <- fo.Obs.fo_work + n;
-    (VUnit, Label.empty)
-  | _ -> Eval.error "work expects one int argument"
-
-let builtin_print t frame args =
-  ignore frame;
-  List.iter
-    (fun (v, l) ->
-      Fmt.epr "[pir] %a %a@." Ir.Pp.pp_value v (Label.pp t.labels) l)
-    args;
-  (VUnit, Label.empty)
-
-(* -- allocation ---------------------------------------------------------- *)
-
-let alloc_array t size =
-  let h = t.next_alloc in
-  t.next_alloc <- t.next_alloc + 1;
-  Hashtbl.replace t.heap h (Array.make (max size 0) (VInt 0));
-  Shadow.on_alloc t.shadow ~alloc:h ~size;
-  (match t.im with
-  | None -> ()
-  | Some ic -> Obs_metrics.add ic.ic_heap_cells (max size 0));
-  h
-
-let heap_get t h i =
-  match Hashtbl.find_opt t.heap h with
-  | Some a when i >= 0 && i < Array.length a -> a.(i)
-  | Some a -> Eval.error "index %d out of bounds (size %d)" i (Array.length a)
-  | None -> Eval.error "dangling array handle %d" h
-
-let heap_set t h i v =
-  match Hashtbl.find_opt t.heap h with
-  | Some a when i >= 0 && i < Array.length a -> a.(i) <- v
-  | Some a -> Eval.error "index %d out of bounds (size %d)" i (Array.length a)
-  | None -> Eval.error "dangling array handle %d" h
-
-(* -- execution ----------------------------------------------------------- *)
-
-let step t =
-  t.steps <- t.steps + 1;
-  if t.steps > t.config.max_steps then raise (Budget_exceeded t.config.max_steps)
-
-let count_instr ic = function
-  | Assign _ | Binop _ | Unop _ -> Obs_metrics.incr ic.ic_alu
-  | Alloc _ ->
-    Obs_metrics.incr ic.ic_mem;
-    Obs_metrics.incr ic.ic_allocs
-  | Load _ ->
-    Obs_metrics.incr ic.ic_mem;
-    Obs_metrics.incr ic.ic_loads
-  | Store _ ->
-    Obs_metrics.incr ic.ic_mem;
-    Obs_metrics.incr ic.ic_stores
-  | Call _ -> Obs_metrics.incr ic.ic_call
-  | Prim _ -> Obs_metrics.incr ic.ic_prim
-
-let rec exec_instr t frame instr =
-  step t;
-  let fo = Obs.func_obs t.obs frame.ffunc.fname in
-  fo.Obs.fo_instrs <- fo.Obs.fo_instrs + 1;
-  (match t.im with None -> () | Some ic -> count_instr ic instr);
-  match instr with
-  | Assign (d, a) ->
-    let v, l = eval_operand frame a in
-    write_reg t frame d v l
-  | Binop (d, op, a, b) ->
-    let va, la = eval_operand frame a in
-    let vb, lb = eval_operand frame b in
-    write_reg t frame d (Eval.binop op va vb) (Label.union t.labels la lb)
-  | Unop (d, op, a) ->
-    let v, l = eval_operand frame a in
-    write_reg t frame d (Eval.unop op v) l
-  | Alloc (d, n) ->
-    let v, l = eval_operand frame n in
-    let h = alloc_array t (Eval.as_int v) in
-    (* The allocation size's taint flows to the handle: indexing
-       computations derived from the handle itself stay clean, but the
-       summary label of the array keeps the size dependency visible. *)
-    write_reg t frame d (VArr h) l
-  | Load (d, base, idx) ->
-    let vb, lb = eval_operand frame base in
-    let vi, li = eval_operand frame idx in
-    let h = Eval.as_arr vb and i = Eval.as_int vi in
-    let v = heap_get t h i in
-    let lmem = Shadow.get t.shadow { alloc = h; offset = i } in
-    write_reg t frame d v (Label.union_all t.labels [ lb; li; lmem ])
-  | Store (base, idx, x) ->
-    let vb, lb = eval_operand frame base in
-    let vi, li = eval_operand frame idx in
-    let vx, lx = eval_operand frame x in
-    let h = Eval.as_arr vb and i = Eval.as_int vi in
-    heap_set t h i vx;
-    let l = Label.union_all t.labels [ lb; li; lx ] in
-    let l =
-      if t.config.control_flow_taint then Label.union t.labels l (ctl_taint t frame)
-      else l
-    in
-    Shadow.set t.shadow { alloc = h; offset = i } l
-  | Call (d, fname, args) ->
-    let argv = List.map (eval_operand frame) args in
-    let enclosing = frame.active_loops @ frame.enclosing in
-    let v, l = call ~enclosing t frame.callpath fname argv in
-    (match d with Some d -> write_reg t frame d v l | None -> ())
-  | Prim (d, p, args) ->
-    let argv = List.map (eval_operand frame) args in
-    emit_event t frame p argv;
-    let v, l =
-      if p = "work" then builtin_work t frame argv
-      else if p = "print" then builtin_print t frame argv
-      else dispatch_prim t frame p argv
-    in
-    (match d with Some d -> write_reg t frame d v l | None -> ())
-
-and call ?(enclosing = []) t callpath fname argv =
-  t.call_depth <- t.call_depth + 1;
-  if t.call_depth > max_call_depth then Eval.error "call depth exceeded";
-  let f = find_func t.program fname in
-  if List.length f.fparams <> List.length argv then
-    Eval.error "arity mismatch calling %s: %d formals, %d actuals" fname
-      (List.length f.fparams) (List.length argv);
-  let fstat = fstatic_of t fname in
-  let callpath = callpath @ [ fname ] in
-  let frame =
-    {
-      ffunc = f;
-      fstat;
-      regs = Hashtbl.create 32;
-      rshadow = Hashtbl.create 32;
-      ctl = [];
-      active_loops = [];
-      enclosing;
-      callpath;
-      cp_key = Obs.callpath_key callpath;
-    }
-  in
-  List.iter2
-    (fun p (v, l) ->
-      Hashtbl.replace frame.regs p v;
-      Hashtbl.replace frame.rshadow p l)
-    f.fparams argv;
-  let fo = Obs.func_obs t.obs fname in
-  fo.Obs.fo_calls <- fo.Obs.fo_calls + 1;
-  (match t.im with None -> () | Some ic -> Obs_metrics.incr ic.ic_calls);
-  let result =
-    if Obs_trace.enabled t.trace then begin
-      Obs_trace.span_begin t.trace ~cat:"interp" fname;
-      Fun.protect
-        ~finally:(fun () -> Obs_trace.span_end t.trace fname)
-        (fun () -> exec_from t frame (entry_block f) ~prev:None)
-    end
-    else exec_from t frame (entry_block f) ~prev:None
-  in
-  t.call_depth <- t.call_depth - 1;
-  result
-
-(* Record loop entry / iteration when arriving at [block] from [prev]. *)
-and note_loop_arrival t frame block ~prev =
-  match Ir.Loops.find frame.fstat.forest block.label with
-  | None -> ()
-  | Some loop ->
-    let from_inside =
-      match prev with
-      | Some p -> Ir.Cfg.SSet.mem p loop.Ir.Loops.body
-      | None -> false
-    in
-    let key = (frame.cp_key, block.label) in
-    let lo =
-      match Hashtbl.find_opt t.obs.Obs.loops key with
-      | Some lo -> lo
-      | None ->
-        let lo =
-          {
-            Obs.lo_func = frame.ffunc.fname;
-            lo_header = block.label;
-            lo_callpath = frame.callpath;
-            lo_depth = loop.Ir.Loops.depth;
-            lo_parent = loop.Ir.Loops.parent;
-            lo_iters = 0;
-            lo_entries = 0;
-            lo_dep = Label.empty;
-            lo_enclosing = [];
-          }
-        in
-        Hashtbl.replace t.obs.Obs.loops key lo;
-        lo
-    in
-    (if from_inside then lo.Obs.lo_iters <- lo.Obs.lo_iters + 1
-     else lo.Obs.lo_entries <- lo.Obs.lo_entries + 1);
-    (match t.im with
-    | None -> ()
-    | Some ic ->
-      if from_inside then Obs_metrics.incr ic.ic_loop_iters
-      else Obs_metrics.incr ic.ic_loop_entries);
-    if (not from_inside) && Obs_trace.enabled t.trace then
-      Obs_trace.instant t.trace ~cat:"loop"
-        (frame.ffunc.fname ^ "/" ^ block.label);
-    let self = (frame.cp_key, block.label) in
-    let ctx =
-      List.filter (fun k -> k <> self) frame.active_loops @ frame.enclosing
-    in
-    List.iter
-      (fun k ->
-        if not (List.mem k lo.Obs.lo_enclosing) then
-          lo.Obs.lo_enclosing <- k :: lo.Obs.lo_enclosing)
-      ctx
-
-(* Union [dep] into the recorded dependency of every loop for which
-   [block] is an exiting block: the loop-exit taint sink. *)
-and note_loop_sink t frame block dep =
-  match Hashtbl.find_opt frame.fstat.exit_of block.label with
-  | None -> ()
-  | Some loops ->
-    List.iter
-      (fun (l : Ir.Loops.loop) ->
-        let key = (frame.cp_key, l.Ir.Loops.header) in
-        match Hashtbl.find_opt t.obs.Obs.loops key with
-        | Some lo -> lo.Obs.lo_dep <- Label.union t.labels lo.Obs.lo_dep dep
-        | None -> ())
-      loops
-
-and note_branch t frame block dep taken =
-  let key = (frame.cp_key, block.label) in
-  let bo =
-    match Hashtbl.find_opt t.obs.Obs.branches key with
-    | Some bo -> bo
-    | None ->
-      let bo =
-        {
-          Obs.br_func = frame.ffunc.fname;
-          br_block = block.label;
-          br_callpath = frame.callpath;
-          br_taken = 0;
-          br_not_taken = 0;
-          br_dep = Label.empty;
-        }
-      in
-      Hashtbl.replace t.obs.Obs.branches key bo;
-      bo
-  in
-  if taken then bo.Obs.br_taken <- bo.Obs.br_taken + 1
-  else bo.Obs.br_not_taken <- bo.Obs.br_not_taken + 1;
-  bo.Obs.br_dep <- Label.union t.labels bo.Obs.br_dep dep
-
-and exec_from t frame block ~prev =
-  (* Pop control-taint scopes that end at this block. *)
-  frame.ctl <- List.filter (fun (join, _) -> join <> block.label) frame.ctl;
-  (* Maintain the dynamic loop stack: drop loops whose body we left. *)
-  frame.active_loops <-
-    List.filter
-      (fun (_, header) ->
-        match Ir.Loops.find frame.fstat.forest header with
-        | Some l -> Ir.Cfg.SSet.mem block.label l.Ir.Loops.body
-        | None -> false)
-      frame.active_loops;
-  note_loop_arrival t frame block ~prev;
-  (match Ir.Loops.find frame.fstat.forest block.label with
-  | Some _ ->
-    let self = (frame.cp_key, block.label) in
-    if not (List.mem self frame.active_loops) then
-      frame.active_loops <- self :: frame.active_loops
-  | None -> ());
-  List.iter (exec_instr t frame) block.instrs;
-  step t;
-  (match t.im with None -> () | Some ic -> Obs_metrics.incr ic.ic_ctl);
-  match block.term with
-  | Return op ->
-    let v, l = eval_operand frame op in
-    let l =
-      if t.config.control_flow_taint then Label.union t.labels l (ctl_taint t frame)
-      else l
-    in
-    (v, l)
-  | Jump l -> exec_from t frame (find_block frame.ffunc l) ~prev:(Some block.label)
-  | Branch (c, then_l, else_l) ->
-    let v, l = eval_operand frame c in
-    let dep =
-      if t.config.control_flow_taint then Label.union t.labels l (ctl_taint t frame)
-      else l
-    in
-    let taken = Eval.as_bool v in
-    (match t.im with
-    | None -> ()
-    | Some ic ->
-      Obs_metrics.incr ic.ic_branches;
-      if not (Label.is_empty dep) then
-        Obs_metrics.incr ic.ic_tainted_branches);
-    note_branch t frame block dep taken;
-    note_loop_sink t frame block dep;
-    (if t.config.control_flow_taint && not (Label.is_empty l) then
-       let join =
-         Option.value ~default:never_join (Ir.Cfg.ipostdom frame.fstat.cfg block.label)
-       in
-       frame.ctl <- (join, l) :: frame.ctl);
-    let target = if taken then then_l else else_l in
-    exec_from t frame (find_block frame.ffunc target) ~prev:(Some block.label)
-
-(* -- entry points -------------------------------------------------------- *)
-
-let create ?(config = default_config) ?metrics ?(trace = Obs_trace.disabled)
-    program =
-  let t =
-    {
-      program;
-      config;
-      labels = Label.create ();
-      heap = Hashtbl.create 64;
-      shadow = Shadow.create ();
-      next_alloc = 0;
-      steps = 0;
-      statics = Hashtbl.create 16;
-      obs = Obs.create ();
-      prims = Hashtbl.create 16;
-      call_depth = 0;
-      im = Option.map icounters_of metrics;
-      trace;
-    }
-  in
-  t
-
-(** Run the program's entry function with the given positional arguments
-    (matched against the entry function's parameters).  Returns the result
-    value and its taint label. *)
-let run t args =
-  let entry = find_func t.program t.program.entry in
-  if List.length entry.fparams <> List.length args then
-    Eval.error "entry %s expects %d arguments, got %d" entry.fname
-      (List.length entry.fparams) (List.length args);
-  call t [] t.program.entry (List.map (fun v -> (v, Label.empty)) args)
-
-(** Convenience: run with named integer parameters, in the order declared
-    by the entry function. *)
-let run_named t bindings =
-  let entry = find_func t.program t.program.entry in
-  let args =
-    List.map
-      (fun p ->
-        match List.assoc_opt p bindings with
-        | Some v -> v
-        | None -> Eval.error "missing binding for entry parameter %s" p)
-      entry.fparams
-  in
-  run t args
-
-let observations t = t.obs
-let label_table t = t.labels
-let steps_executed t = t.steps
-let trace_sink t = t.trace
+include Engine.Make (Taint_policy)

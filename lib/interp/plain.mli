@@ -1,0 +1,7 @@
+(** Clean PIR execution: the {!Engine} instantiated with
+    {!Plain_policy}.  Identical program results, observations and step
+    counts to {!Machine} (modulo taint labels, which are always empty),
+    with no shadow registers, no shadow memory, no label unions and no
+    control-taint stack on the hot path. *)
+
+include Engine.S with type pstate = Plain_policy.state

@@ -14,14 +14,16 @@ type design = {
 let default_design =
   { grid = []; reps = 5; mode = Instrument.Full; sigma = 0.02; seed = 42 }
 
-(** Cartesian product of the grid: every parameter combination. *)
-let configs design =
+(** Cartesian product of a parameter grid: every combination. *)
+let grid_configs grid =
   List.fold_left
     (fun acc (name, values) ->
       List.concat_map
         (fun partial -> List.map (fun v -> partial @ [ (name, v) ]) values)
         acc)
-    [ [] ] design.grid
+    [ [] ] grid
+
+let configs design = grid_configs design.grid
 
 let run_design ?metrics app machine design =
   (match metrics with
@@ -33,6 +35,16 @@ let run_design ?metrics app machine design =
           Simulator.measure ~sigma:design.sigma ~seed:design.seed ~rep ?metrics
             app machine ~params ~mode:design.mode))
     (configs design)
+
+(** Clean-replay campaign: execute a PIR program at every grid
+    configuration through the Plain engine.  Replays are deterministic,
+    so there are no repetitions — one run per configuration, the paper's
+    "many clean measurement runs" against actual programs rather than the
+    analytic spec. *)
+let replay_runs ?config ?world program ~grid =
+  List.map
+    (fun params -> Simulator.replay ?config ?world program ~params)
+    (grid_configs grid)
 
 (** Modeling dataset for one kernel: one point per configuration, one
     repetition per run.  Configurations where the kernel was not observed

@@ -11,8 +11,11 @@ type design = {
 
 val default_design : design
 
+val grid_configs : (string * float list) list -> Spec.params list
+(** The cartesian product of a parameter grid. *)
+
 val configs : design -> Spec.params list
-(** The cartesian product of the grid. *)
+(** [grid_configs design.grid]. *)
 
 val run_design :
   ?metrics:Obs_metrics.t ->
@@ -20,6 +23,12 @@ val run_design :
 (** Execute the full-factorial design.  [metrics] counts campaigns and
     runs and accumulates the simulated core-hour cost (see
     {!Simulator.measure}). *)
+
+val replay_runs :
+  ?config:Interp.Engine.config -> ?world:Mpi_sim.Runtime.world ->
+  Ir.Types.program -> grid:(string * float list) list ->
+  Simulator.replay list
+(** One deterministic clean {!Simulator.replay} per grid configuration. *)
 
 val kernel_dataset :
   Simulator.run list -> params:string list -> kernel:string -> Model.Dataset.t

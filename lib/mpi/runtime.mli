@@ -9,5 +9,17 @@ type world = {
 
 val default_world : world
 
+(** MPI bindings over any engine instantiation (Taint, Plain, Coverage):
+    routine semantics only need the prim-registration face. *)
+module Install (E : Interp.Engine.HOST) : sig
+  val install : world -> E.t -> unit
+end
+
 val install : world -> Interp.Machine.t -> unit
 (** Register every database routine as a PIR primitive on the machine. *)
+
+val install_plain : world -> Interp.Plain.t -> unit
+(** Same bindings on the clean-replay engine (labels are dropped). *)
+
+val install_coverage : world -> Interp.Coverage.t -> unit
+(** Same bindings on the coverage engine. *)

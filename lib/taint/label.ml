@@ -151,3 +151,13 @@ let table_stats tbl =
 let pp tbl ppf l =
   if l = 0 then Fmt.string ppf "{}"
   else Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma string) (names tbl l)
+
+(* The [taint:<param>] primitive-name convention: the one syntactic hook
+   by which PIR programs declare taint sources (PIR's register_variable).
+   Shared by every interpreter policy and by the fuzzing oracles, so the
+   recognizer lives next to the labels it creates. *)
+let source_prim name =
+  match String.index_opt name ':' with
+  | Some i when String.sub name 0 i = "taint" ->
+    Some (String.sub name (i + 1) (String.length name - i - 1))
+  | _ -> None

@@ -60,3 +60,10 @@ val table_stats : table -> stats
     (DFSan's runtime statistics counterpart). *)
 
 val pp : table -> t Fmt.t
+
+val source_prim : string -> string option
+(** [source_prim "taint:size"] is [Some "size"] — the primitive-name
+    convention by which PIR programs declare taint sources.  The single
+    definition shared by the interpreter policies (which implement the
+    pass-through semantics) and the fuzzing oracles (which look for
+    marked parameters). *)

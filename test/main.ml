@@ -4,6 +4,7 @@ let () =
       ("ir", Suite_ir.tests);
       ("taint", Suite_taint.tests);
       ("interp", Suite_interp.tests);
+      ("engine", Suite_engine.tests);
       ("static", Suite_static.tests);
       ("measure", Suite_measure.tests);
       ("pipeline", Suite_pipeline.tests);

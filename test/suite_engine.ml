@@ -1,0 +1,289 @@
+(** Tests of the policy-parameterized execution engine: control-taint
+    corner cases through the Taint policy ("$never" joins, nested
+    branches sharing an immediate postdominator), Taint/Plain agreement
+    with control-flow taint disabled, Coverage hit counts, the step
+    budget under Plain, and the counter-name table in
+    [doc/OBSERVABILITY.md] staying in sync with
+    {!Interp.Engine.instr_counters}. *)
+
+open Ir.Types
+module B = Ir.Builder
+module M = Interp.Machine
+module P = Interp.Plain
+module C = Interp.Coverage
+module CP = Interp.Coverage_policy
+module Obs = Interp.Observations
+module O = Fuzz.Oracle
+
+let prog funcs entry = { pname = "t"; funcs; entry }
+let names m l = Taint.Label.names (M.label_table m) l
+
+(* A branch whose arms both return: no block postdominates it, so the
+   control scope is the function-scoped "$never" join and every return
+   under it carries the condition's taint. *)
+let never_fn =
+  B.define "f" ~params:[ "c" ] (fun b ->
+      let c = B.prim b "taint:c" [ Reg "c" ] in
+      let cond = B.gt b c (Int 0) in
+      B.terminate b (Branch (cond, "yes", "no"));
+      B.start_block b "yes";
+      B.ret b (Int 1);
+      B.start_block b "no";
+      B.ret b (Int 2))
+
+let test_never_join () =
+  let m = M.create (prog [ never_fn ] "f") in
+  let _, l = M.run m [ VInt 5 ] in
+  Alcotest.(check (list string))
+    "constant return under a $never scope carries the condition taint"
+    [ "c" ] (names m l)
+
+(* Control taint is function-scoped: a caller that invokes [f] above and
+   then writes a constant must produce a clean value — the callee's
+   never-popped scope dies with its frame. *)
+let test_never_join_is_function_scoped () =
+  let main =
+    B.define "main" ~params:[ "c" ] (fun b ->
+        B.call_unit b "f" [ Reg "c" ];
+        B.set b "after" (Int 7);
+        B.ret b (Reg "after"))
+  in
+  let m = M.create (prog [ main; never_fn ] "main") in
+  let v, l = M.run m [ VInt 5 ] in
+  Alcotest.(check bool) "caller result value" true (v = VInt 7);
+  Alcotest.(check (list string))
+    "callee's $never scope does not leak into the caller" [] (names m l)
+
+(* Two nested tainted branches whose arms meet at the same block:
+   entry -(a>0)-> {mid, join}, mid -(b>0)-> {left, join}, left -> join.
+   "join" is the immediate postdominator of both branch blocks, so a
+   store inside [left] runs under both scopes and a write after [join]
+   is clean again. *)
+let shared_join ~store =
+  B.define "f" ~params:[ "a"; "b" ] (fun b ->
+      let a = B.prim b "taint:a" [ Reg "a" ] in
+      let bb = B.prim b "taint:b" [ Reg "b" ] in
+      let arr = B.alloc b (Int 1) in
+      let ca = B.gt b a (Int 0) in
+      B.terminate b (Branch (ca, "mid", "join"));
+      B.start_block b "mid";
+      let cb = B.gt b bb (Int 0) in
+      B.terminate b (Branch (cb, "left", "join"));
+      B.start_block b "left";
+      if store then B.store b arr (Int 0) (Int 1);
+      B.terminate b (Jump "join");
+      B.start_block b "join";
+      B.set b "after" (Int 3);
+      if store then B.ret b (B.load b arr (Int 0)) else B.ret b (Reg "after"))
+
+let test_nested_shared_ipostdom_union () =
+  let m = M.create (prog [ shared_join ~store:true ] "f") in
+  let v, l = M.run m [ VInt 1; VInt 1 ] in
+  Alcotest.(check bool) "stored value read back" true (v = VInt 1);
+  Alcotest.(check (list string))
+    "store under both nested scopes carries both labels" [ "a"; "b" ]
+    (List.sort compare (names m l))
+
+let test_nested_shared_ipostdom_pops_both () =
+  let m = M.create (prog [ shared_join ~store:false ] "f") in
+  let v, l = M.run m [ VInt 1; VInt 1 ] in
+  Alcotest.(check bool) "post-join value" true (v = VInt 3);
+  Alcotest.(check (list string))
+    "both scopes popped at the shared join; post-join write is clean" []
+    (names m l)
+
+(* -- control_flow_taint = false: Taint and Plain agree ---------------------- *)
+
+let loop_fn =
+  B.define "f" ~params:[ "n" ] (fun b ->
+      let n = B.prim b "taint:n" [ Reg "n" ] in
+      B.set b "acc" (Int 0);
+      B.for_ b "i" ~from:(Int 0) ~below:n (fun i ->
+          B.set b "acc" (B.add b (Reg "acc") i);
+          B.work b (Int 1));
+      B.ret b (Reg "acc"))
+
+let no_cf = { M.default_config with control_flow_taint = false }
+
+let test_cf_off_matches_plain () =
+  let p = prog [ loop_fn ] "f" in
+  let m = M.create ~config:no_cf p in
+  let mv, ml = M.run m [ VInt 6 ] in
+  let pm = P.create ~config:no_cf p in
+  let pv, pl = P.run pm [ VInt 6 ] in
+  Alcotest.(check bool) "same result value" true (mv = pv);
+  Alcotest.(check bool) "plain label is empty" true (Taint.Label.is_empty pl);
+  Alcotest.(check (list string))
+    "without control taint the data-flow-only result is clean" []
+    (names m ml);
+  Alcotest.(check int) "same step count" (M.steps_executed m)
+    (P.steps_executed pm);
+  let iters o = List.map (fun lo -> lo.Obs.lo_iters) (Obs.loop_list o) in
+  Alcotest.(check (list int))
+    "same loop dynamics"
+    (iters (M.observations m))
+    (iters (P.observations pm))
+
+let test_cf_off_oracle_passes () =
+  List.iter
+    (fun f ->
+      match O.check (O.taint_vs_plain_with { O.interp_config with
+                                             control_flow_taint = false })
+              (prog [ f ] "f")
+      with
+      | O.Pass -> ()
+      | O.Fail msg -> Alcotest.failf "taint-vs-plain divergence: %s" msg)
+    [ loop_fn; never_fn; shared_join ~store:true ]
+
+(* -- Coverage policy --------------------------------------------------------- *)
+
+let test_coverage_counts () =
+  let m = C.create (prog [ loop_fn ] "f") in
+  ignore (C.run m [ VInt 3 ]);
+  let st = C.policy_state m in
+  let lo =
+    match Obs.loop_list (C.observations m) with
+    | [ lo ] -> lo
+    | other -> Alcotest.failf "expected one loop, got %d" (List.length other)
+  in
+  Alcotest.(check int) "loop dynamics: 3 iterations, 1 entry" 4
+    (lo.Obs.lo_iters + lo.Obs.lo_entries);
+  Alcotest.(check int) "header hits = iterations + entries" 4
+    (CP.hits_of st ~func:"f" ~block:lo.Obs.lo_header);
+  (* The header is not the function entry, so every arrival traverses an
+     intra-function edge: edges into the header sum to its hit count. *)
+  let into_header =
+    List.fold_left
+      (fun acc ((_, _, dst), n) ->
+        if String.equal dst lo.Obs.lo_header then acc + n else acc)
+      0 (CP.edge_hits st)
+  in
+  Alcotest.(check int) "edge hits into the header sum to its arrivals" 4
+    into_header;
+  Alcotest.(check bool) "several blocks covered" true
+    (CP.blocks_covered st >= 3);
+  Alcotest.(check int) "unexecuted block has zero hits" 0
+    (CP.hits_of st ~func:"f" ~block:"no-such-block")
+
+(* -- the step budget through a non-default policy ---------------------------- *)
+
+let test_plain_budget () =
+  let pm =
+    P.create ~config:{ M.default_config with max_steps = 10 }
+      (prog [ loop_fn ] "f")
+  in
+  try
+    ignore (P.run pm [ VInt 1000 ]);
+    Alcotest.fail "expected Budget_exceeded"
+  with M.Budget_exceeded n ->
+    Alcotest.(check int) "budget honoured exactly" 10 n
+
+(* -- writing a new policy ----------------------------------------------------
+   The worked example of doc/IR.md, compiled verbatim: a store-counting
+   analysis is one small POLICY module plus the functor. *)
+
+module Store_count = struct
+  let name = "store-count"
+
+  type state = { labels : Taint.Label.table; mutable stores : int }
+  type label = unit
+  type fstate = unit
+
+  let create ~control_flow_taint:_ =
+    { labels = Taint.Label.create (); stores = 0 }
+
+  let table s = s.labels
+  let frame_state _ = ()
+  let clean = ()
+  let is_clean _ = true
+  let read_reg () _ = ()
+  let write_reg _ () _ () = ()
+  let bind_param () _ () = ()
+  let join2 _ () () = ()
+  let on_alloc _ ~alloc:_ ~size:_ () = ()
+  let on_load _ ~alloc:_ ~offset:_ ~base:_ ~index:_ = ()
+
+  let on_store s () ~alloc:_ ~offset:_ ~base:_ ~index:_ ~data:_ =
+    s.stores <- s.stores + 1
+
+  let source _ ~param:_ vl = vl
+  let export _ () = Taint.Label.empty
+  let import _ _ = ()
+  let export_args _ args = List.map (fun (v, ()) -> (v, Taint.Label.empty)) args
+  let branch_dep _ () () = ()
+  let return_label _ () () = ()
+  let wants_scope _ () = false
+  let scope_push _ () ~join:_ () = ()
+  let block_enter _ () ~func:_ ~block:_ ~prev:_ = ()
+end
+
+module Stores = Interp.Engine.Make (Store_count)
+
+let test_custom_policy () =
+  let store_loop =
+    B.define "f" ~params:[ "n" ] (fun b ->
+        let arr = B.alloc b (Reg "n") in
+        B.for_ b "i" ~from:(Int 0) ~below:(Reg "n") (fun i ->
+            B.store b arr i i);
+        B.ret_unit b)
+  in
+  let m = Stores.create (prog [ store_loop ] "f") in
+  ignore (Stores.run m [ VInt 5 ]);
+  Alcotest.(check int) "five stores counted" 5
+    (Stores.policy_state m).Store_count.stores
+
+(* -- documentation drift ----------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  at 0
+
+(* [Interp.Engine.instr_counters] is the single definition of the
+   per-instruction counter names; the counter table in
+   doc/OBSERVABILITY.md must list every row verbatim. *)
+let test_counter_doc_in_sync () =
+  (* cwd is _build/default/test under `dune runtest` (the dep in
+     test/dune makes the copy) but the project root under `dune exec`. *)
+  let path =
+    List.find Sys.file_exists
+      [ "../doc/OBSERVABILITY.md"; "doc/OBSERVABILITY.md" ]
+  in
+  let doc = read_file path in
+  List.iter
+    (fun (name, descr) ->
+      let row = Printf.sprintf "| `%s` | %s |" name descr in
+      Alcotest.(check bool)
+        (Printf.sprintf "doc/OBSERVABILITY.md lists %s with its meaning" name)
+        true (contains doc row))
+    Interp.Engine.instr_counters
+
+let tests =
+  [
+    Alcotest.test_case "$never join taints constant returns" `Quick
+      test_never_join;
+    Alcotest.test_case "$never scope is function-scoped" `Quick
+      test_never_join_is_function_scoped;
+    Alcotest.test_case "nested branches sharing ipostdom union" `Quick
+      test_nested_shared_ipostdom_union;
+    Alcotest.test_case "shared ipostdom pops both scopes" `Quick
+      test_nested_shared_ipostdom_pops_both;
+    Alcotest.test_case "control_flow_taint=false matches Plain" `Quick
+      test_cf_off_matches_plain;
+    Alcotest.test_case "taint-vs-plain oracle with cf taint off" `Quick
+      test_cf_off_oracle_passes;
+    Alcotest.test_case "coverage block/edge counts" `Quick
+      test_coverage_counts;
+    Alcotest.test_case "Plain honours the step budget" `Quick
+      test_plain_budget;
+    Alcotest.test_case "a custom policy via Engine.Make" `Quick
+      test_custom_policy;
+    Alcotest.test_case "instr counter table in sync with doc" `Quick
+      test_counter_doc_in_sync;
+  ]

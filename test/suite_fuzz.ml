@@ -92,6 +92,27 @@ let test_save_and_replay () =
     verdicts;
   Sys.remove path
 
+(* The engine refactor's equivalence criterion, as a test: a 200-program
+   fixed-seed campaign dedicated to the policy-differential oracles finds
+   no Taint-vs-Plain divergence and no Coverage inconsistency. *)
+let test_policy_differential_campaign () =
+  let report =
+    D.run_campaign
+      ~oracles:[ O.taint_vs_plain; O.coverage_consistency ]
+      ~seed:(Fuzz.Seed.get ()) ~budget:200 ()
+  in
+  List.iter
+    (fun (r : D.oracle_result) ->
+      (match r.D.or_cx with
+      | None -> ()
+      | Some cx ->
+        Alcotest.failf "policy divergence (%s) at program %d: %s@.%s"
+          r.D.or_name cx.D.cx_index cx.D.cx_message cx.D.cx_text);
+      Alcotest.(check int)
+        (Printf.sprintf "oracle %s checked every program" r.D.or_name)
+        200 r.D.or_runs)
+    report.D.rp_results
+
 (* The negative control the whole subsystem exists for: disable
    control-flow taint — a genuine soundness bug (DFSan without the
    paper's control-flow extension) — and the soundness oracle must
@@ -123,6 +144,8 @@ let tests =
     Alcotest.test_case "campaign on the real pipeline is clean" `Quick
       test_campaign_clean;
     Alcotest.test_case "corpus save + replay" `Quick test_save_and_replay;
+    Alcotest.test_case "200-case taint-vs-plain campaign finds no divergence"
+      `Quick test_policy_differential_campaign;
     Alcotest.test_case "crippled taint analysis is caught and shrunk" `Quick
       test_crippled_taint_is_caught;
   ]
