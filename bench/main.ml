@@ -23,6 +23,8 @@ let experiments =
     ("micro", "bechamel microbenchmarks", Micro.run);
     ("policy", "policy overhead: taint vs plain interpretation",
      Micro.policy_speedup);
+    ("resilience", "campaign executor overhead and retry cost",
+     Micro.resilience);
   ]
 
 let usage () =

@@ -4,6 +4,9 @@
 
 module Sim = Measure.Simulator
 module Instr = Measure.Instrument
+module Exp = Measure.Experiment
+module Camp = Measure.Campaign
+module Fault = Measure.Fault
 
 open Bechamel
 open Toolkit
@@ -165,6 +168,57 @@ let policy_speedup () =
          /. float_of_int (List.length speedups))
   in
   Fmt.pr "  plain-policy speedup over taint (geomean): %.2fx@." geomean
+
+(* -- campaign executor overhead and retry cost ----------------------------- *)
+
+(* The resilient executor's two costs, measured separately: (1) the pure
+   bookkeeping overhead of running a fault-free design through
+   [Campaign.run] instead of [Experiment.run_design] (the executor is
+   bit-identical in output, so any gap is pure harness tax), and (2) the
+   wall-clock and simulated core-hour price of retrying through ~10%
+   transient faults. *)
+let resilience () =
+  Exp_common.section "resilience: campaign overhead and retry cost";
+  let machine = Mpi_sim.Machine.skylake_cluster in
+  let app = Apps.Lulesh_spec.app in
+  let design =
+    { Exp.grid =
+        [ ("p", Apps.Lulesh_spec.p_values);
+          ("size", Apps.Lulesh_spec.size_values); ("r", [ 8. ]) ];
+      reps = 5; mode = Instr.Full; sigma = 0.02; seed = 42 }
+  in
+  let retry = { Camp.default_retry with Camp.rt_max_attempts = 3 } in
+  let faulty_plan =
+    { Fault.none with
+      Fault.fp_seed = 11; fp_crash = 0.05; fp_hang = 0.05; fp_persistent = 0.;
+      fp_transient_attempts = 2 }
+  in
+  let design_only () = ignore (Exp.run_design app machine design) in
+  let campaign plan () =
+    ignore (Camp.run ~plan ~retry app machine design)
+  in
+  design_only ();
+  campaign Fault.none ();
+  Gc.compact ();
+  let t_design, t_clean = best_of_pair 9 design_only (campaign Fault.none) in
+  Fmt.pr
+    "  run_design %9.6f s   fault-free campaign %9.6f s   overhead %+.1f%%@."
+    t_design t_clean
+    ((t_clean /. t_design -. 1.) *. 100.);
+  let t_faultfree, t_faulty =
+    best_of_pair 5 (campaign Fault.none) (campaign faulty_plan)
+  in
+  let report = Camp.run ~plan:faulty_plan ~retry app machine design in
+  Fmt.pr
+    "  10%% transient faults: %d attempts for %d runs (%d retries), wall \
+     %.2fx fault-free@."
+    report.Camp.cp_attempts
+    (List.length report.Camp.cp_runs)
+    report.Camp.cp_retries
+    (t_faulty /. t_faultfree);
+  Fmt.pr
+    "  simulated waste: %.1f core-hours burned, %.1f core-hours of backoff@."
+    report.Camp.cp_wasted_core_hours report.Camp.cp_backoff_core_hours
 
 let benchmark () =
   let ols =

@@ -88,7 +88,9 @@ let target_of_app ?ranks ?params name =
       (with_defaults Apps.Didactic.algorithm_selection
          [ VInt 2 ] Mpi_sim.Runtime.default_world [ "a" ] None [])
   | other ->
-    if Sys.file_exists other then begin
+    if Sys.file_exists other && Sys.is_directory other then
+      Error (Printf.sprintf "%s is a directory, not a .pir file" other)
+    else if Sys.file_exists other then begin
       let program = Ir.Parser.parse_file other in
       let formals = entry_params program in
       (* Unset parameters of a user-supplied program default to 4. *)
@@ -147,18 +149,28 @@ let config_of max_steps =
     (fun n -> { Interp.Machine.default_config with max_steps = n })
     max_steps
 
-(* Every command that interprets a program reports budget exhaustion as a
-   clean cmdliner error (exit 124 territory is for shells; here it is a
-   plain failure with the step count) rather than an uncaught exception. *)
-let budget_guard f =
-  try `Ok (f ())
-  with Interp.Machine.Budget_exceeded n ->
+(* Every command maps the pipeline's expected failure modes — bad paths,
+   malformed .pir files, runtime errors in user programs, exhausted step
+   budgets — to a one-line stderr message and a nonzero exit, never an
+   OCaml backtrace.  Unexpected exceptions still escape loudly: masking
+   a genuine bug as a polite error would hide it. *)
+let error_guard f =
+  try `Ok (f ()) with
+  | Interp.Machine.Budget_exceeded n ->
     `Error
       ( false,
         Printf.sprintf
           "interpreter instruction budget exceeded after %d steps; raise it \
            with --max-steps"
           n )
+  | Interp.Machine.Runtime_error msg ->
+    `Error (false, Printf.sprintf "runtime error: %s" msg)
+  | Ir.Types.Ir_error msg -> `Error (false, Printf.sprintf "invalid IR: %s" msg)
+  | Ir.Parser.Parse_error { line; message } ->
+    `Error (false, Printf.sprintf "parse error at line %d: %s" line message)
+  | Sys_error msg -> `Error (false, msg)
+  | Failure msg -> `Error (false, msg)
+  | Invalid_argument msg -> `Error (false, msg)
 
 (* Run the pipeline over a target; when [trace] names a file, record the
    full span/instant stream and dump it as Chrome trace JSON. *)
@@ -190,7 +202,7 @@ let json_arg =
 
 let analyze_cmd =
   let run name ranks params json trace max_steps =
-    budget_guard @@ fun () ->
+    error_guard @@ fun () ->
     let t = resolve name ranks params in
     let a = analyze_target ?config:(config_of max_steps) ?trace t in
     if json then
@@ -221,7 +233,7 @@ let analyze_cmd =
 
 let select_cmd =
   let run name ranks params trace max_steps =
-    budget_guard @@ fun () ->
+    error_guard @@ fun () ->
     let t = resolve name ranks params in
     let a = analyze_target ?config:(config_of max_steps) ?trace t in
     let relevant =
@@ -241,12 +253,13 @@ let select_cmd =
 
 let print_cmd =
   let run name ranks params =
+    error_guard @@ fun () ->
     let t = resolve name ranks params in
     Fmt.pr "%s@." (Ir.Pp.program_to_string t.program)
   in
   let doc = "Print the program in textual PIR syntax." in
   Cmd.v (Cmd.info "print" ~doc)
-    Term.(const run $ app_arg $ ranks_arg $ param_arg)
+    Term.(ret (const run $ app_arg $ ranks_arg $ param_arg))
 
 let coverage_cmd =
   let blocks_arg =
@@ -258,7 +271,7 @@ let coverage_cmd =
     Arg.(value & flag & info [ "blocks" ] ~doc)
   in
   let run name ranks params blocks trace max_steps =
-    budget_guard @@ fun () ->
+    error_guard @@ fun () ->
     let t = resolve name ranks params in
     if blocks then begin
       let config =
@@ -304,7 +317,7 @@ let volume_cmd =
     Arg.(value & opt (some string) None & info [ "func" ] ~doc)
   in
   let run name ranks params func trace max_steps =
-    budget_guard @@ fun () ->
+    error_guard @@ fun () ->
     let t = resolve name ranks params in
     let a = analyze_target ?config:(config_of max_steps) ?trace t in
     (match func with
@@ -347,7 +360,7 @@ let func_arg =
 
 let model_cmd =
   let run name ranks params mode func trace max_steps =
-    budget_guard @@ fun () ->
+    error_guard @@ fun () ->
     let t = resolve name ranks params in
     let spec =
       match t.spec with
@@ -416,7 +429,7 @@ let model_cmd =
 
 let profile_cmd =
   let run name ranks params trace max_steps =
-    budget_guard @@ fun () ->
+    error_guard @@ fun () ->
     let t = resolve name ranks params in
     let a = analyze_target ?config:(config_of max_steps) ?trace t in
     let rows =
@@ -441,7 +454,7 @@ let profile_cmd =
 
 let stats_cmd =
   let run name ranks params json trace max_steps =
-    budget_guard @@ fun () ->
+    error_guard @@ fun () ->
     let t = resolve name ranks params in
     let metrics = Obs_metrics.create () in
     let a = analyze_target ?config:(config_of max_steps) ~metrics ?trace t in
@@ -476,7 +489,7 @@ let stats_cmd =
 
 let contention_cmd =
   let run name ranks params trace max_steps =
-    budget_guard @@ fun () ->
+    error_guard @@ fun () ->
     let t = resolve name ranks params in
     let spec =
       match t.spec with
@@ -540,7 +553,7 @@ let design_cmd =
     Arg.(value & opt int 5 & info [ "reps" ] ~doc)
   in
   let run name ranks params reps trace max_steps =
-    budget_guard @@ fun () ->
+    error_guard @@ fun () ->
     let t = resolve name ranks params in
     let a = analyze_target ?config:(config_of max_steps) ?trace t in
     (* Five-point axes over every parameter the program declares. *)
@@ -570,7 +583,7 @@ let validate_cmd =
     Arg.(value & opt_all int [ 4; 32 ] & info [ "at" ] ~doc)
   in
   let run name ranks params ats max_steps =
-    budget_guard @@ fun () ->
+    error_guard @@ fun () ->
     let t = resolve name ranks params in
     let runs =
       List.map
@@ -607,6 +620,175 @@ let validate_cmd =
       ret (const run $ app_arg $ ranks_arg $ param_arg $ at_arg
           $ max_steps_arg))
 
+let campaign_cmd =
+  let faults_arg =
+    let doc =
+      "Fault plan, e.g. crash=0.05,hang=0.02,straggler=0.03,corrupt=0.02,\
+       persistent=0.1,attempts=2,seed=7 (all keys optional; empty = no \
+       faults)."
+    in
+    Arg.(value & opt string "" & info [ "faults" ] ~docv:"SPEC" ~doc)
+  in
+  let retries_arg =
+    let doc = "Total attempts per run coordinate (including the first)." in
+    Arg.(value & opt int 3 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let backoff_arg =
+    let doc = "Initial retry backoff in simulated seconds (doubles per retry)." in
+    Arg.(value & opt float 30. & info [ "backoff" ] ~docv:"S" ~doc)
+  in
+  let journal_arg =
+    let doc = "Checkpoint journal file (JSON lines, one record per run)." in
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+  in
+  let resume_arg =
+    let doc = "Resume from the journal instead of starting over." in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let max_runs_arg =
+    let doc =
+      "Stop (deliberately interrupted) after $(docv) newly executed \
+       coordinates; resume later with --resume."
+    in
+    Arg.(value & opt (some int) None & info [ "max-runs" ] ~docv:"N" ~doc)
+  in
+  let dump_arg =
+    let doc =
+      "Write the final dataset as deterministic JSON lines to $(docv) — \
+       byte-comparable across resumed and uninterrupted campaigns."
+    in
+    Arg.(value & opt (some string) None & info [ "dump" ] ~docv:"FILE" ~doc)
+  in
+  let reps_arg =
+    let doc = "Repetitions per configuration." in
+    Arg.(value & opt int 5 & info [ "reps" ] ~doc)
+  in
+  let sigma_arg =
+    let doc = "Relative measurement noise level." in
+    Arg.(value & opt float 0.02 & info [ "sigma" ] ~doc)
+  in
+  let seed_arg =
+    let doc = "Measurement-noise seed of the design." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let run name ranks params faults retries backoff journal resume max_runs
+      dump reps sigma seed trace max_steps =
+    error_guard @@ fun () ->
+    let t = resolve name ranks params in
+    let spec =
+      match t.spec with
+      | Some s -> s
+      | None ->
+        Fmt.epr "error: %s has no measurement spec (use lulesh, milc or \
+                 minicg)@." name;
+        exit 2
+    in
+    let plan =
+      match Measure.Fault.of_spec faults with
+      | Ok p -> p
+      | Error msg -> failwith msg
+    in
+    if resume && journal = None then
+      failwith "--resume requires --journal FILE";
+    let grid =
+      match name with
+      | "milc" ->
+        [ ("p", Apps.Milc_spec.p_values); ("size", Apps.Milc_spec.size_values);
+          ("r", [ 8. ]) ]
+      | "minicg" ->
+        [ ("p", Apps.Minicg_spec.p_values); ("n", Apps.Minicg_spec.n_values);
+          ("r", [ 8. ]) ]
+      | _ ->
+        [ ("p", Apps.Lulesh_spec.p_values);
+          ("size", Apps.Lulesh_spec.size_values); ("r", [ 8. ]) ]
+    in
+    let design =
+      { Measure.Experiment.grid; reps; mode = Measure.Instrument.Full; sigma;
+        seed }
+    in
+    let retry =
+      { Measure.Campaign.default_retry with
+        Measure.Campaign.rt_max_attempts = retries;
+        rt_backoff_s = backoff }
+    in
+    let metrics = Obs_metrics.create () in
+    let sink =
+      match trace with None -> None | Some _ -> Some (Obs_trace.create ())
+    in
+    let report =
+      match journal with
+      | Some j ->
+        Measure.Campaign.run_journaled ~metrics ?trace:sink ~plan ~retry
+          ?hang_budget:max_steps ?limit:max_runs ~journal:j ~resume spec
+          Mpi_sim.Machine.skylake_cluster design
+      | None ->
+        Measure.Campaign.run ~metrics ?trace:sink ~plan ~retry
+          ?hang_budget:max_steps ?limit:max_runs spec
+          Mpi_sim.Machine.skylake_cluster design
+    in
+    (match (trace, sink) with
+    | Some path, Some sink ->
+      (try Obs_trace.write_file sink path
+       with Sys_error msg -> Fmt.epr "error: cannot write trace: %s@." msg);
+      Fmt.epr "trace: %d events written to %s@."
+        (List.length (Obs_trace.events sink))
+        path
+    | _ -> ());
+    Fmt.pr "%s campaign (faults: %s)@." name
+      (if Measure.Fault.total_rate plan = 0. then "none"
+       else Measure.Fault.spec_of plan);
+    Fmt.pr "@[<v>%a@]@." Measure.Campaign.pp_report report;
+    let gaps =
+      Perf_taint.Validation.grid_gaps ~design report.Measure.Campaign.cp_runs
+    in
+    Fmt.pr "@[<v>%a@]@." Perf_taint.Validation.pp_gap_report gaps;
+    (match dump with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      List.iter
+        (fun r ->
+          output_string oc (Measure.Campaign.run_to_line r);
+          output_char oc '\n')
+        report.Measure.Campaign.cp_runs;
+      close_out oc;
+      Fmt.pr "dataset: %d runs dumped to %s@."
+        (List.length report.Measure.Campaign.cp_runs)
+        path);
+    if report.Measure.Campaign.cp_interrupted then
+      Fmt.pr "interrupted by --max-runs; continue with --resume@."
+    else begin
+      let fit_params =
+        List.filter_map
+          (fun (name, vs) -> if List.length vs > 1 then Some name else None)
+          grid
+      in
+      let data =
+        Measure.Experiment.total_dataset report.Measure.Campaign.cp_runs
+          ~params:fit_params
+      in
+      let fit, rejected = Model.Search.multi_robust data in
+      Fmt.pr "total model (robust fit, %d outliers rejected): %s  (SMAPE \
+              %.1f%%)@."
+        rejected
+        (Model.Expr.to_string fit.Model.Search.model)
+        fit.Model.Search.error
+    end
+  in
+  let doc =
+    "Execute a fault-injected simulated measurement campaign with \
+     retry/backoff and a checkpoint journal, then fit an outlier-robust \
+     total-runtime model from whatever survived.  Hangs are killed via \
+     the shared $(b,--max-steps) step budget."
+  in
+  Cmd.v (Cmd.info "campaign" ~doc)
+    Term.(
+      ret
+        (const run $ app_arg $ ranks_arg $ param_arg $ faults_arg
+        $ retries_arg $ backoff_arg $ journal_arg $ resume_arg $ max_runs_arg
+        $ dump_arg $ reps_arg $ sigma_arg $ seed_arg $ trace_arg
+        $ max_steps_arg))
+
 let fuzz_cmd =
   let seed_arg =
     let doc =
@@ -630,7 +812,7 @@ let fuzz_cmd =
     Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc)
   in
   let run seed budget corpus files max_steps =
-    budget_guard @@ fun () ->
+    error_guard @@ fun () ->
     match files with
     | _ :: _ ->
       let failed = ref 0 in
@@ -688,7 +870,7 @@ let main_cmd =
   let doc = "tainted performance modeling (Perf-Taint reproduction)" in
   Cmd.group (Cmd.info "perf-taint" ~version:"1.0.0" ~doc)
     [ analyze_cmd; select_cmd; coverage_cmd; volume_cmd; print_cmd; model_cmd;
-      profile_cmd; stats_cmd; contention_cmd; design_cmd; validate_cmd;
-      fuzz_cmd ]
+      campaign_cmd; profile_cmd; stats_cmd; contention_cmd; design_cmd;
+      validate_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

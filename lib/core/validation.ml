@@ -133,3 +133,65 @@ let validate_design ~model_params (runs : Pipeline.t list) =
           :: acc)
     keys []
   |> List.sort compare
+
+(* -- C3: grid completeness ------------------------------------------------ *)
+
+(* Resilient campaigns can abandon run coordinates; the dataset builders
+   skip unobserved configurations silently, so a model fitted from an
+   incomplete grid looks exactly like one fitted from a full grid.  The
+   gap report makes the difference visible: which configurations of the
+   design arrived short of repetitions, and which not at all. *)
+
+type gap_report = {
+  gr_expected : int;  (** configurations in the design *)
+  gr_complete : int;  (** configurations with all repetitions present *)
+  gr_partial : (Measure.Spec.params * int) list;
+      (** configuration -> completed repetitions, 0 < n < reps *)
+  gr_missing : Measure.Spec.params list;
+      (** configurations with no completed run at all *)
+}
+
+let grid_gaps ~(design : Measure.Experiment.design)
+    (runs : Measure.Simulator.run list) =
+  let count params =
+    List.length
+      (List.filter
+         (fun (r : Measure.Simulator.run) -> r.Measure.Simulator.rn_params = params)
+         runs)
+  in
+  let configs = Measure.Experiment.configs design in
+  let complete = ref 0 in
+  let partial = ref [] in
+  let missing = ref [] in
+  List.iter
+    (fun params ->
+      let n = count params in
+      if n >= design.Measure.Experiment.reps then incr complete
+      else if n > 0 then partial := (params, n) :: !partial
+      else missing := params :: !missing)
+    configs;
+  {
+    gr_expected = List.length configs;
+    gr_complete = !complete;
+    gr_partial = List.rev !partial;
+    gr_missing = List.rev !missing;
+  }
+
+let complete_grid r = r.gr_partial = [] && r.gr_missing = []
+
+let pp_params ppf params =
+  Fmt.pf ppf "(%a)"
+    (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (n, v) -> Fmt.pf ppf "%s=%g" n v))
+    params
+
+let pp_gap_report ppf r =
+  Fmt.pf ppf "grid: %d/%d configurations complete" r.gr_complete r.gr_expected;
+  if r.gr_partial <> [] then
+    Fmt.pf ppf "@,partial: %a"
+      (Fmt.list ~sep:(Fmt.any "; ") (fun ppf (p, n) ->
+           Fmt.pf ppf "%a with %d reps" pp_params p n))
+      r.gr_partial;
+  if r.gr_missing <> [] then
+    Fmt.pf ppf "@,missing: %a"
+      (Fmt.list ~sep:(Fmt.any "; ") pp_params)
+      r.gr_missing

@@ -38,3 +38,22 @@ val validate_design :
   model_params:string list -> Pipeline.t list -> design_finding list
 (** Compare branch coverage across tainted runs; report parameter-tainted
     static branches whose behavior is not uniform (C2). *)
+
+type gap_report = {
+  gr_expected : int;  (** configurations in the design *)
+  gr_complete : int;  (** configurations with all repetitions present *)
+  gr_partial : (Measure.Spec.params * int) list;
+      (** configuration -> completed repetitions, 0 < n < reps *)
+  gr_missing : Measure.Spec.params list;
+      (** configurations with no completed run at all *)
+}
+
+val grid_gaps :
+  design:Measure.Experiment.design -> Measure.Simulator.run list -> gap_report
+(** Which configurations of the design the run list actually covers —
+    the visibility layer over dataset builders that skip unobserved
+    configurations silently (C3, resilient campaigns). *)
+
+val complete_grid : gap_report -> bool
+
+val pp_gap_report : gap_report Fmt.t

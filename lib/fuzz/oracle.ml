@@ -433,6 +433,119 @@ let coverage_consistency_with config =
 
 let coverage_consistency = coverage_consistency_with interp_config
 
+(* -- campaign resilience --------------------------------------------------- *)
+
+module Sp = Measure.Spec
+module Exp = Measure.Experiment
+module Camp = Measure.Campaign
+module Flt = Measure.Fault
+
+(* A tiny analytic app plus a design derived deterministically from the
+   program's hash: the fuzz corpus steers the campaign layer through
+   ever-different grids, noise seeds, and fault draws without requiring
+   the generated programs to be measurable themselves. *)
+let campaign_fixture p =
+  let h = abs (Hashtbl.hash p) in
+  let scale = 0.05 +. (0.02 *. float_of_int (h mod 7)) in
+  let pvals =
+    if h land 1 = 0 then [ 4.; 8.; 16.; 32. ] else [ 8.; 16.; 32.; 64. ]
+  in
+  let app =
+    {
+      Sp.aname = Printf.sprintf "fuzz-campaign-%d" (h mod 1000);
+      kernels =
+        [
+          Sp.kernel
+            ~calls:(fun _ -> 16.)
+            ~base_time:(fun ps _ -> scale *. Sp.param ps "p")
+            ~truth_deps:[ "p" ] "linear_p";
+          Sp.kernel
+            ~calls:(fun _ -> 8.)
+            ~base_time:(fun _ _ -> 0.2 *. scale)
+            ~truth_deps:[] "constant";
+        ];
+      model_params = [ "p" ];
+    }
+  in
+  let design =
+    {
+      Exp.default_design with
+      Exp.grid = [ ("p", pvals) ];
+      reps = 3;
+      sigma = 0.005;
+      seed = 1 + (h mod 997);
+    }
+  in
+  (app, Mpi_sim.Machine.skylake_cluster, design, h)
+
+let term_shape (m : Model.Expr.model) =
+  List.sort compare (List.map (fun t -> t.Model.Expr.factors) m.Model.Expr.terms)
+
+(* A restricted search space keeps the per-program fitting cost trivial
+   while still distinguishing constant, linear, and quadratic shapes. *)
+let campaign_search_config =
+  {
+    Model.Search.default_config with
+    Model.Search.exponents = [ 0.; 1.; 2. ];
+    log_exponents = [ 0 ];
+    max_terms = 1;
+  }
+
+let campaign_identity =
+  let check p =
+    let app, machine, design, _ = campaign_fixture p in
+    let clean = Exp.run_design app machine design in
+    let report = Camp.run app machine design in
+    if compare report.Camp.cp_runs clean = 0 then Pass
+    else
+      Fail
+        "fault-free campaign is not bit-identical to Experiment.run_design"
+  in
+  { name = "campaign-identity"; check }
+
+(* Transient crashes/hangs only, with more attempts than any transient
+   fault survives: every coordinate recovers, so the campaign's runs are
+   the clean runs and the robust (median + MAD) fit must land on the
+   same best model term as the classic fit of the clean campaign. *)
+let campaign_recovery =
+  let check p =
+    let app, machine, design, h = campaign_fixture p in
+    let plan =
+      {
+        Flt.none with
+        Flt.fp_seed = h mod 9001;
+        fp_crash = 0.06;
+        fp_hang = 0.04;
+        fp_persistent = 0.;
+        fp_transient_attempts = 2;
+      }
+    in
+    let retry = { Camp.default_retry with Camp.rt_max_attempts = 3 } in
+    let clean = Exp.run_design app machine design in
+    let report = Camp.run ~plan ~retry app machine design in
+    if compare report.Camp.cp_runs clean <> 0 then
+      Fail "transient-fault campaign with retries lost or altered runs"
+    else begin
+      let data_clean = Exp.total_dataset clean ~params:[ "p" ] in
+      let data_camp = Exp.total_dataset report.Camp.cp_runs ~params:[ "p" ] in
+      let best_clean =
+        Model.Search.multi ~config:campaign_search_config data_clean
+      in
+      let best_camp, _rejected =
+        Model.Search.multi_robust ~config:campaign_search_config data_camp
+      in
+      if
+        term_shape best_clean.Model.Search.model
+        = term_shape best_camp.Model.Search.model
+      then Pass
+      else
+        Fail
+          "robust fit after transient faults selected a different best model \
+           term than the clean run"
+    end
+  in
+  { name = "campaign-recovery"; check }
+
 (* -- suites ---------------------------------------------------------------- *)
 
 let oracles_with config =
@@ -444,6 +557,8 @@ let oracles_with config =
     obs_invariance_with config;
     taint_vs_plain_with config;
     coverage_consistency_with config;
+    campaign_identity;
+    campaign_recovery;
   ]
 
 let all_with ~max_steps = oracles_with { interp_config with max_steps }

@@ -62,6 +62,17 @@ val coverage_consistency : t
     arrived at taken + not-taken times and a loop header
     iterations + entries times. *)
 
+val campaign_identity : t
+(** A fault-free {!Measure.Campaign.run} must be bit-identical to
+    {!Measure.Experiment.run_design} on an app/design derived
+    deterministically from the program's hash. *)
+
+val campaign_recovery : t
+(** A campaign under transient crash/hang faults (with enough retries to
+    outlast them) must recover every run, and the robust fit
+    ({!Model.Search.multi_robust}) of its dataset must select the same
+    best model term as the classic fit of the clean campaign. *)
+
 val validator_interp_with : Interp.Machine.config -> t
 val tripcount_with : Interp.Machine.config -> t
 val obs_invariance_with : Interp.Machine.config -> t

@@ -1,0 +1,602 @@
+(** Resilient measurement campaigns: execute an {!Experiment.design}
+    under a {!Fault.plan} with retries, exponential backoff, a
+    JSON-lines checkpoint journal, and a post-mortem report.
+
+    The executor walks the design's run coordinates in exactly the order
+    {!Experiment.run_design} does (configurations in grid order,
+    repetitions innermost).  Per coordinate it loops attempts: a crash
+    wastes half the run's wall time and is retried after a backoff; a
+    hang burns the configured timeout before the harness kills it (the
+    kill is modelled as the engine's [Budget_exceeded], raised and caught
+    in the retry loop); stragglers and corrupt timers *complete* with
+    inflated durations, which is precisely why the fitting layer needs
+    outlier rejection — the campaign cannot tell a slow node from a slow
+    configuration.  Under the empty fault plan the executor collapses to
+    the same [Simulator.measure] calls with the same arguments as
+    [run_design], so a fault-free campaign is bit-identical to the plain
+    experiment (a fuzz oracle holds us to that).
+
+    The journal makes campaigns restartable: one header line pinning the
+    campaign identity (app, design, fault plan, retry policy), then one
+    JSON object per finished coordinate.  Resuming replays finished
+    records from the journal instead of re-measuring, then continues
+    with the live executor — and because faults and noise are both
+    deterministic in the coordinates, the resumed campaign's dataset is
+    bit-identical to an uninterrupted one. *)
+
+(* -- retry policy ---------------------------------------------------------- *)
+
+type retry = {
+  rt_max_attempts : int;     (** total attempts per coordinate, >= 1 *)
+  rt_backoff_s : float;      (** backoff before the first retry, seconds *)
+  rt_backoff_mult : float;   (** exponential backoff multiplier *)
+  rt_hang_timeout_s : float; (** wall time a hung run burns before the kill *)
+}
+
+let default_retry =
+  { rt_max_attempts = 3; rt_backoff_s = 30.; rt_backoff_mult = 2.;
+    rt_hang_timeout_s = 300. }
+
+(* -- per-coordinate records ------------------------------------------------ *)
+
+type outcome =
+  | Completed of Simulator.run
+  | Abandoned of string  (** fault kind that exhausted the attempts *)
+
+type record = {
+  rc_params : Spec.params;
+  rc_rep : int;
+  rc_attempts : int;        (** attempts consumed, >= 1 *)
+  rc_faults : string list;  (** fault kind per attempt that was hit, in order *)
+  rc_wasted_s : float;      (** wall seconds burned by failed attempts *)
+  rc_backoff_s : float;     (** wall seconds spent backing off *)
+  rc_outcome : outcome;
+}
+
+type report = {
+  cp_records : record list;       (** design order *)
+  cp_runs : Simulator.run list;   (** completed runs only, design order *)
+  cp_attempts : int;
+  cp_retries : int;
+  cp_faults : (string * int) list;  (** per {!Fault.kind_names}, all four *)
+  cp_abandoned : int;
+  cp_resumed : int;               (** coordinates restored from a journal *)
+  cp_interrupted : bool;          (** stopped early by [limit] *)
+  cp_wasted_core_hours : float;
+  cp_backoff_core_hours : float;
+}
+
+let completed_run r =
+  match r.rc_outcome with Completed run -> Some run | Abandoned _ -> None
+
+(* The campaign.* metrics vocabulary; doc/OBSERVABILITY.md lists exactly
+   these (a drift test compares). *)
+let counters =
+  [
+    ("campaign.attempts", "measurement attempts executed, retries included");
+    ("campaign.retries", "failed attempts that were retried after a backoff");
+    ("campaign.abandoned", "run coordinates given up after exhausting attempts");
+    ("campaign.resumed", "run coordinates restored from a checkpoint journal");
+    ("campaign.faults.crash", "injected crashes (run died, no data)");
+    ("campaign.faults.hang", "injected hangs killed by the step-budget timeout");
+    ("campaign.faults.straggler", "runs kept with straggler-inflated durations");
+    ("campaign.faults.corrupt", "runs kept with corrupted outlier durations");
+  ]
+
+(* -- executor -------------------------------------------------------------- *)
+
+let coordinates design =
+  List.concat_map
+    (fun params -> List.init design.Experiment.reps (fun rep -> (params, rep)))
+    (Experiment.configs design)
+
+let scale_run factor (r : Simulator.run) =
+  {
+    r with
+    Simulator.rn_kernels =
+      List.map
+        (fun (km : Simulator.kernel_measurement) ->
+          {
+            km with
+            Simulator.km_per_call = km.Simulator.km_per_call *. factor;
+            km_total = km.Simulator.km_total *. factor;
+          })
+        r.Simulator.rn_kernels;
+    rn_total = r.Simulator.rn_total *. factor;
+  }
+
+let core_hours_of ~params seconds =
+  seconds *. float_of_int (Simulator.ranks_of params) /. 3600.
+
+type instruments = {
+  i_attempts : Obs_metrics.counter;
+  i_retries : Obs_metrics.counter;
+  i_abandoned : Obs_metrics.counter;
+  i_resumed : Obs_metrics.counter;
+  i_faults : (string * Obs_metrics.counter) list;
+}
+
+let instruments_of = function
+  | None -> None
+  | Some reg ->
+    Some
+      {
+        i_attempts = Obs_metrics.counter reg "campaign.attempts";
+        i_retries = Obs_metrics.counter reg "campaign.retries";
+        i_abandoned = Obs_metrics.counter reg "campaign.abandoned";
+        i_resumed = Obs_metrics.counter reg "campaign.resumed";
+        i_faults =
+          List.map
+            (fun k -> (k, Obs_metrics.counter reg ("campaign.faults." ^ k)))
+            Fault.kind_names;
+      }
+
+let bump inst f = match inst with None -> () | Some i -> Obs_metrics.incr (f i)
+
+let bump_fault inst kind =
+  match inst with
+  | None -> ()
+  | Some i -> Obs_metrics.incr (List.assoc (Fault.kind_name kind) i.i_faults)
+
+(* One coordinate under the retry loop.  The measurement itself is only
+   performed on attempts the fault plan lets through; failed attempts
+   probe the run's would-be duration (no metrics — the probe is costing,
+   not measuring) to charge wasted core-hours. *)
+let execute_coordinate ?metrics ~trace ~inst ~plan ~retry ~hang_budget app
+    machine design ~params ~rep =
+  let fault = Fault.at plan ~params ~rep in
+  let probe_total =
+    lazy
+      (Simulator.measure ~sigma:design.Experiment.sigma
+         ~seed:design.Experiment.seed ~rep app machine ~params
+         ~mode:design.Experiment.mode)
+        .Simulator.rn_total
+  in
+  let attempts = ref 0 in
+  let faults = ref [] in
+  let wasted = ref 0. in
+  let backoff = ref 0. in
+  let rec attempt n =
+    incr attempts;
+    bump inst (fun i -> i.i_attempts);
+    let span_args =
+      if Obs_trace.enabled trace then
+        [ ("rep", Obs_trace.Int rep); ("attempt", Obs_trace.Int n) ]
+      else []
+    in
+    Obs_trace.span_begin trace ~cat:"campaign" ~args:span_args
+      "campaign.attempt";
+    let finish_span () = Obs_trace.span_end trace "campaign.attempt" in
+    let active_kind =
+      Option.bind fault (fun f -> Fault.active f ~attempt:n)
+    in
+    let failed kind waste =
+      (* A failed attempt: record the fault, charge the waste, and either
+         back off and retry or abandon the coordinate. *)
+      bump_fault inst kind;
+      faults := Fault.kind_name kind :: !faults;
+      wasted := !wasted +. waste;
+      finish_span ();
+      if n + 1 < retry.rt_max_attempts then begin
+        bump inst (fun i -> i.i_retries);
+        backoff :=
+          !backoff
+          +. (retry.rt_backoff_s *. (retry.rt_backoff_mult ** float_of_int n));
+        attempt (n + 1)
+      end
+      else begin
+        bump inst (fun i -> i.i_abandoned);
+        Abandoned (Fault.kind_name kind)
+      end
+    in
+    match active_kind with
+    | Some Fault.Crash ->
+      (* The run died partway through: on average half the wall time is
+         burned before the node goes down. *)
+      failed Fault.Crash (0.5 *. Lazy.force probe_total)
+    | Some Fault.Hang -> (
+      (* The run never terminates; the harness's per-run step budget
+         expires and kills it.  The kill is the engine's budget trap —
+         raised here, caught by the same handler that would catch a
+         genuine runaway replay. *)
+      try raise (Interp.Machine.Budget_exceeded hang_budget)
+      with Interp.Machine.Budget_exceeded _ ->
+        failed Fault.Hang retry.rt_hang_timeout_s)
+    | (Some (Fault.Straggler _ | Fault.Corrupt _) | None) as k ->
+      (* The run completes (possibly with inflated durations): measure
+         with the exact arguments run_design uses, so the fault-free
+         path is bit-identical to the plain experiment. *)
+      let run =
+        Simulator.measure ~sigma:design.Experiment.sigma
+          ~seed:design.Experiment.seed ~rep ?metrics app machine ~params
+          ~mode:design.Experiment.mode
+      in
+      let run =
+        match k with
+        | Some (Fault.Straggler f as kind) | Some (Fault.Corrupt f as kind) ->
+          bump_fault inst kind;
+          faults := Fault.kind_name kind :: !faults;
+          scale_run f run
+        | _ -> run
+      in
+      finish_span ();
+      Completed run
+  in
+  let outcome = attempt 0 in
+  {
+    rc_params = params;
+    rc_rep = rep;
+    rc_attempts = !attempts;
+    rc_faults = List.rev !faults;
+    rc_wasted_s = !wasted;
+    rc_backoff_s = !backoff;
+    rc_outcome = outcome;
+  }
+
+let summarize ~resumed ~interrupted records =
+  let fault_counts =
+    List.map
+      (fun k ->
+        ( k,
+          List.fold_left
+            (fun acc r ->
+              acc + List.length (List.filter (String.equal k) r.rc_faults))
+            0 records ))
+      Fault.kind_names
+  in
+  {
+    cp_records = records;
+    cp_runs = List.filter_map completed_run records;
+    cp_attempts = List.fold_left (fun acc r -> acc + r.rc_attempts) 0 records;
+    cp_retries =
+      List.fold_left (fun acc r -> acc + (r.rc_attempts - 1)) 0 records;
+    cp_faults = fault_counts;
+    cp_abandoned =
+      List.length
+        (List.filter
+           (fun r ->
+             match r.rc_outcome with Abandoned _ -> true | Completed _ -> false)
+           records);
+    cp_resumed = resumed;
+    cp_interrupted = interrupted;
+    cp_wasted_core_hours =
+      List.fold_left
+        (fun acc r -> acc +. core_hours_of ~params:r.rc_params r.rc_wasted_s)
+        0. records;
+    cp_backoff_core_hours =
+      List.fold_left
+        (fun acc r -> acc +. core_hours_of ~params:r.rc_params r.rc_backoff_s)
+        0. records;
+  }
+
+let run ?metrics ?(trace = Obs_trace.disabled) ?(plan = Fault.none)
+    ?(retry = default_retry) ?(hang_budget = 1_000_000)
+    ?(done_ : record list = []) ?limit ?on_record app machine design =
+  if retry.rt_max_attempts < 1 then
+    invalid_arg "Measure.Campaign.run: rt_max_attempts must be >= 1";
+  (* The campaign counter matches run_design's, so a fault-free campaign
+     leaves the metrics registry in exactly the run_design state. *)
+  (match metrics with
+  | None -> ()
+  | Some reg -> Obs_metrics.incr (Obs_metrics.counter reg "sim.campaigns"));
+  let inst = instruments_of metrics in
+  let restored = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace restored (r.rc_params, r.rc_rep) r) done_;
+  let resumed = ref 0 in
+  let executed = ref 0 in
+  let interrupted = ref false in
+  let records = ref [] in
+  (try
+     List.iter
+       (fun (params, rep) ->
+         match Hashtbl.find_opt restored (params, rep) with
+         | Some r ->
+           incr resumed;
+           bump inst (fun i -> i.i_resumed);
+           records := r :: !records
+         | None ->
+           if (match limit with Some l -> !executed >= l | None -> false)
+           then begin
+             interrupted := true;
+             raise Exit
+           end;
+           incr executed;
+           let r =
+             execute_coordinate ?metrics ~trace ~inst ~plan ~retry
+               ~hang_budget app machine design ~params ~rep
+           in
+           (match on_record with None -> () | Some f -> f r);
+           records := r :: !records)
+       (coordinates design)
+   with Exit -> ());
+  summarize ~resumed:!resumed ~interrupted:!interrupted (List.rev !records)
+
+(* -- journal --------------------------------------------------------------- *)
+
+let journal_magic = "perf-taint-campaign-journal"
+let journal_version = 1
+
+let json_of_params params =
+  Jsonio.List
+    (List.map
+       (fun (n, v) -> Jsonio.List [ Jsonio.Str n; Jsonio.Float v ])
+       params)
+
+let params_of_json j =
+  match Jsonio.to_list j with
+  | None -> None
+  | Some items ->
+    let pair = function
+      | Jsonio.List [ Jsonio.Str n; v ] ->
+        Option.map (fun f -> (n, f)) (Jsonio.to_float v)
+      | _ -> None
+    in
+    let rec all acc = function
+      | [] -> Some (List.rev acc)
+      | x :: rest -> (
+        match pair x with None -> None | Some p -> all (p :: acc) rest)
+    in
+    all [] items
+
+let json_of_run (r : Simulator.run) =
+  Jsonio.Obj
+    [
+      ("rpn", Jsonio.Int r.Simulator.rn_ranks_per_node);
+      ( "kernels",
+        Jsonio.List
+          (List.map
+             (fun (km : Simulator.kernel_measurement) ->
+               Jsonio.Obj
+                 [
+                   ("name", Jsonio.Str km.Simulator.km_name);
+                   ("calls", Jsonio.Float km.Simulator.km_calls);
+                   ("per_call", Jsonio.Float km.Simulator.km_per_call);
+                   ("total", Jsonio.Float km.Simulator.km_total);
+                 ])
+             r.Simulator.rn_kernels) );
+      ("total", Jsonio.Float r.Simulator.rn_total);
+      ("base_total", Jsonio.Float r.Simulator.rn_base_total);
+    ]
+
+(** One completed run as a single deterministic JSON line — the CLI's
+    [--dump] format, byte-comparable across invocations. *)
+let run_to_line (r : Simulator.run) =
+  Jsonio.to_string
+    (Jsonio.Obj
+       [
+         ("params", json_of_params r.Simulator.rn_params);
+         ("rep", Jsonio.Int r.Simulator.rn_rep);
+         ("run", json_of_run r);
+       ])
+
+let run_of_json ~params ~rep ~mode j =
+  let open Jsonio in
+  match
+    ( Option.bind (member "rpn" j) to_int,
+      Option.bind (member "kernels" j) to_list,
+      Option.bind (member "total" j) to_float,
+      Option.bind (member "base_total" j) to_float )
+  with
+  | Some rpn, Some kernels, Some total, Some base_total ->
+    let kernel kj =
+      match
+        ( Option.bind (member "name" kj) to_str,
+          Option.bind (member "calls" kj) to_float,
+          Option.bind (member "per_call" kj) to_float,
+          Option.bind (member "total" kj) to_float )
+      with
+      | Some name, Some calls, Some per_call, Some ktotal ->
+        Some
+          {
+            Simulator.km_name = name;
+            km_calls = calls;
+            km_per_call = per_call;
+            km_total = ktotal;
+          }
+      | _ -> None
+    in
+    let rec all acc = function
+      | [] -> Some (List.rev acc)
+      | x :: rest -> (
+        match kernel x with None -> None | Some k -> all (k :: acc) rest)
+    in
+    Option.map
+      (fun kms ->
+        {
+          Simulator.rn_params = params;
+          rn_mode = mode;
+          rn_rep = rep;
+          rn_ranks_per_node = rpn;
+          rn_kernels = kms;
+          rn_total = total;
+          rn_base_total = base_total;
+        })
+      (all [] kernels)
+  | _ -> None
+
+let record_to_line r =
+  let open Jsonio in
+  let base =
+    [
+      ("params", json_of_params r.rc_params);
+      ("rep", Int r.rc_rep);
+      ("attempts", Int r.rc_attempts);
+      ("faults", List (List.map (fun f -> Str f) r.rc_faults));
+      ("wasted_s", Float r.rc_wasted_s);
+      ("backoff_s", Float r.rc_backoff_s);
+    ]
+  in
+  let outcome =
+    match r.rc_outcome with
+    | Completed run -> [ ("outcome", Str "completed"); ("run", json_of_run run) ]
+    | Abandoned reason ->
+      [ ("outcome", Str "abandoned"); ("reason", Str reason) ]
+  in
+  to_string (Obj (base @ outcome))
+
+let record_of_line ~mode line =
+  let open Jsonio in
+  match parse line with
+  | Error msg -> Error ("bad journal line: " ^ msg)
+  | Ok j -> (
+    let str key = Option.bind (member key j) to_str in
+    match
+      ( Option.bind (member "params" j) params_of_json,
+        Option.bind (member "rep" j) to_int,
+        Option.bind (member "attempts" j) to_int,
+        Option.bind (member "faults" j) to_list,
+        Option.bind (member "wasted_s" j) to_float,
+        Option.bind (member "backoff_s" j) to_float,
+        str "outcome" )
+    with
+    | ( Some params,
+        Some rep,
+        Some attempts,
+        Some faults,
+        Some wasted_s,
+        Some backoff_s,
+        Some outcome ) -> (
+      let faults = List.filter_map to_str faults in
+      let mk rc_outcome =
+        Ok
+          {
+            rc_params = params;
+            rc_rep = rep;
+            rc_attempts = attempts;
+            rc_faults = faults;
+            rc_wasted_s = wasted_s;
+            rc_backoff_s = backoff_s;
+            rc_outcome;
+          }
+      in
+      match outcome with
+      | "completed" -> (
+        match Option.bind (member "run" j) (run_of_json ~params ~rep ~mode) with
+        | Some run -> mk (Completed run)
+        | None -> Error "bad journal line: malformed run object")
+      | "abandoned" ->
+        mk (Abandoned (Option.value ~default:"unknown" (str "reason")))
+      | o -> Error (Printf.sprintf "bad journal line: unknown outcome %S" o))
+    | _ -> Error "bad journal line: missing field")
+
+(* The header pins everything that decides the campaign's content;
+   resuming under a different design / plan / policy would silently mix
+   incompatible measurements, so it is an error instead. *)
+let header_line ~app_name ~plan ~retry (design : Experiment.design) =
+  let open Jsonio in
+  to_string
+    (Obj
+       [
+         ("journal", Str journal_magic);
+         ("version", Int journal_version);
+         ("app", Str app_name);
+         ( "design",
+           Obj
+             [
+               ( "grid",
+                 List
+                   (List.map
+                      (fun (n, vs) ->
+                        List
+                          [
+                            Str n; List (List.map (fun v -> Float v) vs);
+                          ])
+                      design.Experiment.grid) );
+               ("reps", Int design.Experiment.reps);
+               ("mode", Str (Instrument.mode_name design.Experiment.mode));
+               ("sigma", Float design.Experiment.sigma);
+               ("seed", Int design.Experiment.seed);
+             ] );
+         ("faults", Str (Fault.spec_of plan));
+         ( "retry",
+           Obj
+             [
+               ("max_attempts", Int retry.rt_max_attempts);
+               ("backoff_s", Float retry.rt_backoff_s);
+               ("backoff_mult", Float retry.rt_backoff_mult);
+               ("hang_timeout_s", Float retry.rt_hang_timeout_s);
+             ] );
+       ])
+
+let load_journal ~mode ~expected_header path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  match List.rev !lines with
+  | [] -> Error (path ^ ": empty journal")
+  | header :: body ->
+    if String.trim header <> expected_header then
+      Error
+        (path
+       ^ ": journal header does not match this campaign (different app, \
+          design, fault plan, or retry policy)")
+    else
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | line :: rest ->
+          if String.trim line = "" then go acc rest
+          else (
+            match record_of_line ~mode line with
+            | Ok r -> go (r :: acc) rest
+            | Error e -> Error (path ^ ": " ^ e))
+      in
+      go [] body
+
+let run_journaled ?metrics ?trace ?plan ?retry ?hang_budget ?limit
+    ~journal ~resume app machine design =
+  let plan_v = Option.value ~default:Fault.none plan in
+  let retry_v = Option.value ~default:default_retry retry in
+  let header =
+    header_line ~app_name:app.Spec.aname ~plan:plan_v ~retry:retry_v design
+  in
+  let existing =
+    if resume && Sys.file_exists journal then
+      match
+        load_journal ~mode:design.Experiment.mode ~expected_header:header
+          journal
+      with
+      | Ok records -> records
+      | Error e -> failwith e
+    else []
+  in
+  let oc =
+    if existing <> [] then open_out_gen [ Open_append; Open_creat ] 0o644 journal
+    else begin
+      let oc = open_out journal in
+      output_string oc header;
+      output_char oc '\n';
+      flush oc;
+      oc
+    end
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      run ?metrics ?trace ?plan ?retry ?hang_budget ~done_:existing ?limit
+        ~on_record:(fun r ->
+          output_string oc (record_to_line r);
+          output_char oc '\n';
+          (* Flush per record: the journal must survive a kill at any
+             point with only the in-flight coordinate lost. *)
+          flush oc)
+        app machine design)
+
+(* -- report rendering ------------------------------------------------------ *)
+
+let pp_report ppf r =
+  let fault_total = List.fold_left (fun acc (_, n) -> acc + n) 0 r.cp_faults in
+  Fmt.pf ppf "campaign: %d runs, %d attempts, %d retries, %d abandoned%s@,"
+    (List.length r.cp_runs) r.cp_attempts r.cp_retries r.cp_abandoned
+    (if r.cp_interrupted then " (interrupted)" else "");
+  if r.cp_resumed > 0 then
+    Fmt.pf ppf "resumed from journal: %d runs@," r.cp_resumed;
+  if fault_total > 0 then
+    Fmt.pf ppf "faults: %a@,"
+      (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (k, n) -> Fmt.pf ppf "%s=%d" k n))
+      (List.filter (fun (_, n) -> n > 0) r.cp_faults);
+  Fmt.pf ppf "wasted %.3f core-hours, %.3f core-hours of backoff"
+    r.cp_wasted_core_hours r.cp_backoff_core_hours

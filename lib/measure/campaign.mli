@@ -1,0 +1,117 @@
+(** Resilient measurement campaigns: an {!Experiment.design} executed
+    under a {!Fault.plan} with retries, exponential backoff, a JSON-lines
+    checkpoint journal, and a campaign report.
+
+    Under {!Fault.none} the executor performs exactly the
+    [Simulator.measure] calls of {!Experiment.run_design}, in the same
+    order with the same arguments — the produced run list is
+    bit-identical (a fuzz oracle enforces this). *)
+
+type retry = {
+  rt_max_attempts : int;     (** total attempts per coordinate, >= 1 *)
+  rt_backoff_s : float;      (** backoff before the first retry, seconds *)
+  rt_backoff_mult : float;   (** exponential backoff multiplier *)
+  rt_hang_timeout_s : float; (** wall time a hung run burns before the kill *)
+}
+
+val default_retry : retry
+(** 3 attempts, 30 s initial backoff doubling, 300 s hang timeout. *)
+
+type outcome =
+  | Completed of Simulator.run
+  | Abandoned of string  (** fault kind that exhausted the attempts *)
+
+type record = {
+  rc_params : Spec.params;
+  rc_rep : int;
+  rc_attempts : int;        (** attempts consumed, >= 1 *)
+  rc_faults : string list;  (** fault kind per faulty attempt, in order *)
+  rc_wasted_s : float;      (** wall seconds burned by failed attempts *)
+  rc_backoff_s : float;     (** wall seconds spent backing off *)
+  rc_outcome : outcome;
+}
+
+type report = {
+  cp_records : record list;       (** design order *)
+  cp_runs : Simulator.run list;   (** completed runs only, design order *)
+  cp_attempts : int;
+  cp_retries : int;
+  cp_faults : (string * int) list;  (** per {!Fault.kind_names}, all four *)
+  cp_abandoned : int;
+  cp_resumed : int;               (** coordinates restored from a journal *)
+  cp_interrupted : bool;          (** stopped early by [limit] *)
+  cp_wasted_core_hours : float;
+  cp_backoff_core_hours : float;
+}
+
+val completed_run : record -> Simulator.run option
+
+val counters : (string * string) list
+(** The [campaign.*] counter vocabulary (name, meaning) — kept in sync
+    with doc/OBSERVABILITY.md by a drift test. *)
+
+val coordinates : Experiment.design -> (Spec.params * int) list
+(** The design's run coordinates in execution order (configurations in
+    grid order, repetitions innermost) — {!Experiment.run_design}'s
+    iteration order. *)
+
+val run :
+  ?metrics:Obs_metrics.t ->
+  ?trace:Obs_trace.sink ->
+  ?plan:Fault.plan ->
+  ?retry:retry ->
+  ?hang_budget:int ->
+  ?done_:record list ->
+  ?limit:int ->
+  ?on_record:(record -> unit) ->
+  Spec.app -> Mpi_sim.Machine.t -> Experiment.design -> report
+(** Execute the design under the fault plan.  [done_] records are
+    restored verbatim instead of re-executed (checkpoint resume);
+    [limit] stops after that many {e newly executed} coordinates and
+    marks the report interrupted; [on_record] fires after each new
+    coordinate finishes (journal writers hook here).  Hung runs are
+    killed via [Interp.Machine.Budget_exceeded hang_budget], raised and
+    caught inside the retry loop.
+    @raise Invalid_argument when [retry.rt_max_attempts < 1]. *)
+
+(** {1 Checkpoint journal} *)
+
+val header_line :
+  app_name:string -> plan:Fault.plan -> retry:retry ->
+  Experiment.design -> string
+(** The identity line pinning app, design, fault plan, and retry policy;
+    a journal may only resume a campaign with an equal header. *)
+
+val record_to_line : record -> string
+(** One JSON object on one line; floats printed exactly (["%.17g"]). *)
+
+val run_to_line : Simulator.run -> string
+(** One completed run as a deterministic JSON line (the CLI's [--dump]
+    format) — byte-identical runs produce byte-identical lines. *)
+
+val record_of_line :
+  mode:Instrument.mode -> string -> (record, string) result
+
+val load_journal :
+  mode:Instrument.mode -> expected_header:string -> string ->
+  (record list, string) result
+(** Parse a journal file, validating its header. *)
+
+val run_journaled :
+  ?metrics:Obs_metrics.t ->
+  ?trace:Obs_trace.sink ->
+  ?plan:Fault.plan ->
+  ?retry:retry ->
+  ?hang_budget:int ->
+  ?limit:int ->
+  journal:string -> resume:bool ->
+  Spec.app -> Mpi_sim.Machine.t -> Experiment.design -> report
+(** {!run} with the journal wired up: when [resume] is set and the
+    journal exists with a matching header, finished coordinates are
+    restored and new records appended; otherwise the journal is
+    (re)created.  Each record is flushed as it completes, so a killed
+    campaign loses at most the in-flight coordinate.
+    @raise Failure when resuming from an unreadable or mismatched
+    journal. *)
+
+val pp_report : report Fmt.t

@@ -1,0 +1,28 @@
+(** Minimal JSON values with an exact-round-trip writer and a parser —
+    just enough for the campaign checkpoint journal (the toolchain has
+    no JSON library).  Floats print via ["%.17g"], so every IEEE double
+    survives [parse (to_string v)] bit-for-bit. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Single-line, no insignificant whitespace. *)
+
+val parse : string -> (t, string) result
+(** Accepts what {!to_string} emits (plus whitespace); rejects trailing
+    input.  Unicode escapes above [0x7f] are unsupported. *)
+
+val member : string -> t -> t option
+val to_float : t -> float option
+(** Accepts [Float] and [Int]. *)
+
+val to_int : t -> int option
+val to_str : t -> string option
+val to_list : t -> t list option

@@ -9,6 +9,12 @@
     parameter pairs whose loops actually nest (Section 5.2's explicit
     multiplicative and additive dependencies). *)
 
+(* How a point's repeated measurements collapse into the value the
+   search fits.  The mean is the classic Extra-P choice; the median
+   survives corrupted repetitions (broken timers, stragglers) that
+   would otherwise drag the fit — the degradation-tolerant mode. *)
+type aggregate = Mean | Median
+
 type config = {
   exponents : float list;      (** the set I of polynomial exponents *)
   log_exponents : int list;    (** the set J of logarithm exponents *)
@@ -17,6 +23,8 @@ type config = {
       (** a parametric hypothesis must beat the constant model's
           cross-validated error by this relative margin to be accepted —
           the guard against modeling noise on constant functions *)
+  aggregate : aggregate;
+      (** how repeated measurements collapse into one fitted value *)
   metrics : Obs_metrics.t option;
       (** when set, the search counts candidates generated (per term
           class), evaluated, and rejected into this registry *)
@@ -35,6 +43,7 @@ let default_config =
        modeling overfits noise on constant functions (B1).  The margin is
        an opt-in guard. *)
     min_improvement = 0.;
+    aggregate = Mean;
     metrics = None;
   }
 
@@ -309,11 +318,19 @@ let group_allowed constraints group =
     multi-parameter heuristic: best single-parameter model per parameter
     (on the slice where the other parameters sit at their minimum), then
     all additive/multiplicative compositions of the dominant terms. *)
+(* The configured collapse of a point's repetitions. *)
+let point_value config (pt : Dataset.point) =
+  match config.aggregate with
+  | Mean -> Dataset.point_mean pt
+  | Median -> Stats.median pt.Dataset.reps
+
 let multi ?(config = default_config) ?(constraints = unconstrained) data =
+  if data.Dataset.points = [] then
+    invalid_arg "Model.Search.multi: empty dataset (no observed configurations)";
   let params = List.filter (allowed_param constraints) data.Dataset.params in
   let points =
     List.map
-      (fun p -> (p.Dataset.coords, Dataset.point_mean p))
+      (fun p -> (p.Dataset.coords, point_value config p))
       data.Dataset.points
   in
   let select_best =
@@ -324,7 +341,7 @@ let multi ?(config = default_config) ?(constraints = unconstrained) data =
   | [ p ] ->
     (* Single free parameter: collapse coordinates and delegate. *)
     let samples =
-      List.map (fun pt -> (Dataset.coord pt p, Dataset.point_mean pt)) data.points
+      List.map (fun pt -> (Dataset.coord pt p, point_value config pt)) data.points
     in
     let r = single ~config ~constraints ~param:p samples in
     (* Re-express the error against the full point set for comparability. *)
@@ -348,7 +365,7 @@ let multi ?(config = default_config) ?(constraints = unconstrained) data =
           let sliced = Dataset.slice data ~fixed in
           let samples =
             List.map
-              (fun pt -> (Dataset.coord pt p, Dataset.point_mean pt))
+              (fun pt -> (Dataset.coord pt p, point_value config pt))
               sliced.Dataset.points
           in
           if List.length samples < 2 then None
@@ -394,3 +411,30 @@ let multi ?(config = default_config) ?(constraints = unconstrained) data =
     bump_n (List.length hypotheses)
       (candidate_counter config.metrics "multi_param");
     select_best hypotheses points
+
+(* -- degradation-tolerant search ------------------------------------------ *)
+
+(** Outlier-robust fit: per configuration, reject repetitions whose
+    modified z-score exceeds [threshold] (MAD-based, see
+    {!Stats.mad_filter}), drop configurations left with no repetitions,
+    aggregate the survivors by median, and run {!multi}.  Returns the
+    result plus the number of rejected measurements — campaigns report
+    it so a model fitted from degraded data says so. *)
+let multi_robust ?(threshold = 3.5) ?(config = default_config)
+    ?(constraints = unconstrained) data =
+  let rejected = ref 0 in
+  let points =
+    List.filter_map
+      (fun (pt : Dataset.point) ->
+        let kept = Stats.mad_filter ~threshold pt.Dataset.reps in
+        rejected := !rejected + (List.length pt.Dataset.reps - List.length kept);
+        if kept = [] then None else Some { pt with Dataset.reps = kept })
+      data.Dataset.points
+  in
+  let r =
+    multi
+      ~config:{ config with aggregate = Median }
+      ~constraints
+      { data with Dataset.points }
+  in
+  (r, !rejected)

@@ -3,6 +3,10 @@
     multi-parameter best-single-models heuristic.  The hybrid (tainted)
     mode restricts the space through {!constraints}. *)
 
+type aggregate =
+  | Mean    (** classic Extra-P: fit the mean of the repetitions *)
+  | Median  (** robust to corrupted repetitions *)
+
 type config = {
   exponents : float list;    (** the set I of polynomial exponents *)
   log_exponents : int list;  (** the set J of logarithm exponents *)
@@ -13,6 +17,9 @@ type config = {
           pure best-fit selection, which is what lets noise on constant
           functions be modeled (the B1 failure mode); set to ~0.1 as an
           opt-in guard. *)
+  aggregate : aggregate;
+      (** how a point's repeated measurements collapse into the fitted
+          value; default [Mean] *)
   metrics : Obs_metrics.t option;
       (** when set, the search records [search.candidates.single_term],
           [search.candidates.two_term], [search.candidates.multi_param],
@@ -58,4 +65,19 @@ val multi :
   ?config:config -> ?constraints:constraints -> Dataset.t -> result
 (** Multi-parameter search: per-parameter best single models on slices
     where the other parameters sit at their minimum, then all
-    additive/multiplicative compositions of their dominant terms. *)
+    additive/multiplicative compositions of their dominant terms.
+    @raise Invalid_argument on a dataset with no points
+    (["Model.Search.multi: empty dataset (no observed configurations)"]). *)
+
+val multi_robust :
+  ?threshold:float ->
+  ?config:config ->
+  ?constraints:constraints ->
+  Dataset.t ->
+  result * int
+(** Degradation-tolerant {!multi}: per configuration, repetitions whose
+    modified z-score exceeds [threshold] (default 3.5; see
+    {!Stats.mad_filter}) are rejected, configurations left empty are
+    dropped, and the survivors are aggregated by median.  Returns the
+    fit plus the number of rejected measurements.
+    @raise Invalid_argument when rejection leaves no points at all. *)

@@ -51,6 +51,40 @@ let relative_error ~predicted ~observed =
   if observed = 0. then Float.abs predicted
   else Float.abs (predicted -. observed) /. Float.abs observed
 
+(** Median of a sample; [nan] on empty input. *)
+let median xs =
+  match List.sort compare xs with
+  | [] -> nan
+  | sorted ->
+    let n = List.length sorted in
+    if n mod 2 = 1 then List.nth sorted (n / 2)
+    else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.
+
+(** Raw (unscaled) median absolute deviation; [nan] on empty input. *)
+let mad xs =
+  match xs with
+  | [] -> nan
+  | _ ->
+    let m = median xs in
+    median (List.map (fun x -> Float.abs (x -. m)) xs)
+
+(* Consistency constant: 1.4826 * MAD estimates sigma under Gaussians,
+   so the threshold below is a modified z-score (Iglewicz-Hoaglin). *)
+let mad_sigma = 1.4826
+
+(** Drop sample values whose modified z-score exceeds [threshold] — the
+    standard robust outlier rejection (default 3.5).  When the MAD is
+    zero (at least half the values identical) only exact-median values
+    survive, since any deviation then has infinite z-score. *)
+let mad_filter ?(threshold = 3.5) xs =
+  match xs with
+  | [] | [ _ ] -> xs
+  | _ ->
+    let med = median xs in
+    let scale = mad_sigma *. mad xs in
+    if scale = 0. then List.filter (fun x -> x = med) xs
+    else List.filter (fun x -> Float.abs (x -. med) /. scale <= threshold) xs
+
 (** Percentile (nearest-rank) of a sample. *)
 let percentile q xs =
   match List.sort compare xs with

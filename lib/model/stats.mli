@@ -20,6 +20,17 @@ val aic : ?corrected:bool -> k:int -> fit -> float
 
 val relative_error : predicted:float -> observed:float -> float
 
+val median : float list -> float
+(** Median; [nan] on empty input. *)
+
+val mad : float list -> float
+(** Raw (unscaled) median absolute deviation; [nan] on empty input. *)
+
+val mad_filter : ?threshold:float -> float list -> float list
+(** Drop values whose modified z-score ([|x - median| / (1.4826 * MAD)])
+    exceeds [threshold] (default 3.5).  Zero MAD keeps only exact-median
+    values; lists of length <= 1 pass through. *)
+
 val percentile : float -> float list -> float
 (** Nearest-rank percentile; [nan] on empty input. *)
 

@@ -17,4 +17,6 @@ let () =
       ("obs", Suite_obs.tests);
       ("soundness", Suite_soundness.tests);
       ("fuzz", Suite_fuzz.tests);
+      ("resilience", Suite_resilience.tests);
+      ("cli", Suite_cli.tests);
     ]

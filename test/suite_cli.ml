@@ -1,0 +1,144 @@
+(** End-to-end tests of the CLI's failure paths: every anticipated error
+    — unknown app, unreadable path, parse error, malformed IR, runtime
+    error, exhausted step budget, bad fault spec — must surface as a
+    single-line message on stderr and a nonzero exit code, never as an
+    uncaught exception with a backtrace. *)
+
+(* Under `dune runtest` the cwd is _build/default/test and the binary is
+   a declared dependency at ../bin/; under `dune exec` it is the project
+   root. *)
+let exe =
+  List.find Sys.file_exists
+    [ "../bin/perf_taint_cli.exe"; "_build/default/bin/perf_taint_cli.exe" ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run_cli args =
+  let out = Filename.temp_file "cli" ".out" in
+  let err = Filename.temp_file "cli" ".err" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove out with Sys_error _ -> ());
+      try Sys.remove err with Sys_error _ -> ())
+    (fun () ->
+      let code =
+        Sys.command (Filename.quote_command exe args ~stdout:out ~stderr:err)
+      in
+      (code, read_file out, read_file err))
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  at 0
+
+let line_count s =
+  List.length
+    (List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' s))
+
+(* The contract under test: nonzero exit, exactly one stderr line
+   mentioning [expect], and no escaped exception. *)
+let check_failure ?(lines = 1) ~expect args =
+  let code, _out, errs = run_cli args in
+  Alcotest.(check bool)
+    (Printf.sprintf "nonzero exit for %s" (String.concat " " args))
+    true (code <> 0);
+  Alcotest.(check int)
+    (Printf.sprintf "single-line stderr, got %S" errs)
+    lines (line_count errs);
+  Alcotest.(check bool)
+    (Printf.sprintf "stderr %S mentions %S" errs expect)
+    true
+    (contains errs expect);
+  List.iter
+    (fun leak ->
+      Alcotest.(check bool)
+        (Printf.sprintf "no %S in stderr" leak)
+        false (contains errs leak))
+    [ "Raised at"; "Raised by"; "Fatal error: exception" ]
+
+let with_fixture contents f =
+  let path = Filename.temp_file "cli_fixture" ".pir" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc;
+      f path)
+
+let test_success_baseline () =
+  let code, out, _ = run_cli [ "print"; "iterate" ] in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "prints the program" true (contains out "func @")
+
+let test_unknown_app () =
+  check_failure ~expect:"unknown app" [ "analyze"; "nosuchapp" ]
+
+let test_directory_path () =
+  (* [Sys.file_exists] accepts a directory; it must be diagnosed, not
+     opened. *)
+  check_failure ~expect:"is a directory" [ "analyze"; "." ]
+
+let test_unreadable_file () =
+  (* A path that vanishes between the existence check and the open still
+     surfaces as a clean Sys_error line. *)
+  with_fixture "func @main() {\nentry:\n  ret ()\n}\n" @@ fun path ->
+  Sys.remove path;
+  check_failure ~expect:"unknown app" [ "analyze"; path ]
+
+let test_parse_error () =
+  with_fixture "; program broken (entry @main)\nfunc @main( {\n"
+  @@ fun path ->
+  check_failure ~expect:"parse error at line" [ "analyze"; path ]
+
+let test_unknown_opcode () =
+  with_fixture
+    "func @main(n) {\nentry:\n  %x = frobnicate %n\n  ret %x\n}\n"
+  @@ fun path -> check_failure ~expect:"parse error" [ "analyze"; path ]
+
+let test_ir_error () =
+  (* Parses fine; calling an undefined function is an IR-level error
+     raised during the tainted run. *)
+  with_fixture "func @main(n) {\nentry:\n  call @nope()\n  ret ()\n}\n"
+  @@ fun path -> check_failure ~expect:"nope" [ "analyze"; path ]
+
+let test_runtime_error () =
+  with_fixture "func @main(n) {\nentry:\n  %z = div %n, 0\n  ret %z\n}\n"
+  @@ fun path ->
+  check_failure ~expect:"division by zero" [ "analyze"; path ]
+
+let test_budget_exceeded () =
+  check_failure ~expect:"--max-steps"
+    [ "analyze"; "lulesh"; "--max-steps"; "10" ]
+
+let test_bad_fault_spec () =
+  check_failure ~expect:"frobnicate"
+    [ "campaign"; "lulesh"; "--faults"; "frobnicate=1" ]
+
+let test_campaign_needs_spec () =
+  check_failure ~expect:"measurement spec" [ "campaign"; "iterate" ]
+
+let test_resume_needs_journal () =
+  check_failure ~expect:"--journal" [ "campaign"; "lulesh"; "--resume" ]
+
+let tests =
+  [
+    Alcotest.test_case "success baseline exits 0" `Quick test_success_baseline;
+    Alcotest.test_case "unknown app" `Quick test_unknown_app;
+    Alcotest.test_case "directory as program path" `Quick test_directory_path;
+    Alcotest.test_case "vanished program path" `Quick test_unreadable_file;
+    Alcotest.test_case "truncated program" `Quick test_parse_error;
+    Alcotest.test_case "unknown opcode" `Quick test_unknown_opcode;
+    Alcotest.test_case "undefined callee" `Quick test_ir_error;
+    Alcotest.test_case "runtime error" `Quick test_runtime_error;
+    Alcotest.test_case "step budget exceeded" `Quick test_budget_exceeded;
+    Alcotest.test_case "malformed fault spec" `Quick test_bad_fault_spec;
+    Alcotest.test_case "campaign rejects spec-less apps" `Quick
+      test_campaign_needs_spec;
+    Alcotest.test_case "--resume requires --journal" `Quick
+      test_resume_needs_journal;
+  ]

@@ -271,7 +271,80 @@ let test_replay_runs_grid () =
   Alcotest.(check bool) "larger size executes more instructions" true
     (steps_at 8. > steps_at 4.)
 
+(* -- sparse datasets --------------------------------------------------------------- *)
+
+(* [kernel_dataset] skips runs where the kernel was not observed — the
+   false-negative effect of a filter — while [total_dataset] keeps every
+   run (totals are always measured).  Pinned here because the robust
+   campaign fit depends on exactly this skipping behaviour. *)
+
+let test_kernel_dataset_skips_unobserved () =
+  let sel = design (Instr.Selective (Instr.SSet.singleton "hot")) in
+  let runs = Exp.run_design tiny_app machine sel in
+  let helper = Exp.kernel_dataset runs ~params:[ "n" ] ~kernel:"helper" in
+  Alcotest.(check int) "unobserved kernel yields no points" 0
+    (List.length helper.Model.Dataset.points);
+  let hot = Exp.kernel_dataset runs ~params:[ "n" ] ~kernel:"hot" in
+  Alcotest.(check int) "observed kernel keeps its grid" 2
+    (List.length hot.Model.Dataset.points)
+
+let test_kernel_dataset_mixed_modes () =
+  (* Half the runs are uninstrumented: the kernel dataset must contain
+     only the observed half, with correspondingly fewer reps. *)
+  let full = Exp.run_design tiny_app machine (design Instr.Full) in
+  let blind = Exp.run_design tiny_app machine (design Instr.Uninstrumented) in
+  let data = Exp.kernel_dataset (full @ blind) ~params:[ "n" ] ~kernel:"hot" in
+  Alcotest.(check int) "points from observed runs only" 2
+    (List.length data.Model.Dataset.points);
+  List.iter
+    (fun (pt : Model.Dataset.point) ->
+      Alcotest.(check int) "blind runs contribute no reps" 6
+        (List.length pt.Model.Dataset.reps))
+    data.Model.Dataset.points
+
+let test_total_dataset_keeps_all_runs () =
+  let full = Exp.run_design tiny_app machine (design Instr.Full) in
+  let blind = Exp.run_design tiny_app machine (design Instr.Uninstrumented) in
+  let data = Exp.total_dataset (full @ blind) ~params:[ "n" ] in
+  Alcotest.(check int) "two points" 2 (List.length data.Model.Dataset.points);
+  List.iter
+    (fun (pt : Model.Dataset.point) ->
+      Alcotest.(check int) "totals from every run" 12
+        (List.length pt.Model.Dataset.reps))
+    data.Model.Dataset.points
+
 (* -- properties ----------------------------------------------------------------------------- *)
+
+let prop_noise_stream_reproducible =
+  QCheck.Test.make ~count:100 ~name:"same seed and salt, identical stream"
+    QCheck.(triple small_int string (int_range 1 50))
+    (fun (seed, salt, n) ->
+      let draws () =
+        let rng = Noise_alias.create ~seed ~salt in
+        List.init n (fun _ -> Noise_alias.perturb rng ~sigma:0.1 1.0)
+      in
+      draws () = draws ())
+
+let prop_noise_never_negative =
+  QCheck.Test.make ~count:500 ~name:"perturb never negative at extreme sigma"
+    QCheck.(triple small_int (float_bound_exclusive 10.) pos_float)
+    (fun (seed, sigma, x) ->
+      Noise_alias.perturb (Noise_alias.create ~seed ~salt:"neg") ~sigma x >= 0.)
+
+let prop_noise_floor_dominates_near_zero =
+  QCheck.Test.make ~count:200 ~name:"floor dominates a zero-length duration"
+    QCheck.(pair small_int (float_bound_exclusive 1e-3))
+    (fun (seed, floor) ->
+      QCheck.assume (floor > 0.);
+      (* At x = 0 the multiplicative term vanishes, so the draw is the
+         additive floor term alone: doubling the floor doubles it. *)
+      let draw f =
+        Noise_alias.perturb ~floor:f
+          (Noise_alias.create ~seed ~salt:"floor")
+          ~sigma:0.5 0.
+      in
+      let d1 = draw floor in
+      d1 >= 0. && Float.abs (draw (2. *. floor) -. (2. *. d1)) <= 1e-15)
 
 let prop_selective_cheaper_than_full =
   QCheck.Test.make ~count:50 ~name:"selective never costs more than full"
@@ -329,6 +402,15 @@ let tests =
       test_replay_missing_param;
     Alcotest.test_case "replay_runs covers the grid" `Quick
       test_replay_runs_grid;
+    Alcotest.test_case "kernel dataset skips unobserved runs" `Quick
+      test_kernel_dataset_skips_unobserved;
+    Alcotest.test_case "kernel dataset under mixed modes" `Quick
+      test_kernel_dataset_mixed_modes;
+    Alcotest.test_case "total dataset keeps every run" `Quick
+      test_total_dataset_keeps_all_runs;
     QCheck_alcotest.to_alcotest prop_selective_cheaper_than_full;
     QCheck_alcotest.to_alcotest prop_base_total_mode_independent;
+    Seeded.to_alcotest prop_noise_stream_reproducible;
+    Seeded.to_alcotest prop_noise_never_negative;
+    Seeded.to_alcotest prop_noise_floor_dominates_near_zero;
   ]

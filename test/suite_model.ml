@@ -255,6 +255,87 @@ let prop_smape_bounded =
       let s = D.smape pairs in
       s >= 0. && s <= 200.)
 
+(* -- robust statistics and fitting ----------------------------------------- *)
+
+let string_contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_median_mad () =
+  check_close "odd median" 3. (Model.Stats.median [ 5.; 1.; 3. ]);
+  check_close "even median" 2.5 (Model.Stats.median [ 4.; 1.; 2.; 3. ]);
+  check_close "mad of 1..5" 1. (Model.Stats.mad [ 1.; 2.; 3.; 4.; 5. ]);
+  (* The median resists a wild outlier that would drag the mean. *)
+  check_close "median resists outlier" 3.
+    (Model.Stats.median [ 1.; 2.; 3.; 4.; 1e9 ]);
+  Alcotest.(check bool) "empty median is nan" true
+    (Float.is_nan (Model.Stats.median []));
+  Alcotest.(check bool) "empty mad is nan" true
+    (Float.is_nan (Model.Stats.mad []))
+
+let test_mad_filter_rejects_outlier () =
+  let kept = Model.Stats.mad_filter [ 10.; 10.1; 9.9; 10.05; 9.95; 500. ] in
+  Alcotest.(check int) "outlier dropped" 5 (List.length kept);
+  Alcotest.(check bool) "survivors near the median" true
+    (List.for_all (fun x -> x < 11.) kept)
+
+let test_mad_filter_keeps_clean () =
+  let clean = [ 10.; 10.1; 9.9; 10.05; 9.95 ] in
+  Alcotest.(check int) "clean reps untouched"
+    (List.length clean)
+    (List.length (Model.Stats.mad_filter clean))
+
+let test_mad_filter_zero_mad () =
+  (* Identical reps with one corruption: the MAD is zero, so only
+     exact-median values survive. *)
+  Alcotest.(check (list (float 0.))) "only the median value survives"
+    [ 2.; 2.; 2.; 2. ]
+    (Model.Stats.mad_filter [ 2.; 2.; 2.; 2.; 77. ])
+
+let test_mad_filter_degenerate () =
+  Alcotest.(check (list (float 0.))) "empty passes through" []
+    (Model.Stats.mad_filter []);
+  Alcotest.(check (list (float 0.))) "singleton passes through" [ 5. ]
+    (Model.Stats.mad_filter [ 5. ])
+
+let test_multi_empty_dataset () =
+  try
+    ignore (S.multi (D.of_rows [ "p" ] []));
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "message %S names the cause" msg)
+      true
+      (string_contains msg "empty dataset")
+
+let test_multi_robust_rejects_corruption () =
+  (* Clean linear growth, with every point's last repetition corrupted
+     by a 50x broken-timer outlier: the robust fit must reject exactly
+     those reps and still recover the linear term, where the classic
+     mean-based fit is dragged off the true shape. *)
+  let f x = 5. +. (0.5 *. x) in
+  let rows =
+    List.map
+      (fun x ->
+        ([ ("p", x) ], [ f x; f x *. 1.01; f x *. 0.99; f x *. 50. ]))
+      xs
+  in
+  let data = D.of_rows [ "p" ] rows in
+  let r, rejected = S.multi_robust data in
+  Alcotest.(check int) "one rejection per point" (List.length xs) rejected;
+  check_shape "linear recovered despite corruption"
+    { E.const = 0.; terms = [ { coeff = 1.; factors = [ ("p", term 1.) ] } ] }
+    r
+
+let test_multi_robust_clean_matches_multi () =
+  let f p n = 2. +. (1e-4 *. p *. n *. n) in
+  let data = D.of_rows [ "p"; "n" ] (grid f) in
+  let robust, rejected = S.multi_robust data in
+  Alcotest.(check int) "nothing rejected on clean data" 0 rejected;
+  Alcotest.(check bool) "same shape as the classic fit" true
+    (E.same_shape (S.multi data).S.model robust.S.model)
+
 let tests =
   [
     Alcotest.test_case "solve 2x2 exactly" `Quick test_solve_exact;
@@ -284,6 +365,21 @@ let tests =
     Alcotest.test_case "coefficient of variation" `Quick test_cov;
     Alcotest.test_case "dataset slicing" `Quick test_slice;
     Alcotest.test_case "SMAPE of identical series" `Quick test_smape_identical;
+    Alcotest.test_case "median and MAD" `Quick test_median_mad;
+    Alcotest.test_case "MAD filter rejects an outlier" `Quick
+      test_mad_filter_rejects_outlier;
+    Alcotest.test_case "MAD filter keeps clean reps" `Quick
+      test_mad_filter_keeps_clean;
+    Alcotest.test_case "MAD filter with zero MAD" `Quick
+      test_mad_filter_zero_mad;
+    Alcotest.test_case "MAD filter degenerate inputs" `Quick
+      test_mad_filter_degenerate;
+    Alcotest.test_case "multi rejects an empty dataset" `Quick
+      test_multi_empty_dataset;
+    Alcotest.test_case "robust fit rejects corrupted reps" `Quick
+      test_multi_robust_rejects_corruption;
+    Alcotest.test_case "robust fit matches classic on clean data" `Quick
+      test_multi_robust_clean_matches_multi;
     QCheck_alcotest.to_alcotest prop_regression_exact;
     QCheck_alcotest.to_alcotest prop_eval_monotone_terms;
     QCheck_alcotest.to_alcotest prop_smape_bounded;
