@@ -64,6 +64,24 @@ let milc_design ~mode =
   design ~mode ~p_values:Apps.Milc_spec.p_values
     ~size_values:Apps.Milc_spec.size_values ()
 
+(* -- machine-readable output ------------------------------------------------ *)
+
+(** Write an experiment's headline numbers as [BENCH_<name>.json] in the
+    working directory, next to the human-readable log, so CI can archive
+    and diff them without scraping text.  The journal's JSON writer is
+    reused — floats are printed with ["%.17g"] and survive a round trip
+    bit-for-bit. *)
+let emit_json ~name fields =
+  let file = Printf.sprintf "BENCH_%s.json" name in
+  let v =
+    Measure.Jsonio.Obj (("experiment", Measure.Jsonio.Str name) :: fields)
+  in
+  let oc = open_out file in
+  output_string oc (Measure.Jsonio.to_string v);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "    machine-readable: %s@." file
+
 (* -- formatting ------------------------------------------------------------ *)
 
 let section title =

@@ -25,6 +25,8 @@ let experiments =
      Micro.policy_speedup);
     ("resilience", "campaign executor overhead and retry cost",
      Micro.resilience);
+    ("parallel", "domain-pool speedup: campaign / search / fuzz at 1-8 jobs",
+     Exp_parallel.run);
   ]
 
 let usage () =

@@ -8,6 +8,10 @@ module Exp = Measure.Experiment
 module Camp = Measure.Campaign
 module Fault = Measure.Fault
 
+(* [open Bechamel] below shadows [Measure] (bechamel ships a module of
+   that name), so the JSON writer needs its alias taken here. *)
+module J = Measure.Jsonio
+
 open Bechamel
 open Toolkit
 
@@ -130,7 +134,7 @@ let policy_speedup () =
        Apps.Minicg.taint_world);
     ]
   in
-  let speedups =
+  let rows =
     List.map
       (fun (name, program, args, world) ->
         let tainted () =
@@ -160,14 +164,33 @@ let policy_speedup () =
           "  %-10s taint %9.6f s (%6.1f MB)   plain %9.6f s (%6.1f MB)   \
            speedup %.2fx@."
           name tt at tp ap (tt /. tp);
-        tt /. tp)
+        (name, tt, at, tp, ap))
       kernels
   in
+  let speedups = List.map (fun (_, tt, _, tp, _) -> tt /. tp) rows in
   let geomean =
     exp (List.fold_left (fun a s -> a +. log s) 0. speedups
          /. float_of_int (List.length speedups))
   in
-  Fmt.pr "  plain-policy speedup over taint (geomean): %.2fx@." geomean
+  Fmt.pr "  plain-policy speedup over taint (geomean): %.2fx@." geomean;
+  Exp_common.emit_json ~name:"policy"
+    [
+      ( "kernels",
+        J.List
+          (List.map
+             (fun (name, tt, at, tp, ap) ->
+               J.Obj
+                 [
+                   ("kernel", J.Str name);
+                   ("taint_s", J.Float tt);
+                   ("taint_alloc_mb", J.Float at);
+                   ("plain_s", J.Float tp);
+                   ("plain_alloc_mb", J.Float ap);
+                   ("speedup", J.Float (tt /. tp));
+                 ])
+             rows) );
+      ("geomean_speedup", J.Float geomean);
+    ]
 
 (* -- campaign executor overhead and retry cost ----------------------------- *)
 

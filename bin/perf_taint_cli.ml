@@ -149,6 +149,22 @@ let config_of max_steps =
     (fun n -> { Interp.Machine.default_config with max_steps = n })
     max_steps
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel stages (measurement coordinates, \
+     model-candidate scoring, fuzz cases).  The default of 1 is exactly \
+     the serial code path; any value produces bit-identical output."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+(* Hand the command body [Some pool] only when parallelism was actually
+   requested: the [None] branch of every consumer is the untouched
+   serial code path, so --jobs 1 (the default) cannot perturb existing
+   behavior even through pool bookkeeping. *)
+let with_jobs ?metrics jobs f =
+  if jobs > 1 then Par.Pool.with_pool ?metrics ~jobs (fun p -> f (Some p))
+  else f None
+
 (* Every command maps the pipeline's expected failure modes — bad paths,
    malformed .pir files, runtime errors in user programs, exhausted step
    budgets — to a one-line stderr message and a nonzero exit, never an
@@ -359,8 +375,9 @@ let func_arg =
   Arg.(value & opt (some string) None & info [ "func" ] ~doc)
 
 let model_cmd =
-  let run name ranks params mode func trace max_steps =
+  let run name ranks params mode func trace max_steps jobs =
     error_guard @@ fun () ->
+    with_jobs jobs @@ fun pool ->
     let t = resolve name ranks params in
     let spec =
       match t.spec with
@@ -388,10 +405,13 @@ let model_cmd =
       { Measure.Experiment.grid; reps = 5;
         mode = Measure.Instrument.Selective selective; sigma = 0.02; seed = 42 }
     in
-    let runs = Measure.Experiment.run_design spec machine design in
+    let runs = Measure.Experiment.run_design ?pool spec machine design in
     let config =
-      if name = "milc" then Model.Search.extended_config
-      else Model.Search.default_config
+      let c =
+        if name = "milc" then Model.Search.extended_config
+        else Model.Search.default_config
+      in
+      { c with Model.Search.pool }
     in
     let fit fname =
       let data =
@@ -425,7 +445,7 @@ let model_cmd =
     Term.(
       ret
         (const run $ app_arg $ ranks_arg $ param_arg $ mode_arg $ func_arg
-        $ trace_arg $ max_steps_arg))
+        $ trace_arg $ max_steps_arg $ jobs_arg))
 
 let profile_cmd =
   let run name ranks params trace max_steps =
@@ -672,7 +692,7 @@ let campaign_cmd =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
   in
   let run name ranks params faults retries backoff journal resume max_runs
-      dump reps sigma seed trace max_steps =
+      dump reps sigma seed trace max_steps jobs =
     error_guard @@ fun () ->
     let t = resolve name ranks params in
     let spec =
@@ -715,14 +735,15 @@ let campaign_cmd =
     let sink =
       match trace with None -> None | Some _ -> Some (Obs_trace.create ())
     in
+    with_jobs ~metrics jobs @@ fun pool ->
     let report =
       match journal with
       | Some j ->
-        Measure.Campaign.run_journaled ~metrics ?trace:sink ~plan ~retry
+        Measure.Campaign.run_journaled ?pool ~metrics ?trace:sink ~plan ~retry
           ?hang_budget:max_steps ?limit:max_runs ~journal:j ~resume spec
           Mpi_sim.Machine.skylake_cluster design
       | None ->
-        Measure.Campaign.run ~metrics ?trace:sink ~plan ~retry
+        Measure.Campaign.run ?pool ~metrics ?trace:sink ~plan ~retry
           ?hang_budget:max_steps ?limit:max_runs spec
           Mpi_sim.Machine.skylake_cluster design
     in
@@ -767,7 +788,8 @@ let campaign_cmd =
         Measure.Experiment.total_dataset report.Measure.Campaign.cp_runs
           ~params:fit_params
       in
-      let fit, rejected = Model.Search.multi_robust data in
+      let config = { Model.Search.default_config with Model.Search.pool } in
+      let fit, rejected = Model.Search.multi_robust ~config data in
       Fmt.pr "total model (robust fit, %d outliers rejected): %s  (SMAPE \
               %.1f%%)@."
         rejected
@@ -787,7 +809,7 @@ let campaign_cmd =
         (const run $ app_arg $ ranks_arg $ param_arg $ faults_arg
         $ retries_arg $ backoff_arg $ journal_arg $ resume_arg $ max_runs_arg
         $ dump_arg $ reps_arg $ sigma_arg $ seed_arg $ trace_arg
-        $ max_steps_arg))
+        $ max_steps_arg $ jobs_arg))
 
 let fuzz_cmd =
   let seed_arg =
@@ -811,7 +833,7 @@ let fuzz_cmd =
     in
     Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc)
   in
-  let run seed budget corpus files max_steps =
+  let run seed budget corpus files max_steps jobs =
     error_guard @@ fun () ->
     match files with
     | _ :: _ ->
@@ -830,7 +852,10 @@ let fuzz_cmd =
         files;
       if !failed > 0 then exit 1
     | [] ->
-      let report = Fuzz.Driver.run_campaign ?max_steps ~seed ~budget () in
+      with_jobs jobs @@ fun pool ->
+      let report =
+        Fuzz.Driver.run_campaign ?pool ?max_steps ~seed ~budget ()
+      in
       Fmt.pr "fuzz campaign: seed %d, budget %d@." seed budget;
       List.iter
         (fun (r : Fuzz.Driver.oracle_result) ->
@@ -864,7 +889,7 @@ let fuzz_cmd =
     Term.(
       ret
         (const run $ seed_arg $ budget_arg $ corpus_arg $ replay_arg
-        $ max_steps_arg))
+        $ max_steps_arg $ jobs_arg))
 
 let main_cmd =
   let doc = "tainted performance modeling (Perf-Taint reproduction)" in

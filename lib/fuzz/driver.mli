@@ -18,15 +18,21 @@ type oracle_result = {
 type report = { rp_seed : int; rp_budget : int; rp_results : oracle_result list }
 
 val run_campaign :
-  ?oracles:Oracle.t list -> ?max_steps:int -> seed:int -> budget:int ->
-  unit -> report
+  ?pool:Par.Pool.t -> ?oracles:Oracle.t list -> ?max_steps:int -> seed:int ->
+  budget:int -> unit -> report
 (** Generate [budget] programs from [seed] and check each against every
     oracle.  An oracle stops checking after its first failure, which is
     shrunk with {!Shrink.minimize} before being reported.  Generation
     consumes the PRNG identically regardless of oracle outcomes, so a
     campaign is reproducible from its seed alone.  [max_steps] runs the
     default oracle set under an explicit interpreter budget
-    ({!Oracle.all_with}); an explicit [oracles] list takes precedence. *)
+    ({!Oracle.all_with}); an explicit [oracles] list takes precedence.
+
+    [pool] checks cases on a domain pool: generation remains one serial
+    PRNG pass (identical corpus), checks fan out in waves, and slot
+    updates replay in case order on the submitting domain — verdicts,
+    first-failure indices, shrunk counterexamples and [or_runs] are
+    bit-identical to the serial campaign. *)
 
 val counterexamples : report -> counterexample list
 

@@ -546,6 +546,55 @@ let campaign_recovery =
   in
   { name = "campaign-recovery"; check }
 
+(* Parallel-vs-serial bit-identity: the same faulty campaign executed
+   serially and on a 3-worker domain pool must produce identical records
+   (hence identical journals — the journal is a pure function of the
+   records), and the model search over the resulting dataset must choose
+   the identical model with identical error from serial and pooled
+   scoring.  This is the determinism contract of [Par.Pool]'s ordered
+   collection, exercised across the fuzz corpus's designs and fault
+   draws. *)
+let par_identity =
+  let check p =
+    let app, machine, design, h = campaign_fixture p in
+    let plan =
+      {
+        Flt.none with
+        Flt.fp_seed = h mod 7919;
+        fp_crash = 0.05;
+        fp_hang = 0.03;
+        fp_persistent = 0.;
+        fp_transient_attempts = 2;
+      }
+    in
+    let retry = { Camp.default_retry with Camp.rt_max_attempts = 3 } in
+    Par.Pool.with_pool ~jobs:3 (fun pool ->
+        let serial = Camp.run ~plan ~retry app machine design in
+        let parallel = Camp.run ~pool ~plan ~retry app machine design in
+        if compare serial.Camp.cp_records parallel.Camp.cp_records <> 0 then
+          Fail "parallel campaign records are not bit-identical to serial"
+        else begin
+          let data = Exp.total_dataset serial.Camp.cp_runs ~params:[ "p" ] in
+          let s = Model.Search.multi ~config:campaign_search_config data in
+          let q =
+            Model.Search.multi
+              ~config:
+                { campaign_search_config with Model.Search.pool = Some pool }
+              data
+          in
+          if
+            compare
+              ( s.Model.Search.model, s.Model.Search.error,
+                s.Model.Search.hypotheses_tried )
+              ( q.Model.Search.model, q.Model.Search.error,
+                q.Model.Search.hypotheses_tried )
+            <> 0
+          then Fail "pooled model search differs from the serial search"
+          else Pass
+        end)
+  in
+  { name = "par-identity"; check }
+
 (* -- suites ---------------------------------------------------------------- *)
 
 let oracles_with config =
@@ -559,6 +608,7 @@ let oracles_with config =
     coverage_consistency_with config;
     campaign_identity;
     campaign_recovery;
+    par_identity;
   ]
 
 let all_with ~max_steps = oracles_with { interp_config with max_steps }

@@ -73,6 +73,12 @@ val campaign_recovery : t
     ({!Model.Search.multi_robust}) of its dataset must select the same
     best model term as the classic fit of the clean campaign. *)
 
+val par_identity : t
+(** Parallel-vs-serial bit-identity: the fixture campaign executed on a
+    3-worker {!Par.Pool} must produce records identical to the serial
+    run, and pooled model-search scoring must select the identical model
+    with identical error and candidate count. *)
+
 val validator_interp_with : Interp.Machine.config -> t
 val tripcount_with : Interp.Machine.config -> t
 val obs_invariance_with : Interp.Machine.config -> t

@@ -20,11 +20,11 @@ type state = {
 type label = unit
 type fstate = unit
 
-let create ~control_flow_taint:_ =
+let create ~control_flow_taint:_ ~hint =
   {
     labels = Taint.Label.create ();
-    blocks = Hashtbl.create 64;
-    edges = Hashtbl.create 64;
+    blocks = Hashtbl.create (max 64 hint);
+    edges = Hashtbl.create (max 64 hint);
   }
 
 let table s = s.labels

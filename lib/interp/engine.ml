@@ -105,7 +105,7 @@ module type POLICY = sig
   type label
   type fstate
 
-  val create : control_flow_taint:bool -> state
+  val create : control_flow_taint:bool -> hint:int -> state
   val table : state -> Taint.Label.table
   val frame_state : state -> fstate
   val clean : label
@@ -708,10 +708,20 @@ module Make (P : POLICY) : S with type pstate = P.state = struct
 
   let create ?(config = default_config) ?metrics ?(trace = Obs_trace.disabled)
       program =
+    (* Static instruction count: the capacity hint policies use to
+       presize label/shadow tables (see POLICY.create). *)
+    let hint =
+      List.fold_left
+        (fun acc (f : func) ->
+          List.fold_left
+            (fun a (b : Ir.Types.block) -> a + List.length b.instrs)
+            acc f.blocks)
+        0 program.funcs
+    in
     {
       program;
       config;
-      pstate = P.create ~control_flow_taint:config.control_flow_taint;
+      pstate = P.create ~control_flow_taint:config.control_flow_taint ~hint;
       heap = Hashtbl.create 64;
       next_alloc = 0;
       steps = 0;

@@ -49,7 +49,10 @@ module type POLICY = sig
   type label
   type fstate
 
-  val create : control_flow_taint:bool -> state
+  val create : control_flow_taint:bool -> hint:int -> state
+  (** [hint] is a program-size proxy (static instruction count) for
+      presizing policy tables; it must not affect semantics. *)
+
   val table : state -> Taint.Label.table
   (** The label table backing {!export}/{!import}; policies without
       labels return a private empty table. *)

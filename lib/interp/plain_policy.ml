@@ -16,7 +16,7 @@ type state = { labels : Label.table }
 type label = Label.t
 type fstate = unit
 
-let create ~control_flow_taint:_ = { labels = Label.create () }
+let create ~control_flow_taint:_ ~hint:_ = { labels = Label.create () }
 let table s = s.labels
 let frame_state _ = ()
 let clean = Label.empty

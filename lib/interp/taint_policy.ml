@@ -27,8 +27,9 @@ type fstate = {
       (** (join label, condition taint); "$never" join is function-scoped *)
 }
 
-let create ~control_flow_taint =
-  { labels = Label.create (); shadow = Shadow.create (); cf = control_flow_taint }
+let create ~control_flow_taint ~hint =
+  { labels = Label.create ~hint (); shadow = Shadow.create ~hint ();
+    cf = control_flow_taint }
 
 let table s = s.labels
 let frame_state _ = { rshadow = Hashtbl.create 32; ctl = [] }

@@ -269,7 +269,27 @@ let summarize ~resumed ~interrupted records =
         0. records;
   }
 
-let run ?metrics ?(trace = Obs_trace.disabled) ?(plan = Fault.none)
+(* Every campaign.* instrument bump of a coordinate's retry loop is a
+   function of its finished record, so the parallel path can run
+   coordinates with [inst = None] on worker domains and replay the bumps
+   on the submitting domain in design order: [rc_attempts] attempts, one
+   retry per non-final attempt, one fault bump per entry of [rc_faults]
+   (failed attempts and kept straggler/corrupt completions alike), one
+   abandonment if the outcome is [Abandoned]. *)
+let bump_from_record inst r =
+  match inst with
+  | None -> ()
+  | Some i ->
+    Obs_metrics.add i.i_attempts r.rc_attempts;
+    Obs_metrics.add i.i_retries (r.rc_attempts - 1);
+    List.iter
+      (fun k -> Obs_metrics.incr (List.assoc k i.i_faults))
+      r.rc_faults;
+    (match r.rc_outcome with
+    | Abandoned _ -> Obs_metrics.incr i.i_abandoned
+    | Completed _ -> ())
+
+let run ?pool ?metrics ?(trace = Obs_trace.disabled) ?(plan = Fault.none)
     ?(retry = default_retry) ?(hang_budget = 1_000_000)
     ?(done_ : record list = []) ?limit ?on_record app machine design =
   if retry.rt_max_attempts < 1 then
@@ -286,30 +306,120 @@ let run ?metrics ?(trace = Obs_trace.disabled) ?(plan = Fault.none)
   let executed = ref 0 in
   let interrupted = ref false in
   let records = ref [] in
-  (try
-     List.iter
-       (fun (params, rep) ->
-         match Hashtbl.find_opt restored (params, rep) with
-         | Some r ->
-           incr resumed;
-           bump inst (fun i -> i.i_resumed);
-           records := r :: !records
-         | None ->
-           if (match limit with Some l -> !executed >= l | None -> false)
-           then begin
-             interrupted := true;
-             raise Exit
-           end;
-           incr executed;
-           let r =
-             execute_coordinate ?metrics ~trace ~inst ~plan ~retry
-               ~hang_budget app machine design ~params ~rep
-           in
-           (match on_record with None -> () | Some f -> f r);
-           records := r :: !records)
-       (coordinates design)
-   with Exit -> ());
-  summarize ~resumed:!resumed ~interrupted:!interrupted (List.rev !records)
+  match pool with
+  | Some p when Par.Pool.jobs p > 1 ->
+    (* Parallel execution. The walk below replicates the serial limit
+       semantics exactly (stop where the serial loop raises [Exit], i.e.
+       on meeting the (limit+1)-th new coordinate), then coordinates are
+       executed on the pool in waves. All shared effects stay on the
+       submitting domain, in design order: restored-record accounting,
+       instrument bumps replayed from each record, per-coordinate metric
+       registries merged back, and [on_record] (the journal writer) — so
+       journals and registries are bit-identical to serial, and a kill
+       loses at most the in-flight wave. Workers touch only domain-local
+       state plus the mutex-guarded trace sink. *)
+    let items = ref [] in
+    (try
+       List.iter
+         (fun (params, rep) ->
+           match Hashtbl.find_opt restored (params, rep) with
+           | Some r -> items := `Restored r :: !items
+           | None ->
+             if (match limit with Some l -> !executed >= l | None -> false)
+             then begin
+               interrupted := true;
+               raise Exit
+             end;
+             incr executed;
+             items := `Fresh (params, rep) :: !items)
+         (coordinates design)
+     with Exit -> ());
+    let items = List.rev !items in
+    let emit = function
+      | `Restored r ->
+        incr resumed;
+        bump inst (fun i -> i.i_resumed);
+        records := r :: !records
+      | `Done (r, local) ->
+        (match (metrics, local) with
+        | Some reg, Some l -> Obs_metrics.merge ~into:reg l
+        | _ -> ());
+        bump_from_record inst r;
+        (match on_record with None -> () | Some f -> f r);
+        records := r :: !records
+    in
+    let wave_size = Par.Pool.jobs p * 4 in
+    let rec process = function
+      | [] -> ()
+      | pending ->
+        (* Take one wave: up to [wave_size] fresh coordinates (restored
+           records ride along for free, they cost nothing to emit). *)
+        let rec split taken nfresh = function
+          | it :: rest when
+              (match it with `Restored _ -> true | `Fresh _ -> nfresh < wave_size)
+            ->
+            let nfresh' =
+              match it with `Fresh _ -> nfresh + 1 | `Restored _ -> nfresh
+            in
+            split (it :: taken) nfresh' rest
+          | rest -> (List.rev taken, rest)
+        in
+        let wave, rest = split [] 0 pending in
+        let fresh =
+          List.filter_map
+            (function `Fresh c -> Some c | `Restored _ -> None)
+            wave
+        in
+        let done_q =
+          Queue.of_seq
+            (List.to_seq
+               (Par.Pool.map p ~chunk:1
+                  (fun (params, rep) ->
+                    let local =
+                      Option.map (fun _ -> Obs_metrics.create ()) metrics
+                    in
+                    let r =
+                      execute_coordinate ?metrics:local ~trace ~inst:None
+                        ~plan ~retry ~hang_budget app machine design ~params
+                        ~rep
+                    in
+                    (r, local))
+                  fresh))
+        in
+        List.iter
+          (function
+            | `Restored _ as it -> emit it
+            | `Fresh _ -> emit (`Done (Queue.pop done_q)))
+          wave;
+        process rest
+    in
+    process items;
+    summarize ~resumed:!resumed ~interrupted:!interrupted (List.rev !records)
+  | _ ->
+    (try
+       List.iter
+         (fun (params, rep) ->
+           match Hashtbl.find_opt restored (params, rep) with
+           | Some r ->
+             incr resumed;
+             bump inst (fun i -> i.i_resumed);
+             records := r :: !records
+           | None ->
+             if (match limit with Some l -> !executed >= l | None -> false)
+             then begin
+               interrupted := true;
+               raise Exit
+             end;
+             incr executed;
+             let r =
+               execute_coordinate ?metrics ~trace ~inst ~plan ~retry
+                 ~hang_budget app machine design ~params ~rep
+             in
+             (match on_record with None -> () | Some f -> f r);
+             records := r :: !records)
+         (coordinates design)
+     with Exit -> ());
+    summarize ~resumed:!resumed ~interrupted:!interrupted (List.rev !records)
 
 (* -- journal --------------------------------------------------------------- *)
 
@@ -546,7 +656,7 @@ let load_journal ~mode ~expected_header path =
       in
       go [] body
 
-let run_journaled ?metrics ?trace ?plan ?retry ?hang_budget ?limit
+let run_journaled ?pool ?metrics ?trace ?plan ?retry ?hang_budget ?limit
     ~journal ~resume app machine design =
   let plan_v = Option.value ~default:Fault.none plan in
   let retry_v = Option.value ~default:default_retry retry in
@@ -576,7 +686,7 @@ let run_journaled ?metrics ?trace ?plan ?retry ?hang_budget ?limit
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      run ?metrics ?trace ?plan ?retry ?hang_budget ~done_:existing ?limit
+      run ?pool ?metrics ?trace ?plan ?retry ?hang_budget ~done_:existing ?limit
         ~on_record:(fun r ->
           output_string oc (record_to_line r);
           output_char oc '\n';

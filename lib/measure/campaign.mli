@@ -56,6 +56,7 @@ val coordinates : Experiment.design -> (Spec.params * int) list
     iteration order. *)
 
 val run :
+  ?pool:Par.Pool.t ->
   ?metrics:Obs_metrics.t ->
   ?trace:Obs_trace.sink ->
   ?plan:Fault.plan ->
@@ -72,6 +73,14 @@ val run :
     coordinate finishes (journal writers hook here).  Hung runs are
     killed via [Interp.Machine.Budget_exceeded hang_budget], raised and
     caught inside the retry loop.
+
+    [pool] executes coordinates on a domain pool in waves.  Records,
+    journals and metric registries are bit-identical to serial: results
+    are collected in design order, every shared effect ([on_record],
+    instrument bumps, metric merges) happens on the submitting domain in
+    design order, and faults/noise are deterministic per coordinate.
+    [limit]/resume semantics are unchanged; a kill loses at most the
+    in-flight wave (roughly [4 * jobs] coordinates) instead of one.
     @raise Invalid_argument when [retry.rt_max_attempts < 1]. *)
 
 (** {1 Checkpoint journal} *)
@@ -98,6 +107,7 @@ val load_journal :
 (** Parse a journal file, validating its header. *)
 
 val run_journaled :
+  ?pool:Par.Pool.t ->
   ?metrics:Obs_metrics.t ->
   ?trace:Obs_trace.sink ->
   ?plan:Fault.plan ->

@@ -25,16 +25,40 @@ let grid_configs grid =
 
 let configs design = grid_configs design.grid
 
-let run_design ?metrics app machine design =
+let run_design ?pool ?metrics app machine design =
   (match metrics with
   | None -> ()
   | Some reg -> Obs_metrics.incr (Obs_metrics.counter reg "sim.campaigns"));
-  List.concat_map
-    (fun params ->
-      List.init design.reps (fun rep ->
-          Simulator.measure ~sigma:design.sigma ~seed:design.seed ~rep ?metrics
-            app machine ~params ~mode:design.mode))
-    (configs design)
+  let coords =
+    List.concat_map
+      (fun params -> List.init design.reps (fun rep -> (params, rep)))
+      (configs design)
+  in
+  let measure ?metrics (params, rep) =
+    Simulator.measure ~sigma:design.sigma ~seed:design.seed ~rep ?metrics app
+      machine ~params ~mode:design.mode
+  in
+  match pool with
+  | Some p when Par.Pool.jobs p > 1 ->
+    (* Each coordinate measures into a private registry; the submitter
+       merges them back in design order, so metric float sums accumulate
+       in exactly the serial order. [Simulator.measure] is deterministic
+       in its arguments, so the runs themselves are bit-identical. *)
+    let results =
+      Par.Pool.map p
+        (fun coord ->
+          let local = Option.map (fun _ -> Obs_metrics.create ()) metrics in
+          (measure ?metrics:local coord, local))
+        coords
+    in
+    List.map
+      (fun (run, local) ->
+        (match (metrics, local) with
+        | Some reg, Some l -> Obs_metrics.merge ~into:reg l
+        | _ -> ());
+        run)
+      results
+  | _ -> List.map (fun coord -> measure ?metrics coord) coords
 
 (** Clean-replay campaign: execute a PIR program at every grid
     configuration through the Plain engine.  Replays are deterministic,

@@ -18,11 +18,14 @@ val configs : design -> Spec.params list
 (** [grid_configs design.grid]. *)
 
 val run_design :
+  ?pool:Par.Pool.t ->
   ?metrics:Obs_metrics.t ->
   Spec.app -> Mpi_sim.Machine.t -> design -> Simulator.run list
 (** Execute the full-factorial design.  [metrics] counts campaigns and
     runs and accumulates the simulated core-hour cost (see
-    {!Simulator.measure}). *)
+    {!Simulator.measure}).  [pool] runs the coordinates on a domain pool;
+    runs and metrics are bit-identical to the serial execution (ordered
+    collection; per-coordinate registries merged in design order). *)
 
 val replay_runs :
   ?config:Interp.Engine.config -> ?world:Mpi_sim.Runtime.world ->

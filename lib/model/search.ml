@@ -28,6 +28,9 @@ type config = {
   metrics : Obs_metrics.t option;
       (** when set, the search counts candidates generated (per term
           class), evaluated, and rejected into this registry *)
+  pool : Par.Pool.t option;
+      (** when set, candidate hypotheses are scored on this domain pool;
+          the selected model is bit-identical to the serial search *)
 }
 
 (* The exact single-parameter search space printed in the paper. *)
@@ -45,6 +48,7 @@ let default_config =
     min_improvement = 0.;
     aggregate = Mean;
     metrics = None;
+    pool = None;
   }
 
 (* The paper notes the sets can be expanded when expectations about the
@@ -93,15 +97,6 @@ let simple_terms config =
 let design_row (h : hypothesis) coords =
   Array.of_list (1. :: List.map (fun factors -> Expr.eval_factors factors coords) h)
 
-let fit_hypothesis (h : hypothesis) points =
-  let design = Array.of_list (List.map (fun (c, _) -> design_row h c) points) in
-  let y = Array.of_list (List.map snd points) in
-  match Linalg.least_squares design y with
-  | None -> None
-  | Some coeffs ->
-    let rss = Linalg.residual_sum_of_squares design y coeffs in
-    Some (coeffs, rss)
-
 let model_of_fit (h : hypothesis) coeffs =
   {
     Expr.const = coeffs.(0);
@@ -109,32 +104,73 @@ let model_of_fit (h : hypothesis) coeffs =
       List.mapi (fun i factors -> { Expr.coeff = coeffs.(i + 1); factors }) h;
   }
 
-(* Leave-one-out cross-validation SMAPE; falls back to the training SMAPE
-   when there are too few points to refit. *)
-let loocv_smape (h : hypothesis) points =
-  let n = List.length points in
+(* -- allocation-light scoring -------------------------------------------- *)
+
+(* Worker-local scratch for {!eval_hypothesis}: the leave-one-out
+   sub-design is an array of pointers into the shared row set plus a
+   sub-observation buffer, both reused across every candidate a worker
+   scores instead of rebuilt per (candidate, left-out point). *)
+type scratch = {
+  mutable sc_rows : float array array;
+  mutable sc_y : float array;
+}
+
+let scratch_for n =
+  let m = max 0 (n - 1) in
+  { sc_rows = Array.make m [||]; sc_y = Array.make m 0. }
+
+(* Score one hypothesis against the shared evaluation context: full fit,
+   RSS, and leave-one-out cross-validated SMAPE (falling back to the
+   training SMAPE when there are too few points to refit).  The floats
+   are bit-identical to the historical per-candidate path that rebuilt
+   the design matrix for every sub-fit: rows are built once and shared
+   between the full fit and every leave-one-out sub-fit (same values,
+   same consumption order), and predictions accumulate in the same
+   (reversed) order fed to [Dataset.smape]. *)
+let eval_hypothesis ~points ~coords ~y scratch (h : hypothesis) =
+  let n = Array.length coords in
   let cols = List.length h + 1 in
-  if n <= cols then
-    match fit_hypothesis h points with
-    | None -> None
-    | Some (coeffs, _) ->
-      let m = model_of_fit h coeffs in
-      Some (Dataset.smape (List.map (fun (c, y) -> (Expr.eval m c, y)) points))
-  else begin
-    let preds = ref [] in
-    let ok = ref true in
-    List.iteri
-      (fun i (c, y) ->
-        if !ok then
-          let rest = List.filteri (fun j _ -> j <> i) points in
-          match fit_hypothesis h rest with
+  let rows = Array.map (fun c -> design_row h c) coords in
+  match Linalg.least_squares rows y with
+  | None -> None
+  | Some coeffs ->
+    let rss = Linalg.residual_sum_of_squares rows y coeffs in
+    let m = model_of_fit h coeffs in
+    let err =
+      if n <= cols then
+        Some (Dataset.smape (List.map (fun (c, yv) -> (Expr.eval m c, yv)) points))
+      else begin
+        if Array.length scratch.sc_rows <> n - 1 then begin
+          scratch.sc_rows <- Array.make (n - 1) [||];
+          scratch.sc_y <- Array.make (n - 1) 0.
+        end;
+        let sub = scratch.sc_rows and suby = scratch.sc_y in
+        let preds = ref [] in
+        let ok = ref true in
+        let i = ref 0 in
+        while !ok && !i < n do
+          let left_out = !i in
+          let k = ref 0 in
+          for j = 0 to n - 1 do
+            if j <> left_out then begin
+              sub.(!k) <- rows.(j);
+              suby.(!k) <- y.(j);
+              incr k
+            end
+          done;
+          (match Linalg.least_squares sub suby with
           | None -> ok := false
-          | Some (coeffs, _) ->
-            let m = model_of_fit h coeffs in
-            preds := (Expr.eval m c, y) :: !preds)
-      points;
-    if !ok then Some (Dataset.smape !preds) else None
-  end
+          | Some sub_coeffs ->
+            let sm = model_of_fit h sub_coeffs in
+            preds := (Expr.eval sm coords.(left_out), y.(left_out)) :: !preds);
+          incr i
+        done;
+        if !ok then Some (Dataset.smape !preds) else None
+      end
+    in
+    (match err with
+    | None -> None
+    | Some err -> Some (m, err, rss, List.length h))
 
 (* Search-cost accounting: resolved once per select_best call; a [None]
    registry costs nothing on the scoring path. *)
@@ -149,8 +185,15 @@ let candidate_counter metrics cls =
 (* Score every hypothesis; return the winner as a [result].  The constant
    model (intercept only) always participates; a parametric hypothesis
    must beat its cross-validated error by [min_improvement] (relative) to
-   be selected — otherwise noise on constant functions gets modeled. *)
-let select_best ?(min_improvement = 0.) ?metrics hypotheses points =
+   be selected — otherwise noise on constant functions gets modeled.
+
+   Scoring each candidate is independent of every other, so with a pool
+   the evaluations fan out over worker domains ([map_init] gives each
+   worker one private scratch); selection stays a serial fold on the
+   submitting domain, in candidate order, replicating the serial
+   accounting and tie-breaking exactly — the chosen model, error and
+   every search.* counter are bit-identical to the serial search. *)
+let select_best ?(min_improvement = 0.) ?metrics ?pool hypotheses points =
   let evaluated =
     Option.map (fun reg -> Obs_metrics.counter reg "search.evaluated") metrics
   in
@@ -164,17 +207,31 @@ let select_best ?(min_improvement = 0.) ?metrics hypotheses points =
       (fun reg -> Obs_metrics.counter reg "search.rejected.threshold")
       metrics
   in
+  let coords = Array.of_list (List.map fst points) in
+  let y = Array.of_list (List.map snd points) in
+  let n = Array.length coords in
+  (* The constant hypothesis [] is scored first to anchor the threshold;
+     it rides at the head of the evaluation batch. *)
+  let scored =
+    match pool with
+    | Some p when Par.Pool.jobs p > 1 ->
+      Par.Pool.map_init p
+        ~init:(fun () -> scratch_for n)
+        (fun scratch h -> eval_hypothesis ~points ~coords ~y scratch h)
+        ([] :: hypotheses)
+    | _ ->
+      let scratch = scratch_for n in
+      List.map (eval_hypothesis ~points ~coords ~y scratch) ([] :: hypotheses)
+  in
   let tried = ref 0 in
-  let consider best (h : hypothesis) =
+  let consider best scored_cand =
     incr tried;
     bump evaluated;
-    match (loocv_smape h points, fit_hypothesis h points) with
-    | Some err, Some (coeffs, rss) ->
-      let cand = (model_of_fit h coeffs, err, rss, List.length h) in
-      (match best with
+    match scored_cand with
+    | Some ((_, cerr, crss, cterms) as cand) -> (
+      match best with
       | None -> Some cand
       | Some (_, berr, brss, bterms) ->
-        let _, cerr, crss, cterms = cand in
         (* Prefer lower CV error; break near-ties toward fewer terms,
            then lower RSS. *)
         if
@@ -184,12 +241,14 @@ let select_best ?(min_improvement = 0.) ?metrics hypotheses points =
                   || (cterms = bterms && crss < brss)))
         then Some cand
         else best)
-    | _ ->
+    | None ->
       bump rej_unfit;
       best
   in
-  (* Score the constant hypothesis first to anchor the threshold. *)
-  let constant = consider None [] in
+  let constant_eval, hyp_evals =
+    match scored with c :: rest -> (c, rest) | [] -> (None, [])
+  in
+  let constant = consider None constant_eval in
   let threshold =
     match constant with
     | Some (_, cerr, _, _) -> cerr *. (1. -. min_improvement)
@@ -197,8 +256,8 @@ let select_best ?(min_improvement = 0.) ?metrics hypotheses points =
   in
   let best =
     List.fold_left
-      (fun best h ->
-        let cand = consider best h in
+      (fun best scored_cand ->
+        let cand = consider best scored_cand in
         match cand with
         | Some (_, err, _, terms) when terms = 0 || err <= threshold +. 1e-12
           ->
@@ -209,7 +268,7 @@ let select_best ?(min_improvement = 0.) ?metrics hypotheses points =
              already. *)
           if cand != best then bump rej_threshold;
           best)
-      constant hypotheses
+      constant hyp_evals
   in
   match best with
   | Some (model, error, rss, _) ->
@@ -229,6 +288,7 @@ let single ?(config = default_config) ?(constraints = unconstrained) ~param
   let points = List.map (fun (x, y) -> ([ (param, x) ], y)) samples in
   let select_best =
     select_best ~min_improvement:config.min_improvement ?metrics:config.metrics
+      ?pool:config.pool
   in
   if not (allowed_param constraints param) then select_best [] points
   else begin
@@ -335,6 +395,7 @@ let multi ?(config = default_config) ?(constraints = unconstrained) data =
   in
   let select_best =
     select_best ~min_improvement:config.min_improvement ?metrics:config.metrics
+      ?pool:config.pool
   in
   match params with
   | [] -> select_best [] points

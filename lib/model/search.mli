@@ -26,6 +26,12 @@ type config = {
           [search.evaluated], [search.rejected.unfit] and
           [search.rejected.threshold] counters into this registry.
           Default [None]: no accounting, no overhead. *)
+  pool : Par.Pool.t option;
+      (** when set, candidate hypotheses are scored on this domain pool
+          (each worker reuses a private scratch design matrix); selection
+          stays a serial fold in candidate order, so the chosen model,
+          error, and every search.* counter are bit-identical to the
+          serial search.  Default [None]: serial scoring. *)
 }
 
 val default_config : config

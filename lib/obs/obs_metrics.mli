@@ -49,6 +49,16 @@ val histogram : t -> ?bounds:float array -> string -> histogram
 
 val observe : histogram -> float -> unit
 
+(** {1 Merging} *)
+
+val merge : into:t -> t -> unit
+(** Fold one registry into another: counters add, written gauges add
+    (accumulating-gauge semantics), histograms add bucket-wise (both
+    sides must use the same bounds). Registries are single-domain —
+    instruments are plain mutable cells — so parallel code gives each
+    task a private registry and the submitting domain merges them back in
+    task order, reproducing the serial float-accumulation order exactly. *)
+
 (** {1 Snapshots} *)
 
 type hist_snapshot = {

@@ -10,18 +10,22 @@ type event = {
   ev_cat : string;
   ev_ph : phase;
   ev_ts_ns : int64;
+  ev_tid : int;
   ev_args : (string * arg) list;
 }
 
 type recorder = {
   t0 : int64;
   max_events : int;
+  mu : Mutex.t;
+      (* spans may be emitted from pool worker domains; every access to
+         the mutable buffer state below goes through this mutex *)
   mutable rev_events : event list;
   mutable count : int;
   mutable dropped : int;
-  mutable skip_depth : int;
-      (* spans whose Begin was dropped at the cap: their End must be
-         dropped too so recorded pairs stay matched *)
+  skip_depth : (int, int ref) Hashtbl.t;
+      (* per-domain-lane depth of spans whose Begin was dropped at the
+         cap: their End must be dropped too so each lane stays matched *)
 }
 
 type sink = Disabled | Recording of recorder
@@ -33,57 +37,79 @@ let create ?(max_events = 1_000_000) () =
     {
       t0 = Obs_clock.now_ns ();
       max_events;
+      mu = Mutex.create ();
       rev_events = [];
       count = 0;
       dropped = 0;
-      skip_depth = 0;
+      skip_depth = Hashtbl.create 4;
     }
 
 let enabled = function Disabled -> false | Recording _ -> true
 
 let now r = Int64.sub (Obs_clock.now_ns ()) r.t0
+let self_tid () = (Domain.self () :> int)
 
 let push r ev =
   r.rev_events <- ev :: r.rev_events;
   r.count <- r.count + 1
 
+let skip_of r tid =
+  match Hashtbl.find_opt r.skip_depth tid with
+  | Some s -> s
+  | None ->
+    let s = ref 0 in
+    Hashtbl.add r.skip_depth tid s;
+    s
+
+let locked r f =
+  Mutex.lock r.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock r.mu) f
+
 let span_begin sink ?(cat = "perf-taint") ?(args = []) name =
   match sink with
   | Disabled -> ()
   | Recording r ->
-    if r.count >= r.max_events then begin
-      r.dropped <- r.dropped + 1;
-      r.skip_depth <- r.skip_depth + 1
-    end
-    else
-      push r
-        { ev_name = name; ev_cat = cat; ev_ph = Begin; ev_ts_ns = now r;
-          ev_args = args }
+    let tid = self_tid () in
+    locked r (fun () ->
+        if r.count >= r.max_events then begin
+          r.dropped <- r.dropped + 1;
+          incr (skip_of r tid)
+        end
+        else
+          push r
+            { ev_name = name; ev_cat = cat; ev_ph = Begin; ev_ts_ns = now r;
+              ev_tid = tid; ev_args = args })
 
 let span_end sink ?(args = []) name =
   match sink with
   | Disabled -> ()
   | Recording r ->
-    if r.skip_depth > 0 then begin
-      r.dropped <- r.dropped + 1;
-      r.skip_depth <- r.skip_depth - 1
-    end
-    else
-      (* Ends of spans whose Begin made it into the buffer are recorded
-         even past the cap, keeping every emitted pair matched. *)
-      push r
-        { ev_name = name; ev_cat = ""; ev_ph = End; ev_ts_ns = now r;
-          ev_args = args }
+    let tid = self_tid () in
+    locked r (fun () ->
+        let skip = skip_of r tid in
+        if !skip > 0 then begin
+          r.dropped <- r.dropped + 1;
+          decr skip
+        end
+        else
+          (* Ends of spans whose Begin made it into the buffer are
+             recorded even past the cap, keeping every emitted pair in
+             this lane matched. *)
+          push r
+            { ev_name = name; ev_cat = ""; ev_ph = End; ev_ts_ns = now r;
+              ev_tid = tid; ev_args = args })
 
 let instant sink ?(cat = "perf-taint") ?(args = []) name =
   match sink with
   | Disabled -> ()
   | Recording r ->
-    if r.count >= r.max_events then r.dropped <- r.dropped + 1
-    else
-      push r
-        { ev_name = name; ev_cat = cat; ev_ph = Instant; ev_ts_ns = now r;
-          ev_args = args }
+    let tid = self_tid () in
+    locked r (fun () ->
+        if r.count >= r.max_events then r.dropped <- r.dropped + 1
+        else
+          push r
+            { ev_name = name; ev_cat = cat; ev_ph = Instant; ev_ts_ns = now r;
+              ev_tid = tid; ev_args = args })
 
 let with_span sink ?cat name f =
   match sink with
@@ -95,23 +121,45 @@ let with_span sink ?cat name f =
 
 let events = function
   | Disabled -> []
-  | Recording r -> List.rev r.rev_events
+  | Recording r -> locked r (fun () -> List.rev r.rev_events)
 
-let dropped_events = function Disabled -> 0 | Recording r -> r.dropped
+let dropped_events = function
+  | Disabled -> 0
+  | Recording r -> locked r (fun () -> r.dropped)
+
+(* Spans nest per emitting domain, not globally: events from concurrent
+   lanes interleave freely in the buffer, so structural checks and span
+   accounting first split the stream into per-tid lanes. *)
+let lanes evs =
+  let order = ref [] in
+  let by_tid : (int, event list ref) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun ev ->
+      match Hashtbl.find_opt by_tid ev.ev_tid with
+      | Some l -> l := ev :: !l
+      | None ->
+        Hashtbl.add by_tid ev.ev_tid (ref [ ev ]);
+        order := ev.ev_tid :: !order)
+    evs;
+  List.rev_map (fun tid -> List.rev !(Hashtbl.find by_tid tid)) !order
+  |> List.rev
 
 let balanced evs =
-  let rec go stack = function
-    | [] -> stack = []
-    | ev :: rest -> (
-      match ev.ev_ph with
-      | Begin -> go (ev.ev_name :: stack) rest
-      | End -> (
-        match stack with
-        | top :: stack' when top = ev.ev_name -> go stack' rest
-        | _ -> false)
-      | Instant -> go stack rest)
+  let lane_balanced evs =
+    let rec go stack = function
+      | [] -> stack = []
+      | ev :: rest -> (
+        match ev.ev_ph with
+        | Begin -> go (ev.ev_name :: stack) rest
+        | End -> (
+          match stack with
+          | top :: stack' when top = ev.ev_name -> go stack' rest
+          | _ -> false)
+        | Instant -> go stack rest)
+    in
+    go [] evs
   in
-  go [] evs
+  List.for_all lane_balanced (lanes evs)
 
 (* -- Chrome trace_event serialization ------------------------------------ *)
 
@@ -147,8 +195,8 @@ let event_repr buf ev =
     match ev.ev_ph with Begin -> "B" | End -> "E" | Instant -> "i"
   in
   Buffer.add_string buf
-    (Printf.sprintf "{\"name\": \"%s\", \"ph\": \"%s\", \"ts\": %.3f, \"pid\": 1, \"tid\": 1"
-       (escape ev.ev_name) ph (ts_us ev.ev_ts_ns));
+    (Printf.sprintf "{\"name\": \"%s\", \"ph\": \"%s\", \"ts\": %.3f, \"pid\": 1, \"tid\": %d"
+       (escape ev.ev_name) ph (ts_us ev.ev_ts_ns) (ev.ev_tid + 1));
   if ev.ev_cat <> "" then
     Buffer.add_string buf (Printf.sprintf ", \"cat\": \"%s\"" (escape ev.ev_cat));
   (* Instant events need a scope; thread scope renders as a tick mark. *)
@@ -211,7 +259,7 @@ let span_totals sink =
         | _ -> go stack rest)
       | Instant -> go stack rest)
   in
-  go [] (events sink);
+  List.iter (go []) (lanes (events sink));
   Hashtbl.fold
     (fun name (n, total) acc ->
       { st_name = name; st_count = n; st_total_s = total } :: acc)

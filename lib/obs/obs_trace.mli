@@ -7,7 +7,13 @@
     into an in-memory buffer with a hard event cap.  When the cap is hit,
     further span begins and instants are dropped (and counted), but ends
     of already-recorded spans are still recorded so the emitted trace
-    always has matched begin/end pairs. *)
+    always has matched begin/end pairs.
+
+    Sinks are safe to record into from multiple domains: the buffer is
+    mutex-guarded and every event is stamped with its emitting domain id
+    ([ev_tid]). Spans nest per domain lane — [balanced] and
+    {!span_totals} match Begin/End pairs within each lane, and the
+    Chrome export maps lanes to ["tid"]s. *)
 
 type arg = Int of int | Float of float | String of string
 (** A typed event argument (the Chrome trace ["args"] payload). *)
@@ -19,6 +25,7 @@ type event = {
   ev_cat : string;
   ev_ph : phase;
   ev_ts_ns : int64;  (** monotonic nanoseconds since the sink was created *)
+  ev_tid : int;  (** emitting domain id; lanes nest independently *)
   ev_args : (string * arg) list;
 }
 
@@ -36,8 +43,9 @@ val enabled : sink -> bool
 
 val span_begin : sink -> ?cat:string -> ?args:(string * arg) list -> string -> unit
 val span_end : sink -> ?args:(string * arg) list -> string -> unit
-(** Spans nest by call order (Chrome's duration-event stack discipline);
-    [span_end]'s name must match the innermost open [span_begin]. *)
+(** Spans nest by call order within the emitting domain (Chrome's
+    duration-event stack discipline); [span_end]'s name must match the
+    innermost open [span_begin] of the same domain. *)
 
 val instant : sink -> ?cat:string -> ?args:(string * arg) list -> string -> unit
 
@@ -52,7 +60,8 @@ val dropped_events : sink -> int
 (** Events discarded because the buffer cap was reached. *)
 
 val balanced : event list -> bool
-(** Are the Begin/End events properly nested and matched by name? *)
+(** Are the Begin/End events properly nested and matched by name, within
+    every per-domain lane? *)
 
 val to_chrome_string : sink -> string
 (** The Chrome trace: [{"traceEvents": [...], ...}] with ["ph"] of

@@ -1,0 +1,200 @@
+(** Deterministic domain pool: fixed workers, chunked queue, ordered
+    collection. See pool.mli for the contract. *)
+
+type task = unit -> unit
+
+type t = {
+  pjobs : int;
+  mu : Mutex.t;
+  cond : Condition.t; (* signalled when the queue grows or closes *)
+  queue : task Queue.t;
+  mutable closed : bool;
+  mutable domains : unit Domain.t list;
+  (* Completion of the in-flight map: the submitter waits here after
+     draining its own share of the queue. *)
+  done_mu : Mutex.t;
+  done_cond : Condition.t;
+  remaining : int Atomic.t;
+  (* Counters, bumped only from the submitting domain so the registry
+     never sees cross-domain writes. *)
+  c_pools : Obs_metrics.counter option;
+  c_maps : Obs_metrics.counter option;
+  c_chunks : Obs_metrics.counter option;
+  c_tasks : Obs_metrics.counter option;
+}
+
+let counters =
+  [
+    ("par.pools", "domain pools created");
+    ("par.maps", "parallel map operations dispatched");
+    ("par.chunks", "work-queue chunks enqueued (grain is scheduling policy)");
+    ("par.tasks", "individual tasks executed through a pool");
+  ]
+
+let worker_loop t () =
+  let rec loop () =
+    Mutex.lock t.mu;
+    while Queue.is_empty t.queue && not t.closed do
+      Condition.wait t.cond t.mu
+    done;
+    let job =
+      if Queue.is_empty t.queue then None else Some (Queue.pop t.queue)
+    in
+    Mutex.unlock t.mu;
+    match job with
+    | None -> () (* closed and drained *)
+    | Some task ->
+      (* Tasks wrap their own exceptions into the result slot; a raise
+         here would only mean a bug in the pool itself, but never let it
+         kill the domain and wedge a join. *)
+      (try task () with _ -> ());
+      loop ()
+  in
+  loop ()
+
+let create ?metrics ~jobs () =
+  let pjobs = max 1 jobs in
+  let c name =
+    Option.map (fun reg -> Obs_metrics.counter reg name) metrics
+  in
+  let t =
+    {
+      pjobs;
+      mu = Mutex.create ();
+      cond = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      domains = [];
+      done_mu = Mutex.create ();
+      done_cond = Condition.create ();
+      remaining = Atomic.make 0;
+      c_pools = c "par.pools";
+      c_maps = c "par.maps";
+      c_chunks = c "par.chunks";
+      c_tasks = c "par.tasks";
+    }
+  in
+  t.domains <- List.init (pjobs - 1) (fun _ -> Domain.spawn (worker_loop t));
+  Option.iter Obs_metrics.incr t.c_pools;
+  t
+
+let jobs t = t.pjobs
+
+let shutdown t =
+  Mutex.lock t.mu;
+  let ds = t.domains in
+  t.closed <- true;
+  t.domains <- [];
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mu;
+  List.iter Domain.join ds
+
+let with_pool ?metrics ~jobs f =
+  let t = create ?metrics ~jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let default_chunk n jobs = max 1 (min 64 (n / (jobs * 4)))
+
+(* One slot per input element; [Error] carries the backtrace so the
+   deterministic re-raise below points at the task, not at the pool. *)
+type 'b slot = ('b, exn * Printexc.raw_backtrace) result option
+
+let map t ?chunk f xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  if n = 0 then []
+  else begin
+    let chunk =
+      match chunk with
+      | Some c -> max 1 c
+      | None -> default_chunk n t.pjobs
+    in
+    let results : _ slot array = Array.make n None in
+    let nchunks = (n + chunk - 1) / chunk in
+    Option.iter Obs_metrics.incr t.c_maps;
+    Option.iter (fun c -> Obs_metrics.add c nchunks) t.c_chunks;
+    Option.iter (fun c -> Obs_metrics.add c n) t.c_tasks;
+    Atomic.set t.remaining nchunks;
+    let run_chunk lo () =
+      let hi = min n (lo + chunk) in
+      for i = lo to hi - 1 do
+        let r =
+          try Ok (f arr.(i))
+          with e -> Error (e, Printexc.get_raw_backtrace ())
+        in
+        results.(i) <- Some r
+      done;
+      (* The fetch-and-add is the release point publishing the slots; the
+         submitter's read of [remaining] acquires them. *)
+      if Atomic.fetch_and_add t.remaining (-1) = 1 then begin
+        Mutex.lock t.done_mu;
+        Condition.broadcast t.done_cond;
+        Mutex.unlock t.done_mu
+      end
+    in
+    let chunks = List.init nchunks (fun k -> run_chunk (k * chunk)) in
+    (match chunks with
+    | [] -> ()
+    | first :: rest ->
+      if t.pjobs > 1 && not t.closed then begin
+        Mutex.lock t.mu;
+        List.iter (fun c -> Queue.push c t.queue) rest;
+        Condition.broadcast t.cond;
+        Mutex.unlock t.mu;
+        (* The submitter works too: its first chunk is the head of the
+           list, then it steals from the shared queue until dry. *)
+        first ();
+        let rec help () =
+          Mutex.lock t.mu;
+          let job =
+            if Queue.is_empty t.queue then None else Some (Queue.pop t.queue)
+          in
+          Mutex.unlock t.mu;
+          match job with
+          | Some task ->
+            task ();
+            help ()
+          | None -> ()
+        in
+        help ();
+        Mutex.lock t.done_mu;
+        while Atomic.get t.remaining > 0 do
+          Condition.wait t.done_cond t.done_mu
+        done;
+        Mutex.unlock t.done_mu
+      end
+      else List.iter (fun c -> c ()) chunks);
+    (* Ordered collection: walk slots in input order; first Error wins,
+       which makes the raised exception independent of scheduling. *)
+    let out = ref [] in
+    let err = ref None in
+    for i = n - 1 downto 0 do
+      match results.(i) with
+      | Some (Ok v) -> out := v :: !out
+      | Some (Error e) -> err := Some e
+      | None -> assert false
+    done;
+    (match !err with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    !out
+  end
+
+let map_init t ?chunk ~init f xs =
+  let states : (int, _) Hashtbl.t = Hashtbl.create 8 in
+  let smu = Mutex.create () in
+  let state_of_self () =
+    let id = (Domain.self () :> int) in
+    Mutex.lock smu;
+    let s =
+      match Hashtbl.find_opt states id with
+      | Some s -> s
+      | None ->
+        let s = init () in
+        Hashtbl.add states id s;
+        s
+    in
+    Mutex.unlock smu;
+    s
+  in
+  map t ?chunk (fun x -> f (state_of_self ()) x) xs

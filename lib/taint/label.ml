@@ -29,13 +29,19 @@ type table = {
 
 let max_labels = 1 lsl 16
 
-let create () =
+(* [hint] is the expected label population (callers pass a program-size
+   proxy): presizing the node array and the union-dedup table here moves
+   the doubling/rehash churn out of the interpretation hot path. Sizing
+   is invisible to semantics — ids are allocated sequentially either
+   way. *)
+let create ?(hint = 0) () =
+  let cap = max 64 (min max_labels hint) in
   {
-    nodes = Array.make 64 (Base "");
+    nodes = Array.make cap (Base "");
     count = 1;
     by_name = Hashtbl.create 16;
-    by_pair = Hashtbl.create 64;
-    memo_sets = Array.make 64 None;
+    by_pair = Hashtbl.create cap;
+    memo_sets = Array.make cap None;
     union_calls = 0;
     dedup_hits = 0;
   }

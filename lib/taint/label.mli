@@ -23,7 +23,11 @@ val max_labels : int
 (** The 2^16 identifier-space bound of the DFSan label encoding;
     {!label_count} never reaches it (label 0 is the empty taint). *)
 
-val create : unit -> table
+val create : ?hint:int -> unit -> table
+(** [hint] presizes the node array and union-dedup table to the expected
+    label population (clamped to [64, max_labels]), avoiding grow/rehash
+    churn on the taint hot path.  Purely a capacity hint: allocation
+    order, ids and stats are identical for any value. *)
 
 val base : table -> string -> t
 (** [base tbl name] interns the base label for parameter [name]. *)

@@ -12,7 +12,9 @@ type t = {
   arrays : (int, Label.t array) Hashtbl.t;
 }
 
-let create () = { arrays = Hashtbl.create 64 }
+(* [hint] presizes the allocation table (expected live allocations);
+   capacity only, no semantic effect. *)
+let create ?(hint = 0) () = { arrays = Hashtbl.create (max 64 (min 65536 hint)) }
 
 (** Register a fresh allocation of [size] cells, all initially untainted. *)
 let on_alloc t ~alloc ~size =

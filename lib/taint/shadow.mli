@@ -5,7 +5,8 @@ type address = { alloc : int; offset : int }
 
 type t
 
-val create : unit -> t
+val create : ?hint:int -> unit -> t
+(** [hint] presizes the per-allocation table; purely a capacity hint. *)
 
 val on_alloc : t -> alloc:int -> size:int -> unit
 (** Register a fresh allocation; all cells start untainted. *)

@@ -18,5 +18,6 @@ let () =
       ("soundness", Suite_soundness.tests);
       ("fuzz", Suite_fuzz.tests);
       ("resilience", Suite_resilience.tests);
+      ("par", Suite_par.tests);
       ("cli", Suite_cli.tests);
     ]

@@ -189,7 +189,7 @@ module Store_count = struct
   type label = unit
   type fstate = unit
 
-  let create ~control_flow_taint:_ =
+  let create ~control_flow_taint:_ ~hint:_ =
     { labels = Taint.Label.create (); stores = 0 }
 
   let table s = s.labels
