@@ -31,7 +31,7 @@ let dep_diff (full : Perf_taint.Pipeline.t) (ablated : Perf_taint.Pipeline.t) =
 
 let control_flow_ablation () =
   Exp_common.note "-- ablation 1: control-flow tainting off --";
-  List.iter
+  List.map
     (fun (name, program, args, world) ->
       let full = analyze program args world in
       let ablated = analyze ~control_flow:false program args world in
@@ -43,7 +43,8 @@ let control_flow_ablation () =
         (fun (fname, params) ->
           Fmt.pr "    %-36s loses {%s}@." fname
             (String.concat "," (SSet.elements params)))
-        missed)
+        missed;
+      (name, List.length missed))
     [ ("lulesh", Apps.Lulesh.program, Apps.Lulesh.taint_args,
        Apps.Lulesh.taint_world);
       ("milc", Apps.Milc.program, Apps.Milc.taint_args, Apps.Milc.taint_world)
@@ -72,11 +73,12 @@ let library_db_ablation () =
     (fun (fname, params) ->
       Fmt.pr "    %-36s loses {%s}@." fname
         (String.concat "," (SSet.elements params)))
-    affected
+    affected;
+  List.length affected
 
 let static_phase_ablation () =
   Exp_common.note "-- ablation 3: static phase off --";
-  List.iter
+  List.map
     (fun (name, t) ->
       let t : Perf_taint.Pipeline.t = Lazy.force t in
       let statically_pruned =
@@ -97,11 +99,34 @@ let static_phase_ablation () =
         "%s: static phase prunes %d functions at zero runtime cost; the \
          dynamic phase alone could only prune the %d of them that the \
          taint run happens to execute"
-        name statically_pruned executed_constant)
+        name statically_pruned executed_constant;
+      (name, statically_pruned, executed_constant))
     [ ("lulesh", Exp_common.lulesh_analysis); ("milc", Exp_common.milc_analysis) ]
 
 let run () =
   Exp_common.section "Ablations: control-flow taint, library database, static phase";
-  control_flow_ablation ();
-  library_db_ablation ();
-  static_phase_ablation ()
+  let cf = control_flow_ablation () in
+  let db_affected = library_db_ablation () in
+  let static = static_phase_ablation () in
+  let module J = Measure.Jsonio in
+  Exp_common.emit_json ~name:"ablation"
+    [
+      ( "control_flow_losses",
+        J.List
+          (List.map
+             (fun (name, n) ->
+               J.Obj [ ("app", J.Str name); ("functions_losing_deps", J.Int n) ])
+             cf) );
+      ("library_db_affected", J.Int db_affected);
+      ( "static_phase",
+        J.List
+          (List.map
+             (fun (name, pruned, executed) ->
+               J.Obj
+                 [
+                   ("app", J.Str name);
+                   ("statically_pruned", J.Int pruned);
+                   ("dynamic_only_prunable", J.Int executed);
+                 ])
+             static) );
+    ]

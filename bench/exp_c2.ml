@@ -67,4 +67,13 @@ let run () =
     across.Model.Search.error small.Model.Search.error
     large.Model.Search.error;
   Exp_common.measured "across-regimes model: %s"
-    (E.to_string across.Model.Search.model)
+    (E.to_string across.Model.Search.model);
+  let module J = Measure.Jsonio in
+  Exp_common.emit_json ~name:"c2"
+    [
+      ("flipping_branches", J.Int (List.length findings));
+      ("across_smape_pct", J.Float across.Model.Search.error);
+      ("small_regime_smape_pct", J.Float small.Model.Search.error);
+      ("large_regime_smape_pct", J.Float large.Model.Search.error);
+      ("across_model", J.Str (E.to_string across.Model.Search.model));
+    ]

@@ -35,19 +35,48 @@ let catalog name (t : Perf_taint.Pipeline.t) app ~selective ~designf
   (* The JSON export of the same catalog (checked, not printed). *)
   let json = Perf_taint.Export.models_json entries in
   let len = String.length (Perf_taint.Export.to_string json) in
-  Exp_common.note "JSON export: %d bytes (Export.models_json)" len
+  Exp_common.note "JSON export: %d bytes (Export.models_json)" len;
+  let smapes =
+    List.map (fun (_, (r : Model.Search.result), _) -> r.Model.Search.error)
+      entries
+  in
+  let mean xs =
+    List.fold_left ( +. ) 0. xs /. float_of_int (max 1 (List.length xs))
+  in
+  (List.length entries, len, mean smapes)
 
 let run () =
   Exp_common.section "Model catalog: every fitted hybrid model";
-  catalog "lulesh"
-    (Lazy.force Exp_common.lulesh_analysis)
-    Apps.Lulesh_spec.app
-    ~selective:(Lazy.force Exp_common.lulesh_selective)
-    ~designf:Exp_common.lulesh_design ~model_params:[ "p"; "size" ] ~aliases:[]
-    ~config:Model.Search.default_config;
-  catalog "milc"
-    (Lazy.force Exp_common.milc_analysis)
-    Apps.Milc_spec.app
-    ~selective:(Lazy.force Exp_common.milc_selective)
-    ~designf:Exp_common.milc_design ~model_params:[ "p"; "size" ]
-    ~aliases:Exp_common.milc_aliases ~config:Model.Search.extended_config
+  let l_funcs, l_bytes, l_smape =
+    catalog "lulesh"
+      (Lazy.force Exp_common.lulesh_analysis)
+      Apps.Lulesh_spec.app
+      ~selective:(Lazy.force Exp_common.lulesh_selective)
+      ~designf:Exp_common.lulesh_design ~model_params:[ "p"; "size" ]
+      ~aliases:[] ~config:Model.Search.default_config
+  in
+  let m_funcs, m_bytes, m_smape =
+    catalog "milc"
+      (Lazy.force Exp_common.milc_analysis)
+      Apps.Milc_spec.app
+      ~selective:(Lazy.force Exp_common.milc_selective)
+      ~designf:Exp_common.milc_design ~model_params:[ "p"; "size" ]
+      ~aliases:Exp_common.milc_aliases ~config:Model.Search.extended_config
+  in
+  let module J = Measure.Jsonio in
+  let app name funcs bytes smape =
+    J.Obj
+      [
+        ("app", J.Str name);
+        ("modeled_functions", J.Int funcs);
+        ("json_bytes", J.Int bytes);
+        ("mean_smape_pct", J.Float smape);
+      ]
+  in
+  Exp_common.emit_json ~name:"catalog"
+    [
+      ( "apps",
+        J.List
+          [ app "lulesh" l_funcs l_bytes l_smape;
+            app "milc" m_funcs m_bytes m_smape ] );
+    ]

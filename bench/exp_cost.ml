@@ -45,4 +45,16 @@ let run () =
   Exp_common.measured
     "taint analysis: one run at a small configuration (%d / %d interpreted \
      instructions) — negligible next to the experiment savings"
-    la.Perf_taint.Pipeline.steps ma.Perf_taint.Pipeline.steps
+    la.Perf_taint.Pipeline.steps ma.Perf_taint.Pipeline.steps;
+  let module J = Measure.Jsonio in
+  Exp_common.emit_json ~name:"cost"
+    [
+      ("lulesh_full_core_hours", J.Float lulesh_full);
+      ("lulesh_selective_core_hours", J.Float lulesh_sel);
+      ("lulesh_reduction_pct", J.Float (reduction lulesh_full lulesh_sel));
+      ("milc_full_core_hours", J.Float milc_full);
+      ("milc_selective_core_hours", J.Float milc_sel);
+      ("milc_reduction_pct", J.Float (reduction milc_full milc_sel));
+      ("lulesh_taint_steps", J.Int la.Perf_taint.Pipeline.steps);
+      ("milc_taint_steps", J.Int ma.Perf_taint.Pipeline.steps);
+    ]

@@ -67,5 +67,12 @@ let run () =
   Fmt.pr "    @[<v>%a@]@." Perf_taint.Design.pp_plan plan;
   Exp_common.measured
     "the paper's study narrows further to the 2 broadest parameters \
-     (p, size): 25 runs"
-  
+     (p, size): 25 runs";
+  let module J = Measure.Jsonio in
+  Exp_common.emit_json ~name:"deps"
+    [
+      ("iters_direct_functions", J.List (List.map (fun f -> J.Str f) direct));
+      ("iters_direct_loops", J.Int iters_loops);
+      ("multiplicative_with_iters", J.Int (List.length mult_with_iters));
+      ("additive_only_functions", J.Int (List.length additive_report));
+    ]

@@ -98,4 +98,14 @@ let run () =
   Exp_common.measured
     "default filter misses %d of %d performance-relevant functions: %s"
     (List.length missed) (List.length relevant)
-    (String.concat ", " missed)
+    (String.concat ", " missed);
+  let module J = Measure.Jsonio in
+  Exp_common.emit_json ~name:"fig3"
+    [
+      ("full_max_slowdown", J.Float (List.fold_left Float.max 1. full));
+      ("full_geomean_slowdown", J.Float (Exp_common.geomean full));
+      ("default_geomean_slowdown", J.Float (Exp_common.geomean dflt));
+      ("selective_geomean_slowdown", J.Float (Exp_common.geomean sel));
+      ("default_missed_relevant", J.Int (List.length missed));
+      ("relevant_functions", J.Int (List.length relevant));
+    ]

@@ -20,4 +20,11 @@ let run () =
   Exp_common.measured
     "geometric mean overheads — selective: %.1f%%, full: %.1f%%, default: \
      %.1f%%"
-    (pct sel) (pct full) (pct dflt)
+    (pct sel) (pct full) (pct dflt);
+  let module J = Measure.Jsonio in
+  Exp_common.emit_json ~name:"fig4"
+    [
+      ("selective_geomean_overhead_pct", J.Float (pct sel));
+      ("full_geomean_overhead_pct", J.Float (pct full));
+      ("default_geomean_overhead_pct", J.Float (pct dflt));
+    ]

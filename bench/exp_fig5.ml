@@ -60,4 +60,14 @@ let run () =
       Fmt.pr "    %-36s %s@." f.cf_func (E.to_string f.cf_model))
     (List.filteri (fun i _ -> i < 6) findings);
   if List.length findings > 6 then
-    Fmt.pr "    ... and %d more@." (List.length findings - 6)
+    Fmt.pr "    ... and %d more@." (List.length findings - 6);
+  let module J = Measure.Jsonio in
+  Exp_common.emit_json ~name:"fig5"
+    [
+      ("time_at_r2_s", J.Float (at 2.));
+      ("time_at_r18_s", J.Float (at 18.));
+      ("growth_pct", J.Float (100. *. (at 18. -. at 2.) /. at 2.));
+      ("total_model", J.Str (E.to_string total_fit.Model.Search.model));
+      ("contention_findings", J.Int (List.length findings));
+      ("measured_functions", J.Int (List.length datasets));
+    ]

@@ -52,4 +52,17 @@ let run () =
     "measured CalcQForElems per-call time: %.3g s (full) vs %.3g s \
      (selective): %.0fx inflation"
     (mean_per_call full_runs) (mean_per_call sel_runs)
-    (mean_per_call full_runs /. mean_per_call sel_runs)
+    (mean_per_call full_runs /. mean_per_call sel_runs);
+  let module J = Measure.Jsonio in
+  Exp_common.emit_json ~name:"intrusion"
+    [
+      ("full_model", J.Str (E.to_string full_fit.Model.Search.model));
+      ("selective_model", J.Str (E.to_string sel_fit.Model.Search.model));
+      ("full_interaction", J.Bool (interaction full_fit.Model.Search.model));
+      ( "selective_interaction",
+        J.Bool (interaction sel_fit.Model.Search.model) );
+      ("full_per_call_s", J.Float (mean_per_call full_runs));
+      ("selective_per_call_s", J.Float (mean_per_call sel_runs));
+      ( "inflation_factor",
+        J.Float (mean_per_call full_runs /. mean_per_call sel_runs) );
+    ]

@@ -101,6 +101,23 @@ let run () =
   | None ->
     Exp_common.measured
       "no crossover below p=4096 at n=1e6 (SpMV stays dominant)");
+  let module J = Measure.Jsonio in
+  Exp_common.emit_json ~name:"minicg"
+    [
+      ( "spmv_deps",
+        J.List
+          (List.map
+             (fun p -> J.Str p)
+             (Ir.Cfg.SSet.elements (Perf_taint.Deps.params t.deps "spmv"))) );
+      ( "spmv_n_nnz_multiplicative",
+        J.Bool (Perf_taint.Deps.multiplicative_ok t.deps "spmv" "n" "nnz") );
+      ( "maxit_global_factor",
+        J.Bool (Perf_taint.Design.is_global_factor t "maxit") );
+      ("spmv_model", J.Str (E.to_string spmv));
+      ("dot_model", J.Str (E.to_string dot));
+      ( "crossover_p",
+        match crossover with Some p -> J.Float p | None -> J.Null );
+    ];
   (* Ground truth: spmv per call = 1.2e-9 * 27 * n/p; dot per call =
      4e-10 * n/p + 2 * lat * log2 p.  Crossover where they meet. *)
   Exp_common.note

@@ -19,17 +19,12 @@ module J = Measure.Jsonio
 let machine = Mpi_sim.Machine.skylake_cluster
 let jobs_axis = [ 1; 2; 4; 8 ]
 
-let time f =
-  let t0 = Obs_clock.now_ns () in
-  let r = f () in
-  (r, Obs_clock.seconds_since t0)
-
 (* Best-of-N: the minimum over repetitions is the robust estimator
    against scheduler noise (same policy as the micro benchmarks). *)
 let best_of n f =
   let r = ref None and best = ref infinity in
   for _ = 1 to n do
-    let v, dt = time f in
+    let v, dt = Obs_clock.with_timer f in
     if dt < !best then best := dt;
     r := Some v
   done;

@@ -121,4 +121,18 @@ let run () =
           "%s mpi_comm_rank: black-box = %s, tainted = %s (truth: constant)"
           name (E.to_string v.v_black) (E.to_string v.v_tainted)
       | None -> ())
-    [ ("lulesh", lv); ("milc", mv) ]
+    [ ("lulesh", lv); ("milc", mv) ];
+  let module J = Measure.Jsonio in
+  let app name verdicts =
+    let sound, black_ok, tainted_ok = summarize verdicts in
+    J.Obj
+      [
+        ("app", J.Str name);
+        ("functions", J.Int (List.length verdicts));
+        ("sound", J.Int (List.length sound));
+        ("black_box_correct", J.Int black_ok);
+        ("tainted_correct", J.Int tainted_ok);
+      ]
+  in
+  Exp_common.emit_json ~name:"quality"
+    [ ("apps", J.List [ app "lulesh" lv; app "milc" mv ]) ]

@@ -55,6 +55,23 @@ let run () =
         (100. *. e.e_share_measured)
         (100. *. e.e_share_projected))
     bugs;
+  let module J = Measure.Jsonio in
+  Exp_common.emit_json ~name:"scaling"
+    [
+      ("modeled_functions", J.Int (List.length models));
+      ("scalability_bugs", J.Int (List.length bugs));
+      ( "bugs",
+        J.List
+          (List.map
+             (fun (e : Perf_taint.Scaling.entry) ->
+               J.Obj
+                 [
+                   ("func", J.Str e.e_func);
+                   ("share_measured", J.Float e.e_share_measured);
+                   ("share_projected", J.Float e.e_share_projected);
+                 ])
+             bugs) );
+    ];
   (* Model-quality statistics for the top kernels. *)
   Exp_common.note "model quality of the top kernels (stats module):";
   List.iter

@@ -40,4 +40,39 @@ let run () =
     Ir.Cfg.SSet.elements (Perf_taint.Pipeline.observed_params milc)
   in
   Exp_common.measured "MILC parameters detected: %s"
-    (String.concat ", " observed)
+    (String.concat ", " observed);
+  let module J = Measure.Jsonio in
+  let coverage_json t ~params ~combined =
+    let rows =
+      List.map
+        (fun (r : Perf_taint.Report.coverage_row) ->
+          J.Obj
+            [
+              ("param", J.Str r.cov_param);
+              ("functions", J.Int r.cov_functions);
+              ("loops", J.Int r.cov_loops);
+            ])
+        (Perf_taint.Report.coverage t ~params)
+    in
+    let f, l = Perf_taint.Report.combined_coverage t ~params:combined in
+    J.Obj
+      [
+        ("rows", J.List rows);
+        ("combined_functions", J.Int f);
+        ("combined_loops", J.Int l);
+      ]
+  in
+  Exp_common.emit_json ~name:"table3"
+    [
+      ( "lulesh",
+        coverage_json lulesh
+          ~params:[ "p"; "size"; "regions"; "iters"; "balance"; "cost" ]
+          ~combined:[ "p"; "size" ] );
+      ( "milc",
+        coverage_json milc
+          ~params:
+            [ "p"; "nx"; "ny"; "nz"; "nt"; "trajecs"; "warms"; "steps";
+              "niter"; "mass"; "beta"; "nflavors"; "u0" ]
+          ~combined:[ "p"; "nx"; "ny"; "nz"; "nt" ] );
+      ("milc_params_detected", J.List (List.map (fun p -> J.Str p) observed));
+    ]

@@ -30,14 +30,31 @@ let experiments =
   ]
 
 let usage () =
-  Fmt.pr "usage: bench/main.exe [experiment]@.@.experiments:@.";
+  Fmt.pr "usage: bench/main.exe [experiment | --check-baseline [DIR]]@.@.experiments:@.";
   List.iter (fun (name, doc, _) -> Fmt.pr "  %-10s %s@." name doc) experiments;
-  Fmt.pr "  %-10s %s@." "all" "run everything (default)"
+  Fmt.pr "  %-10s %s@." "all" "run everything (default)";
+  Fmt.pr "  %-10s %s@." "--check-baseline"
+    "compare BENCH_*.json in the cwd against committed baselines \
+     (default dir: bench/baselines); nonzero exit on regression"
+
+(* The regression gate: every baseline BENCH_*.json under [dir] must
+   match the same-named result file in the cwd within its tolerance.
+   Run the corresponding experiments first to produce the actuals. *)
+let check_baseline dir =
+  match Measure.Bench_report.check_dir ~dir ~actual_dir:"." () with
+  | Error msg ->
+    Fmt.epr "check-baseline: %s@." msg;
+    exit 2
+  | Ok checks ->
+    Fmt.pr "%a@." Measure.Bench_report.pp_checks checks;
+    if not (Measure.Bench_report.passed checks) then exit 1
 
 let () =
   match Sys.argv with
   | [| _ |] | [| _; "all" |] ->
     List.iter (fun (_, _, run) -> run ()) experiments
+  | [| _; "--check-baseline" |] -> check_baseline "bench/baselines"
+  | [| _; "--check-baseline"; dir |] -> check_baseline dir
   | [| _; name |] -> (
     match List.find_opt (fun (n, _, _) -> n = name) experiments with
     | Some (_, _, run) -> run ()

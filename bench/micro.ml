@@ -107,11 +107,7 @@ let tests =
    and alternating the two variants makes both sample the same noise
    environment so the ratio survives load drift. *)
 let best_of_pair n f g =
-  let time h =
-    let t0 = Obs_clock.now_ns () in
-    h ();
-    Obs_clock.seconds_since t0
-  in
+  let time h = snd (Obs_clock.with_timer h) in
   let bf = ref infinity and bg = ref infinity in
   for _ = 1 to n do
     let dt = time f in
@@ -241,7 +237,19 @@ let resilience () =
     (t_faulty /. t_faultfree);
   Fmt.pr
     "  simulated waste: %.1f core-hours burned, %.1f core-hours of backoff@."
-    report.Camp.cp_wasted_core_hours report.Camp.cp_backoff_core_hours
+    report.Camp.cp_wasted_core_hours report.Camp.cp_backoff_core_hours;
+  Exp_common.emit_json ~name:"resilience"
+    [
+      ("run_design_s", J.Float t_design);
+      ("clean_campaign_s", J.Float t_clean);
+      ("executor_overhead_pct", J.Float ((t_clean /. t_design -. 1.) *. 100.));
+      ("faulty_wall_ratio", J.Float (t_faulty /. t_faultfree));
+      ("attempts", J.Int report.Camp.cp_attempts);
+      ("completed_runs", J.Int (List.length report.Camp.cp_runs));
+      ("retries", J.Int report.Camp.cp_retries);
+      ("wasted_core_hours", J.Float report.Camp.cp_wasted_core_hours);
+      ("backoff_core_hours", J.Float report.Camp.cp_backoff_core_hours);
+    ]
 
 let benchmark () =
   let ols =
@@ -258,12 +266,25 @@ let benchmark () =
 let run () =
   Exp_common.section "microbenchmarks (bechamel)";
   let results = benchmark () in
+  let rows = ref [] in
   Hashtbl.iter
     (fun name result ->
       match Analyze.OLS.estimates result with
-      | Some [ est ] -> Fmt.pr "  %-32s %12.1f ns/run@." name est
+      | Some [ est ] ->
+        Fmt.pr "  %-32s %12.1f ns/run@." name est;
+        rows := (name, est) :: !rows
       | Some ests ->
         Fmt.pr "  %-32s %a@." name Fmt.(list ~sep:comma float) ests
       | None -> Fmt.pr "  %-32s (no estimate)@." name)
     results;
+  (* Hashtbl order is unspecified: sort by name so the JSON is stable. *)
+  Exp_common.emit_json ~name:"micro"
+    [
+      ( "benchmarks",
+        J.List
+          (List.map
+             (fun (name, est) ->
+               J.Obj [ ("name", J.Str name); ("ns_per_run", J.Float est) ])
+             (List.sort compare !rows)) );
+    ];
   policy_speedup ()

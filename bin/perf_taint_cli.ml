@@ -190,16 +190,16 @@ let error_guard f =
 
 (* Run the pipeline over a target; when [trace] names a file, record the
    full span/instant stream and dump it as Chrome trace JSON. *)
-let analyze_target ?config ?metrics ?trace t =
+let analyze_target ?config ?metrics ?trace ?profile t =
   match trace with
   | None ->
-    Perf_taint.Pipeline.analyze ?config ?metrics ~world:t.world t.program
-      ~args:t.args
+    Perf_taint.Pipeline.analyze ?config ?metrics ?profile ~world:t.world
+      t.program ~args:t.args
   | Some path ->
     let sink = Obs_trace.create () in
     let a =
-      Perf_taint.Pipeline.analyze ?config ?metrics ~trace:sink ~world:t.world
-        t.program ~args:t.args
+      Perf_taint.Pipeline.analyze ?config ?metrics ?profile ~trace:sink
+        ~world:t.world t.program ~args:t.args
     in
     (try Obs_trace.write_file sink path
      with Sys_error msg ->
@@ -209,6 +209,33 @@ let analyze_target ?config ?metrics ?trace t =
       (List.length (Obs_trace.events sink))
       path;
     a
+
+let events_arg =
+  let doc =
+    "Write a structured JSON-lines event log to $(docv): campaign waves, \
+     retries, faults, checkpoints and resumes; model-search best-so-far \
+     improvements and selections; fuzz oracle summaries and \
+     counterexamples.  Events carry sequence numbers instead of \
+     timestamps, so the log is byte-identical across runs and across \
+     $(b,--jobs) counts (parallel campaigns add their campaign.wave \
+     dispatch events)."
+  in
+  Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE" ~doc)
+
+(* Open the event sink only when --events was given; the [disabled] sink
+   keeps every emitter a single-match no-op, so the flag's absence is
+   exactly the old code path. *)
+let with_events path f =
+  match path with
+  | None -> f Obs_events.disabled
+  | Some p ->
+    let sink = Obs_events.to_file ~ts:false p in
+    Fun.protect
+      ~finally:(fun () -> Obs_events.close sink)
+      (fun () ->
+        let r = f sink in
+        Fmt.epr "events: %d written to %s@." (Obs_events.count sink) p;
+        r)
 
 (* -- commands ---------------------------------------------------------------- *)
 
@@ -375,9 +402,10 @@ let func_arg =
   Arg.(value & opt (some string) None & info [ "func" ] ~doc)
 
 let model_cmd =
-  let run name ranks params mode func trace max_steps jobs =
+  let run name ranks params mode func events trace max_steps jobs =
     error_guard @@ fun () ->
     with_jobs jobs @@ fun pool ->
+    with_events events @@ fun events ->
     let t = resolve name ranks params in
     let spec =
       match t.spec with
@@ -411,7 +439,7 @@ let model_cmd =
         if name = "milc" then Model.Search.extended_config
         else Model.Search.default_config
       in
-      { c with Model.Search.pool }
+      { c with Model.Search.pool; events }
     in
     let fit fname =
       let data =
@@ -445,32 +473,82 @@ let model_cmd =
     Term.(
       ret
         (const run $ app_arg $ ranks_arg $ param_arg $ mode_arg $ func_arg
-        $ trace_arg $ max_steps_arg $ jobs_arg))
+        $ events_arg $ trace_arg $ max_steps_arg $ jobs_arg))
 
 let profile_cmd =
-  let run name ranks params trace max_steps =
-    error_guard @@ fun () ->
-    let t = resolve name ranks params in
-    let a = analyze_target ?config:(config_of max_steps) ?trace t in
-    let rows =
-      Interp.Observations.func_list a.Perf_taint.Pipeline.obs
-      |> List.sort (fun x y ->
-             compare y.Interp.Observations.fo_instrs
-               x.Interp.Observations.fo_instrs)
+  let interval_arg =
+    let doc =
+      "Steps per profiler sample.  The sampler is driven by the executed \
+       instruction count, not a clock, so the profile is bit-identical \
+       across runs, machines and $(b,--jobs) counts."
     in
-    Fmt.pr "%-36s %10s %12s %10s@." "function" "calls" "instructions" "work";
-    List.iter
-      (fun (fo : Interp.Observations.func_obs) ->
-        Fmt.pr "%-36s %10d %12d %10d@." fo.fo_func fo.fo_calls fo.fo_instrs
-          fo.fo_work)
-      rows;
-    Fmt.pr "@.total interpreted instructions: %d@." a.steps
+    Arg.(
+      value
+      & opt int Obs_profile.default_interval
+      & info [ "interval" ] ~docv:"N" ~doc)
   in
-  let doc = "Per-function statistics of the tainted run (the analysis cost)." in
+  let top_arg =
+    let doc = "Rows in the sampling-profile table." in
+    Arg.(value & opt int 20 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  let flame_arg =
+    let doc =
+      "Write collapsed call stacks (one 'main;solve;spmv 42' line per \
+       sampled path) to $(docv) — loadable by flamegraph.pl, inferno or \
+       speedscope."
+    in
+    Arg.(value & opt (some string) None & info [ "flame" ] ~docv:"FILE" ~doc)
+  in
+  let run name ranks params interval top flame json trace max_steps jobs =
+    error_guard @@ fun () ->
+    (* The tainted run is inherently serial; --jobs is accepted so that
+       scripted invocations can pass one jobs count everywhere, and the
+       output is trivially identical at any value. *)
+    with_jobs jobs @@ fun _pool ->
+    let t = resolve name ranks params in
+    let prof = Obs_profile.create ~interval () in
+    let a =
+      analyze_target ?config:(config_of max_steps) ?trace ~profile:prof t
+    in
+    let snap = Obs_profile.snapshot prof in
+    (match flame with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Obs_profile.folded_of_snapshot snap);
+      close_out oc;
+      Fmt.epr "flamegraph: %d call paths written to %s@."
+        (List.length snap.Obs_profile.ps_paths)
+        path);
+    if json then print_string (Obs_profile.to_json prof)
+    else begin
+      let rows =
+        Interp.Observations.func_list a.Perf_taint.Pipeline.obs
+        |> List.sort (fun x y ->
+               compare y.Interp.Observations.fo_instrs
+                 x.Interp.Observations.fo_instrs)
+      in
+      Fmt.pr "%-36s %10s %12s %10s@." "function" "calls" "instructions" "work";
+      List.iter
+        (fun (fo : Interp.Observations.func_obs) ->
+          Fmt.pr "%-36s %10d %12d %10d@." fo.fo_func fo.fo_calls fo.fo_instrs
+            fo.fo_work)
+        rows;
+      Fmt.pr "@.total interpreted instructions: %d@.@." a.steps;
+      Fmt.pr "%a" (Obs_profile.pp_table ~top) snap
+    end
+  in
+  let doc =
+    "Profile the tainted run: exact per-function statistics plus a \
+     deterministic sampling profile (every $(b,--interval) executed \
+     steps) with top-N table, JSON and collapsed-stacks flamegraph \
+     export."
+  in
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(
-      ret (const run $ app_arg $ ranks_arg $ param_arg $ trace_arg
-          $ max_steps_arg))
+      ret
+        (const run $ app_arg $ ranks_arg $ param_arg $ interval_arg $ top_arg
+        $ flame_arg $ json_arg $ trace_arg $ max_steps_arg $ jobs_arg))
 
 let stats_cmd =
   let run name ranks params json trace max_steps =
@@ -692,7 +770,7 @@ let campaign_cmd =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
   in
   let run name ranks params faults retries backoff journal resume max_runs
-      dump reps sigma seed trace max_steps jobs =
+      dump reps sigma seed events trace max_steps jobs =
     error_guard @@ fun () ->
     let t = resolve name ranks params in
     let spec =
@@ -736,14 +814,15 @@ let campaign_cmd =
       match trace with None -> None | Some _ -> Some (Obs_trace.create ())
     in
     with_jobs ~metrics jobs @@ fun pool ->
+    with_events events @@ fun events ->
     let report =
       match journal with
       | Some j ->
-        Measure.Campaign.run_journaled ?pool ~metrics ?trace:sink ~plan ~retry
-          ?hang_budget:max_steps ?limit:max_runs ~journal:j ~resume spec
-          Mpi_sim.Machine.skylake_cluster design
+        Measure.Campaign.run_journaled ?pool ~metrics ?trace:sink ~events
+          ~plan ~retry ?hang_budget:max_steps ?limit:max_runs ~journal:j
+          ~resume spec Mpi_sim.Machine.skylake_cluster design
       | None ->
-        Measure.Campaign.run ?pool ~metrics ?trace:sink ~plan ~retry
+        Measure.Campaign.run ?pool ~metrics ?trace:sink ~events ~plan ~retry
           ?hang_budget:max_steps ?limit:max_runs spec
           Mpi_sim.Machine.skylake_cluster design
     in
@@ -808,7 +887,7 @@ let campaign_cmd =
       ret
         (const run $ app_arg $ ranks_arg $ param_arg $ faults_arg
         $ retries_arg $ backoff_arg $ journal_arg $ resume_arg $ max_runs_arg
-        $ dump_arg $ reps_arg $ sigma_arg $ seed_arg $ trace_arg
+        $ dump_arg $ reps_arg $ sigma_arg $ seed_arg $ events_arg $ trace_arg
         $ max_steps_arg $ jobs_arg))
 
 let fuzz_cmd =
@@ -833,7 +912,7 @@ let fuzz_cmd =
     in
     Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc)
   in
-  let run seed budget corpus files max_steps jobs =
+  let run seed budget corpus files events max_steps jobs =
     error_guard @@ fun () ->
     match files with
     | _ :: _ ->
@@ -853,8 +932,9 @@ let fuzz_cmd =
       if !failed > 0 then exit 1
     | [] ->
       with_jobs jobs @@ fun pool ->
+      with_events events @@ fun events ->
       let report =
-        Fuzz.Driver.run_campaign ?pool ?max_steps ~seed ~budget ()
+        Fuzz.Driver.run_campaign ?pool ?max_steps ~events ~seed ~budget ()
       in
       Fmt.pr "fuzz campaign: seed %d, budget %d@." seed budget;
       List.iter
@@ -889,13 +969,63 @@ let fuzz_cmd =
     Term.(
       ret
         (const run $ seed_arg $ budget_arg $ corpus_arg $ replay_arg
-        $ max_steps_arg $ jobs_arg))
+        $ events_arg $ max_steps_arg $ jobs_arg))
+
+let report_cmd =
+  let bench_files_arg =
+    let doc = "BENCH_<exp>.json result files (from the bench runner)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"BENCH" ~doc)
+  in
+  let baselines_arg =
+    let doc =
+      "Directory of committed baseline BENCH_*.json files; same-named \
+       results gain baseline and delta columns."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "baselines" ] ~docv:"DIR" ~doc)
+  in
+  let journal_report_arg =
+    let doc = "Campaign checkpoint journal to summarize." in
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+  in
+  let stats_arg =
+    let doc = "A $(b,stats --json) snapshot to include." in
+    Arg.(value & opt (some string) None & info [ "stats" ] ~docv:"FILE" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the markdown report to $(docv) instead of stdout." in
+    Arg.(
+      value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let run files baselines journal stats out =
+    error_guard @@ fun () ->
+    let md =
+      Measure.Bench_report.report ?baselines_dir:baselines ?journal ?stats
+        ~bench_files:files ()
+    in
+    match out with
+    | None -> print_string md
+    | Some path ->
+      let oc = open_out path in
+      output_string oc md;
+      close_out oc;
+      Fmt.epr "report written to %s@." path
+  in
+  let doc =
+    "Merge bench results, a campaign journal and a metrics snapshot into \
+     one markdown report, with deltas against committed baselines."
+  in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(
+      ret
+        (const run $ bench_files_arg $ baselines_arg $ journal_report_arg
+        $ stats_arg $ out_arg))
 
 let main_cmd =
   let doc = "tainted performance modeling (Perf-Taint reproduction)" in
   Cmd.group (Cmd.info "perf-taint" ~version:"1.0.0" ~doc)
     [ analyze_cmd; select_cmd; coverage_cmd; volume_cmd; print_cmd; model_cmd;
       campaign_cmd; profile_cmd; stats_cmd; contention_cmd; design_cmd;
-      validate_cmd; fuzz_cmd ]
+      validate_cmd; fuzz_cmd; report_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

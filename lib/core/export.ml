@@ -214,6 +214,9 @@ let hist_snapshot_json (hs : Obs_metrics.hist_snapshot) =
       ("count", Int hs.Obs_metrics.hs_count);
       ("sum", Float hs.Obs_metrics.hs_sum);
       ("min", Float hs.Obs_metrics.hs_min);
+      ("p50", Float (Obs_metrics.quantile hs 0.50));
+      ("p95", Float (Obs_metrics.quantile hs 0.95));
+      ("p99", Float (Obs_metrics.quantile hs 0.99));
       ("max", Float hs.Obs_metrics.hs_max);
     ]
 

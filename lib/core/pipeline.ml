@@ -56,39 +56,41 @@ let phase_total = "pipeline.phase.total_s"
     registry still captures phase durations and label-table statistics
     (three clock reads and a handful of counters — negligible next to the
     run itself).  [trace] records pipeline-phase spans, per-call function
-    spans and loop-entry instants. *)
+    spans and loop-entry instants.  [profile] attaches a deterministic
+    sampling profiler to the tainted run. *)
 let analyze ?(config = Interp.Machine.default_config)
     ?(world = Mpi_sim.Runtime.default_world) ?metrics
-    ?(trace = Obs_trace.disabled) program ~args =
+    ?(trace = Obs_trace.disabled) ?profile program ~args =
   let reg = match metrics with Some m -> m | None -> Obs_metrics.create () in
   let timed gauge_name span_name f =
-    let g = Obs_metrics.gauge reg gauge_name in
-    let t0 = Obs_clock.now_ns () in
-    let r = Obs_trace.with_span trace ~cat:"pipeline" span_name f in
-    Obs_metrics.set_gauge g (Obs_clock.seconds_since t0);
-    r
+    let record = Obs_metrics.set_gauge (Obs_metrics.gauge reg gauge_name) in
+    Obs_clock.timed record (fun () ->
+        Obs_trace.with_span trace ~cat:"pipeline" span_name f)
   in
-  let t0 = Obs_clock.now_ns () in
-  let static =
-    timed phase_static "pipeline.static" (fun () ->
-        Ir.Validate.check_exn program;
-        Static_an.Classify.classify program
-          ~relevant_prim:Mpi_sim.Costdb.relevant_prim)
+  let total_record =
+    Obs_metrics.set_gauge (Obs_metrics.gauge reg phase_total)
   in
-  let m = Interp.Machine.create ~config ?metrics ~trace program in
-  let entry = Ir.Types.find_func program program.Ir.Types.entry in
-  timed phase_taint_run "pipeline.taint_run" (fun () ->
-      Mpi_sim.Runtime.install world m;
-      ignore (Interp.Machine.run m args));
-  let obs = Interp.Machine.observations m in
-  let labels = Interp.Machine.label_table m in
-  let deps, mpi_params =
-    timed phase_post "pipeline.post" (fun () ->
-        (Deps.of_observations labels obs, Deps.routine_params labels obs))
+  let static, m, entry, obs, labels, deps, mpi_params =
+    Obs_clock.timed total_record (fun () ->
+        let static =
+          timed phase_static "pipeline.static" (fun () ->
+              Ir.Validate.check_exn program;
+              Static_an.Classify.classify program
+                ~relevant_prim:Mpi_sim.Costdb.relevant_prim)
+        in
+        let m = Interp.Machine.create ~config ?metrics ~trace ?profile program in
+        let entry = Ir.Types.find_func program program.Ir.Types.entry in
+        timed phase_taint_run "pipeline.taint_run" (fun () ->
+            Mpi_sim.Runtime.install world m;
+            ignore (Interp.Machine.run m args));
+        let obs = Interp.Machine.observations m in
+        let labels = Interp.Machine.label_table m in
+        let deps, mpi_params =
+          timed phase_post "pipeline.post" (fun () ->
+              (Deps.of_observations labels obs, Deps.routine_params labels obs))
+        in
+        (static, m, entry, obs, labels, deps, mpi_params))
   in
-  Obs_metrics.set_gauge
-    (Obs_metrics.gauge reg phase_total)
-    (Obs_clock.seconds_since t0);
   let lstats = Taint.Label.table_stats labels in
   Obs_metrics.add (Obs_metrics.counter reg "taint.labels") lstats.Taint.Label.labels;
   Obs_metrics.add (Obs_metrics.counter reg "taint.unions") lstats.Taint.Label.unions;
@@ -98,6 +100,23 @@ let analyze ?(config = Interp.Machine.default_config)
   Obs_metrics.add
     (Obs_metrics.counter reg "interp.steps")
     (Interp.Machine.steps_executed m);
+  (* Per-function instruction-count distribution: the quantile view of
+     where the tainted run spent its steps.  Fed in function-name order
+     so the float sum accumulates identically across runs. *)
+  let func_hist =
+    Obs_metrics.histogram reg
+      ~bounds:[| 1e1; 1e2; 1e3; 1e4; 1e5; 1e6; 1e7 |]
+      "interp.func_instrs"
+  in
+  List.iter
+    (fun (fo : Interp.Observations.func_obs) ->
+      if fo.Interp.Observations.fo_calls > 0 then
+        Obs_metrics.observe func_hist
+          (float_of_int fo.Interp.Observations.fo_instrs))
+    (List.sort
+       (fun a b ->
+         compare a.Interp.Observations.fo_func b.Interp.Observations.fo_func)
+       (Interp.Observations.func_list obs));
   {
     program;
     static;

@@ -36,14 +36,17 @@ val analyze :
   ?world:Mpi_sim.Runtime.world ->
   ?metrics:Obs_metrics.t ->
   ?trace:Obs_trace.sink ->
+  ?profile:Obs_profile.t ->
   Ir.Types.program ->
   args:Ir.Types.value list ->
   t
 (** Validate, statically classify, then run the tainted execution.  The
     three phases (static analysis, tainted run, post-processing) are
     individually timed; [metrics] additionally enables per-instruction
-    accounting in the interpreter and [trace] records phase/function
-    spans and loop-entry instants.
+    accounting in the interpreter, [trace] records phase/function
+    spans and loop-entry instants, and [profile] samples the tainted
+    run's call stack every [interval] executed steps (deterministic:
+    driven by the step count, never wall time).
     @raise Ir.Types.Ir_error on malformed programs
     @raise Interp.Machine.Runtime_error on dynamic errors. *)
 

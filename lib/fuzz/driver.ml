@@ -56,7 +56,19 @@ let oracle_set oracles max_steps =
   | None, Some n -> Oracle.all_with ~max_steps:n
   | None, None -> Oracle.all
 
-let run_campaign ?pool ?oracles ?max_steps ~seed ~budget () =
+let oneline s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+(* The fuzz.* event vocabulary; doc/OBSERVABILITY.md lists exactly these
+   (a drift test compares). *)
+let event_names =
+  [
+    ("fuzz.oracle", "one oracle's campaign summary: runs checked, verdict");
+    ("fuzz.counterexample", "a minimized counterexample for one oracle");
+  ]
+
+let run_campaign ?pool ?oracles ?max_steps
+    ?(events = Obs_events.disabled) ~seed ~budget () =
   let oracles = oracle_set oracles max_steps in
   let st = Random.State.make [| seed |] in
   let slots =
@@ -134,20 +146,46 @@ let run_campaign ?pool ?oracles ?max_steps ~seed ~budget () =
           end)
         slots
     done);
-  {
-    rp_seed = seed;
-    rp_budget = budget;
-    rp_results =
-      List.map
-        (fun (o, runs, cx) ->
-          { or_name = o.Oracle.name; or_runs = !runs; or_cx = !cx })
-        slots;
-  }
+  let report =
+    {
+      rp_seed = seed;
+      rp_budget = budget;
+      rp_results =
+        List.map
+          (fun (o, runs, cx) ->
+            { or_name = o.Oracle.name; or_runs = !runs; or_cx = !cx })
+          slots;
+    }
+  in
+  (* Events are derived from the finished report on the calling domain,
+     in oracle order — deterministic, and identical at any [--jobs]. *)
+  if Obs_events.enabled events then
+    List.iter
+      (fun r ->
+        Obs_events.emit events ~component:"fuzz"
+          ~fields:
+            [
+              ("oracle", Obs_events.Str r.or_name);
+              ("runs", Obs_events.Int r.or_runs);
+              ("failed", Obs_events.Bool (r.or_cx <> None));
+            ]
+          "fuzz.oracle";
+        match r.or_cx with
+        | None -> ()
+        | Some cx ->
+          Obs_events.emit events ~severity:Obs_events.Error ~component:"fuzz"
+            ~fields:
+              [
+                ("oracle", Obs_events.Str cx.cx_oracle);
+                ("index", Obs_events.Int cx.cx_index);
+                ("lines", Obs_events.Int cx.cx_lines);
+                ("message", Obs_events.Str (oneline cx.cx_message));
+              ]
+            "fuzz.counterexample")
+      report.rp_results;
+  report
 
 let counterexamples r = List.filter_map (fun o -> o.or_cx) r.rp_results
-
-let oneline s =
-  String.map (function '\n' | '\r' -> ' ' | c -> c) s
 
 let save ~dir ~seed cx =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;

@@ -17,9 +17,13 @@ type oracle_result = {
 
 type report = { rp_seed : int; rp_budget : int; rp_results : oracle_result list }
 
+val event_names : (string * string) list
+(** The [fuzz.*] structured-event vocabulary (name, meaning) — kept in
+    sync with doc/OBSERVABILITY.md by a drift test. *)
+
 val run_campaign :
-  ?pool:Par.Pool.t -> ?oracles:Oracle.t list -> ?max_steps:int -> seed:int ->
-  budget:int -> unit -> report
+  ?pool:Par.Pool.t -> ?oracles:Oracle.t list -> ?max_steps:int ->
+  ?events:Obs_events.sink -> seed:int -> budget:int -> unit -> report
 (** Generate [budget] programs from [seed] and check each against every
     oracle.  An oracle stops checking after its first failure, which is
     shrunk with {!Shrink.minimize} before being reported.  Generation
@@ -32,7 +36,11 @@ val run_campaign :
     PRNG pass (identical corpus), checks fan out in waves, and slot
     updates replay in case order on the submitting domain — verdicts,
     first-failure indices, shrunk counterexamples and [or_runs] are
-    bit-identical to the serial campaign. *)
+    bit-identical to the serial campaign.
+
+    [events] receives one [fuzz.oracle] summary per oracle plus a
+    [fuzz.counterexample] (error severity) per failure, derived from the
+    finished report in oracle order — identical at any [--jobs]. *)
 
 val counterexamples : report -> counterexample list
 

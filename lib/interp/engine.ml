@@ -164,7 +164,7 @@ module type S = sig
 
   val create :
     ?config:config -> ?metrics:Obs_metrics.t -> ?trace:Obs_trace.sink ->
-    Ir.Types.program -> t
+    ?profile:Obs_profile.t -> Ir.Types.program -> t
 
   val run : t -> Ir.Types.value list -> Ir.Types.value * Taint.Label.t
 
@@ -250,6 +250,9 @@ module Make (P : POLICY) : S with type pstate = P.state = struct
     mutable call_depth : int;
     im : icounters option;     (** instruction metrics, when enabled *)
     trace : Obs_trace.sink;    (** span/instant sink, [disabled] by default *)
+    prof : Obs_profile.t option;
+        (** deterministic sampling profiler, off by default; driven by the
+            executed-step count, never wall time *)
   }
 
   and prim_fn = t -> frame -> (value * Label.t) list -> value * Label.t
@@ -418,6 +421,7 @@ module Make (P : POLICY) : S with type pstate = P.state = struct
 
   let step t =
     t.steps <- t.steps + 1;
+    (match t.prof with None -> () | Some p -> Obs_profile.tick p);
     if t.steps > t.config.max_steps then
       raise (Budget_exceeded t.config.max_steps)
 
@@ -549,7 +553,7 @@ module Make (P : POLICY) : S with type pstate = P.state = struct
       | None ->
         { blk = entry_block f; bloop = None; bexits = []; bheaders = [] }
     in
-    let result =
+    let body () =
       if Obs_trace.enabled t.trace then begin
         Obs_trace.span_begin t.trace ~cat:"interp" fname;
         Fun.protect
@@ -557,6 +561,13 @@ module Make (P : POLICY) : S with type pstate = P.state = struct
           (fun () -> exec_from t frame entry ~prev:None)
       end
       else exec_from t frame entry ~prev:None
+    in
+    let result =
+      match t.prof with
+      | None -> body ()
+      | Some p ->
+        Obs_profile.enter p fname;
+        Fun.protect ~finally:(fun () -> Obs_profile.leave p) body
     in
     t.call_depth <- t.call_depth - 1;
     (* Recycle the register table (dropped on the exception path, where
@@ -707,7 +718,7 @@ module Make (P : POLICY) : S with type pstate = P.state = struct
   (* -- entry points -------------------------------------------------------- *)
 
   let create ?(config = default_config) ?metrics ?(trace = Obs_trace.disabled)
-      program =
+      ?profile program =
     (* Static instruction count: the capacity hint policies use to
        presize label/shadow tables (see POLICY.create). *)
     let hint =
@@ -741,6 +752,7 @@ module Make (P : POLICY) : S with type pstate = P.state = struct
       call_depth = 0;
       im = Option.map icounters_of metrics;
       trace;
+      prof = profile;
     }
 
   (** Run the program's entry function with the given positional arguments

@@ -152,7 +152,11 @@ module type S = sig
 
   val create :
     ?config:config -> ?metrics:Obs_metrics.t -> ?trace:Obs_trace.sink ->
-    Ir.Types.program -> t
+    ?profile:Obs_profile.t -> Ir.Types.program -> t
+  (** [profile] attaches a deterministic sampling profiler: every
+      [interval] executed steps the current call stack is credited with
+      one sample.  Sampling is driven by the step count, never wall
+      time, so profiles are bit-identical across runs. *)
 
   val run : t -> Ir.Types.value list -> Ir.Types.value * Taint.Label.t
   (** Execute the entry function with positional arguments.

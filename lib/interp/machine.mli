@@ -43,14 +43,16 @@ val create :
   ?config:config ->
   ?metrics:Obs_metrics.t ->
   ?trace:Obs_trace.sink ->
+  ?profile:Obs_profile.t ->
   Ir.Types.program ->
   t
 (** [metrics] enables per-instruction accounting (opcode classes,
     memory/shadow traffic, branches, loop entries) into the given
     registry; [trace] records a function-call span per invocation and a
-    loop-entry instant event per dynamic loop entry.  Both default to
-    off, in which case the interpreter's hot path is unchanged: one
-    field test per instruction, no allocation. *)
+    loop-entry instant event per dynamic loop entry; [profile] attaches
+    a deterministic sampling profiler driven by the executed-step count.
+    All default to off, in which case the interpreter's hot path is
+    unchanged: one field test per instruction, no allocation. *)
 
 val register_prim : t -> string -> prim_fn -> unit
 (** Install or replace a primitive.  [taint:<name>], [work] and [print]

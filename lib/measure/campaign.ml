@@ -83,6 +83,17 @@ let counters =
     ("campaign.faults.corrupt", "runs kept with corrupted outlier durations");
   ]
 
+(* The campaign.* event vocabulary (structured JSON-lines stream);
+   doc/OBSERVABILITY.md lists exactly these (a drift test compares). *)
+let event_names =
+  [
+    ("campaign.record", "a run coordinate finished: params, rep, attempts, outcome");
+    ("campaign.fault", "an injected fault hit one attempt of a coordinate");
+    ("campaign.resume", "a coordinate was restored from the checkpoint journal");
+    ("campaign.wave", "a wave of fresh coordinates was dispatched to the pool");
+    ("campaign.checkpoint", "a finished record was flushed to the journal");
+  ]
+
 (* -- executor -------------------------------------------------------------- *)
 
 let coordinates design =
@@ -164,19 +175,55 @@ let execute_coordinate ?metrics ~trace ~inst ~plan ~retry ~hang_budget app
         [ ("rep", Obs_trace.Int rep); ("attempt", Obs_trace.Int n) ]
       else []
     in
-    Obs_trace.span_begin trace ~cat:"campaign" ~args:span_args
-      "campaign.attempt";
-    let finish_span () = Obs_trace.span_end trace "campaign.attempt" in
-    let active_kind =
-      Option.bind fault (fun f -> Fault.active f ~attempt:n)
+    (* The attempt body runs inside one span; the retry recursion stays
+       outside it so the trace shows one span per attempt. *)
+    let result =
+      Obs_trace.with_span trace ~cat:"campaign" ~args:span_args
+        "campaign.attempt" (fun () ->
+          let active_kind =
+            Option.bind fault (fun f -> Fault.active f ~attempt:n)
+          in
+          match active_kind with
+          | Some Fault.Crash ->
+            (* The run died partway through: on average half the wall
+               time is burned before the node goes down. *)
+            `Failed (Fault.Crash, 0.5 *. Lazy.force probe_total)
+          | Some Fault.Hang -> (
+            (* The run never terminates; the harness's per-run step budget
+               expires and kills it.  The kill is the engine's budget trap —
+               raised here, caught by the same handler that would catch a
+               genuine runaway replay. *)
+            try raise (Interp.Machine.Budget_exceeded hang_budget)
+            with Interp.Machine.Budget_exceeded _ ->
+              `Failed (Fault.Hang, retry.rt_hang_timeout_s))
+          | (Some (Fault.Straggler _ | Fault.Corrupt _) | None) as k ->
+            (* The run completes (possibly with inflated durations):
+               measure with the exact arguments run_design uses, so the
+               fault-free path is bit-identical to the plain experiment. *)
+            let run =
+              Simulator.measure ~sigma:design.Experiment.sigma
+                ~seed:design.Experiment.seed ~rep ?metrics app machine ~params
+                ~mode:design.Experiment.mode
+            in
+            let run =
+              match k with
+              | Some (Fault.Straggler f as kind) | Some (Fault.Corrupt f as kind)
+                ->
+                bump_fault inst kind;
+                faults := Fault.kind_name kind :: !faults;
+                scale_run f run
+              | _ -> run
+            in
+            `Completed run)
     in
-    let failed kind waste =
+    match result with
+    | `Completed run -> Completed run
+    | `Failed (kind, waste) ->
       (* A failed attempt: record the fault, charge the waste, and either
          back off and retry or abandon the coordinate. *)
       bump_fault inst kind;
       faults := Fault.kind_name kind :: !faults;
       wasted := !wasted +. waste;
-      finish_span ();
       if n + 1 < retry.rt_max_attempts then begin
         bump inst (fun i -> i.i_retries);
         backoff :=
@@ -188,39 +235,6 @@ let execute_coordinate ?metrics ~trace ~inst ~plan ~retry ~hang_budget app
         bump inst (fun i -> i.i_abandoned);
         Abandoned (Fault.kind_name kind)
       end
-    in
-    match active_kind with
-    | Some Fault.Crash ->
-      (* The run died partway through: on average half the wall time is
-         burned before the node goes down. *)
-      failed Fault.Crash (0.5 *. Lazy.force probe_total)
-    | Some Fault.Hang -> (
-      (* The run never terminates; the harness's per-run step budget
-         expires and kills it.  The kill is the engine's budget trap —
-         raised here, caught by the same handler that would catch a
-         genuine runaway replay. *)
-      try raise (Interp.Machine.Budget_exceeded hang_budget)
-      with Interp.Machine.Budget_exceeded _ ->
-        failed Fault.Hang retry.rt_hang_timeout_s)
-    | (Some (Fault.Straggler _ | Fault.Corrupt _) | None) as k ->
-      (* The run completes (possibly with inflated durations): measure
-         with the exact arguments run_design uses, so the fault-free
-         path is bit-identical to the plain experiment. *)
-      let run =
-        Simulator.measure ~sigma:design.Experiment.sigma
-          ~seed:design.Experiment.seed ~rep ?metrics app machine ~params
-          ~mode:design.Experiment.mode
-      in
-      let run =
-        match k with
-        | Some (Fault.Straggler f as kind) | Some (Fault.Corrupt f as kind) ->
-          bump_fault inst kind;
-          faults := Fault.kind_name kind :: !faults;
-          scale_run f run
-        | _ -> run
-      in
-      finish_span ();
-      Completed run
   in
   let outcome = attempt 0 in
   {
@@ -289,7 +303,55 @@ let bump_from_record inst r =
     | Abandoned _ -> Obs_metrics.incr i.i_abandoned
     | Completed _ -> ())
 
-let run ?pool ?metrics ?(trace = Obs_trace.disabled) ?(plan = Fault.none)
+(* Events, like instrument bumps, are a function of the finished record:
+   both the serial and the parallel path emit them from the submitting
+   domain in design order, so the stream is deterministic and identical
+   across the two paths (apart from the parallel-only wave events). *)
+let params_str params =
+  String.concat ";"
+    (List.map (fun (n, v) -> Printf.sprintf "%s=%g" n v) params)
+
+let emit_record_events events r =
+  if Obs_events.enabled events then begin
+    List.iteri
+      (fun i kind ->
+        Obs_events.emit events ~severity:Obs_events.Warn ~component:"campaign"
+          ~fields:
+            [
+              ("params", Obs_events.Str (params_str r.rc_params));
+              ("rep", Obs_events.Int r.rc_rep);
+              ("attempt", Obs_events.Int i);
+              ("kind", Obs_events.Str kind);
+            ]
+          "campaign.fault")
+      r.rc_faults;
+    Obs_events.emit events ~component:"campaign"
+      ~fields:
+        [
+          ("params", Obs_events.Str (params_str r.rc_params));
+          ("rep", Obs_events.Int r.rc_rep);
+          ("attempts", Obs_events.Int r.rc_attempts);
+          ( "outcome",
+            Obs_events.Str
+              (match r.rc_outcome with
+              | Completed _ -> "completed"
+              | Abandoned reason -> "abandoned:" ^ reason) );
+        ]
+      "campaign.record"
+  end
+
+let emit_resume_event events r =
+  if Obs_events.enabled events then
+    Obs_events.emit events ~component:"campaign"
+      ~fields:
+        [
+          ("params", Obs_events.Str (params_str r.rc_params));
+          ("rep", Obs_events.Int r.rc_rep);
+        ]
+      "campaign.resume"
+
+let run ?pool ?metrics ?(trace = Obs_trace.disabled)
+    ?(events = Obs_events.disabled) ?(plan = Fault.none)
     ?(retry = default_retry) ?(hang_budget = 1_000_000)
     ?(done_ : record list = []) ?limit ?on_record app machine design =
   if retry.rt_max_attempts < 1 then
@@ -339,16 +401,19 @@ let run ?pool ?metrics ?(trace = Obs_trace.disabled) ?(plan = Fault.none)
       | `Restored r ->
         incr resumed;
         bump inst (fun i -> i.i_resumed);
+        emit_resume_event events r;
         records := r :: !records
       | `Done (r, local) ->
         (match (metrics, local) with
         | Some reg, Some l -> Obs_metrics.merge ~into:reg l
         | _ -> ());
         bump_from_record inst r;
+        emit_record_events events r;
         (match on_record with None -> () | Some f -> f r);
         records := r :: !records
     in
     let wave_size = Par.Pool.jobs p * 4 in
+    let wave_idx = ref 0 in
     let rec process = function
       | [] -> ()
       | pending ->
@@ -370,6 +435,17 @@ let run ?pool ?metrics ?(trace = Obs_trace.disabled) ?(plan = Fault.none)
             (function `Fresh c -> Some c | `Restored _ -> None)
             wave
         in
+        if Obs_events.enabled events && fresh <> [] then begin
+          Obs_events.emit events ~severity:Obs_events.Debug
+            ~component:"campaign"
+            ~fields:
+              [
+                ("wave", Obs_events.Int !wave_idx);
+                ("fresh", Obs_events.Int (List.length fresh));
+              ]
+            "campaign.wave";
+          incr wave_idx
+        end;
         let done_q =
           Queue.of_seq
             (List.to_seq
@@ -403,6 +479,7 @@ let run ?pool ?metrics ?(trace = Obs_trace.disabled) ?(plan = Fault.none)
            | Some r ->
              incr resumed;
              bump inst (fun i -> i.i_resumed);
+             emit_resume_event events r;
              records := r :: !records
            | None ->
              if (match limit with Some l -> !executed >= l | None -> false)
@@ -415,6 +492,7 @@ let run ?pool ?metrics ?(trace = Obs_trace.disabled) ?(plan = Fault.none)
                execute_coordinate ?metrics ~trace ~inst ~plan ~retry
                  ~hang_budget app machine design ~params ~rep
              in
+             emit_record_events events r;
              (match on_record with None -> () | Some f -> f r);
              records := r :: !records)
          (coordinates design)
@@ -656,8 +734,8 @@ let load_journal ~mode ~expected_header path =
       in
       go [] body
 
-let run_journaled ?pool ?metrics ?trace ?plan ?retry ?hang_budget ?limit
-    ~journal ~resume app machine design =
+let run_journaled ?pool ?metrics ?trace ?(events = Obs_events.disabled) ?plan
+    ?retry ?hang_budget ?limit ~journal ~resume app machine design =
   let plan_v = Option.value ~default:Fault.none plan in
   let retry_v = Option.value ~default:default_retry retry in
   let header =
@@ -686,13 +764,23 @@ let run_journaled ?pool ?metrics ?trace ?plan ?retry ?hang_budget ?limit
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      run ?pool ?metrics ?trace ?plan ?retry ?hang_budget ~done_:existing ?limit
+      run ?pool ?metrics ?trace ~events ?plan ?retry ?hang_budget
+        ~done_:existing ?limit
         ~on_record:(fun r ->
           output_string oc (record_to_line r);
           output_char oc '\n';
           (* Flush per record: the journal must survive a kill at any
              point with only the in-flight coordinate lost. *)
-          flush oc)
+          flush oc;
+          if Obs_events.enabled events then
+            Obs_events.emit events ~severity:Obs_events.Debug
+              ~component:"campaign"
+              ~fields:
+                [
+                  ("params", Obs_events.Str (params_str r.rc_params));
+                  ("rep", Obs_events.Int r.rc_rep);
+                ]
+              "campaign.checkpoint")
         app machine design)
 
 (* -- report rendering ------------------------------------------------------ *)

@@ -50,6 +50,10 @@ val counters : (string * string) list
 (** The [campaign.*] counter vocabulary (name, meaning) — kept in sync
     with doc/OBSERVABILITY.md by a drift test. *)
 
+val event_names : (string * string) list
+(** The [campaign.*] structured-event vocabulary (name, meaning) — kept
+    in sync with doc/OBSERVABILITY.md by a drift test. *)
+
 val coordinates : Experiment.design -> (Spec.params * int) list
 (** The design's run coordinates in execution order (configurations in
     grid order, repetitions innermost) — {!Experiment.run_design}'s
@@ -59,6 +63,7 @@ val run :
   ?pool:Par.Pool.t ->
   ?metrics:Obs_metrics.t ->
   ?trace:Obs_trace.sink ->
+  ?events:Obs_events.sink ->
   ?plan:Fault.plan ->
   ?retry:retry ->
   ?hang_budget:int ->
@@ -73,6 +78,12 @@ val run :
     coordinate finishes (journal writers hook here).  Hung runs are
     killed via [Interp.Machine.Budget_exceeded hang_budget], raised and
     caught inside the retry loop.
+
+    [events] receives the structured {!event_names} stream.  Record,
+    fault and resume events are derived from each finished record and
+    emitted on the submitting domain in design order, so the stream is
+    deterministic; the serial and parallel paths differ only in the
+    parallel-only [campaign.wave] events.
 
     [pool] executes coordinates on a domain pool in waves.  Records,
     journals and metric registries are bit-identical to serial: results
@@ -110,6 +121,7 @@ val run_journaled :
   ?pool:Par.Pool.t ->
   ?metrics:Obs_metrics.t ->
   ?trace:Obs_trace.sink ->
+  ?events:Obs_events.sink ->
   ?plan:Fault.plan ->
   ?retry:retry ->
   ?hang_budget:int ->
@@ -120,7 +132,9 @@ val run_journaled :
     journal exists with a matching header, finished coordinates are
     restored and new records appended; otherwise the journal is
     (re)created.  Each record is flushed as it completes, so a killed
-    campaign loses at most the in-flight coordinate.
+    campaign loses at most the in-flight coordinate.  [events]
+    additionally carries a [campaign.checkpoint] event per flushed
+    record.
     @raise Failure when resuming from an unreadable or mismatched
     journal. *)
 

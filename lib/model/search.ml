@@ -31,6 +31,9 @@ type config = {
   pool : Par.Pool.t option;
       (** when set, candidate hypotheses are scored on this domain pool;
           the selected model is bit-identical to the serial search *)
+  events : Obs_events.sink;
+      (** structured event stream: best-so-far improvements and the
+          final selection; [Obs_events.disabled] by default *)
 }
 
 (* The exact single-parameter search space printed in the paper. *)
@@ -49,6 +52,7 @@ let default_config =
     aggregate = Mean;
     metrics = None;
     pool = None;
+    events = Obs_events.disabled;
   }
 
 (* The paper notes the sets can be expanded when expectations about the
@@ -182,6 +186,14 @@ let candidate_counter metrics cls =
     (fun reg -> Obs_metrics.counter reg ("search.candidates." ^ cls))
     metrics
 
+(* The search.* event vocabulary; doc/OBSERVABILITY.md lists exactly
+   these (a drift test compares). *)
+let event_names =
+  [
+    ("search.best", "a candidate hypothesis improved on the best so far");
+    ("search.selected", "the search finished and selected its model");
+  ]
+
 (* Score every hypothesis; return the winner as a [result].  The constant
    model (intercept only) always participates; a parametric hypothesis
    must beat its cross-validated error by [min_improvement] (relative) to
@@ -193,7 +205,16 @@ let candidate_counter metrics cls =
    submitting domain, in candidate order, replicating the serial
    accounting and tie-breaking exactly — the chosen model, error and
    every search.* counter are bit-identical to the serial search. *)
-let select_best ?(min_improvement = 0.) ?metrics ?pool hypotheses points =
+let select_best ?(min_improvement = 0.) ?metrics ?pool
+    ?(events = Obs_events.disabled) hypotheses points =
+  let record_select_s =
+    match
+      Option.map (fun reg -> Obs_metrics.gauge reg "search.select_s") metrics
+    with
+    | None -> fun _ -> ()
+    | Some g -> Obs_metrics.add_gauge g
+  in
+  Obs_clock.timed record_select_s @@ fun () ->
   let evaluated =
     Option.map (fun reg -> Obs_metrics.counter reg "search.evaluated") metrics
   in
@@ -224,6 +245,20 @@ let select_best ?(min_improvement = 0.) ?metrics ?pool hypotheses points =
       List.map (eval_hypothesis ~points ~coords ~y scratch) ([] :: hypotheses)
   in
   let tried = ref 0 in
+  (* Best-so-far improvements are reported from the serial selection fold
+     on the submitting domain, so the event stream is deterministic and
+     identical with or without a pool. *)
+  let emit_best (_, err, _, terms) =
+    if Obs_events.enabled events then
+      Obs_events.emit events ~severity:Obs_events.Debug ~component:"search"
+        ~fields:
+          [
+            ("error", Obs_events.Float err);
+            ("terms", Obs_events.Int terms);
+            ("tried", Obs_events.Int !tried);
+          ]
+        "search.best"
+  in
   let consider best scored_cand =
     incr tried;
     bump evaluated;
@@ -249,6 +284,7 @@ let select_best ?(min_improvement = 0.) ?metrics ?pool hypotheses points =
     match scored with c :: rest -> (c, rest) | [] -> (None, [])
   in
   let constant = consider None constant_eval in
+  (match constant with Some c -> emit_best c | None -> ());
   let threshold =
     match constant with
     | Some (_, cerr, _, _) -> cerr *. (1. -. min_improvement)
@@ -259,8 +295,9 @@ let select_best ?(min_improvement = 0.) ?metrics ?pool hypotheses points =
       (fun best scored_cand ->
         let cand = consider best scored_cand in
         match cand with
-        | Some (_, err, _, terms) when terms = 0 || err <= threshold +. 1e-12
-          ->
+        | Some ((_, err, _, terms) as c)
+          when terms = 0 || err <= threshold +. 1e-12 ->
+          if cand != best then emit_best c;
           cand
         | _ ->
           (* Only a *new* candidate reaching this branch was beaten by
@@ -270,12 +307,25 @@ let select_best ?(min_improvement = 0.) ?metrics ?pool hypotheses points =
           best)
       constant hyp_evals
   in
-  match best with
-  | Some (model, error, rss, _) ->
-    { model; error; rss; hypotheses_tried = !tried }
-  | None ->
-    (* Degenerate data (e.g. no points): report a constant zero model. *)
-    { model = Expr.constant 0.; error = 0.; rss = 0.; hypotheses_tried = !tried }
+  let result =
+    match best with
+    | Some (model, error, rss, _) ->
+      { model; error; rss; hypotheses_tried = !tried }
+    | None ->
+      (* Degenerate data (e.g. no points): report a constant zero model. *)
+      { model = Expr.constant 0.; error = 0.; rss = 0.;
+        hypotheses_tried = !tried }
+  in
+  if Obs_events.enabled events then
+    Obs_events.emit events ~component:"search"
+      ~fields:
+        [
+          ("error", Obs_events.Float result.error);
+          ("terms", Obs_events.Int (List.length result.model.Expr.terms));
+          ("tried", Obs_events.Int result.hypotheses_tried);
+        ]
+      "search.selected";
+  result
 
 (* -- single-parameter search --------------------------------------------- *)
 
@@ -288,7 +338,7 @@ let single ?(config = default_config) ?(constraints = unconstrained) ~param
   let points = List.map (fun (x, y) -> ([ (param, x) ], y)) samples in
   let select_best =
     select_best ~min_improvement:config.min_improvement ?metrics:config.metrics
-      ?pool:config.pool
+      ?pool:config.pool ~events:config.events
   in
   if not (allowed_param constraints param) then select_best [] points
   else begin
@@ -395,7 +445,7 @@ let multi ?(config = default_config) ?(constraints = unconstrained) data =
   in
   let select_best =
     select_best ~min_improvement:config.min_improvement ?metrics:config.metrics
-      ?pool:config.pool
+      ?pool:config.pool ~events:config.events
   in
   match params with
   | [] -> select_best [] points

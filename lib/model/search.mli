@@ -32,6 +32,12 @@ type config = {
           stays a serial fold in candidate order, so the chosen model,
           error, and every search.* counter are bit-identical to the
           serial search.  Default [None]: serial scoring. *)
+  events : Obs_events.sink;
+      (** structured {!event_names} stream — best-so-far improvements
+          ([search.best], debug) and the final selection
+          ([search.selected]).  Emitted from the serial selection fold,
+          so the stream is identical with or without a pool.  Default
+          [Obs_events.disabled]. *)
 }
 
 val default_config : config
@@ -40,6 +46,10 @@ val default_config : config
 val extended_config : config
 (** [default_config] plus negative polynomial exponents, for
     strong-scaling metrics that shrink with a parameter. *)
+
+val event_names : (string * string) list
+(** The [search.*] structured-event vocabulary (name, meaning) — kept in
+    sync with doc/OBSERVABILITY.md by a drift test. *)
 
 type constraints = {
   allowed : string list option;

@@ -6,3 +6,14 @@ let now_ns () = Monotonic_clock.now ()
 
 let seconds_since t0 =
   Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) *. 1e-9
+
+let with_timer f =
+  let t0 = now_ns () in
+  let r = f () in
+  (r, seconds_since t0)
+
+let timed record f =
+  let t0 = now_ns () in
+  let r = f () in
+  record (seconds_since t0);
+  r

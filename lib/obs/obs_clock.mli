@@ -7,3 +7,12 @@ val now_ns : unit -> int64
 
 val seconds_since : int64 -> float
 (** Elapsed seconds between an earlier {!now_ns} reading and now. *)
+
+val with_timer : (unit -> 'a) -> 'a * float
+(** Run the thunk and return its result with the elapsed seconds — the
+    one idiom behind every hand-rolled [now_ns]/[seconds_since] pair. *)
+
+val timed : (float -> unit) -> (unit -> 'a) -> 'a
+(** [timed record f] runs [f] and passes its elapsed seconds to
+    [record] (typically a gauge write).  [record] is not called when
+    [f] raises. *)

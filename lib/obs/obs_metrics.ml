@@ -190,6 +190,36 @@ let snapshot t =
 
 let empty_snapshot = { counters = []; gauges = []; histograms = [] }
 
+(* Monotone linear interpolation within buckets.  The q-th value is
+   located by cumulative count; within its bucket the value interpolates
+   linearly between the bucket's edges, with the first bucket's lower
+   edge anchored at the observed minimum and the overflow bucket's upper
+   edge at the observed maximum.  The result is clamped to
+   [hs_min, hs_max], so quantiles can never leave the observed range. *)
+let quantile hs q =
+  if hs.hs_count = 0 then Float.nan
+  else if q <= 0. then hs.hs_min
+  else if q >= 1. then hs.hs_max
+  else begin
+    let target = q *. float_of_int hs.hs_count in
+    let interp lower upper n cum =
+      let lo = Float.max lower hs.hs_min in
+      let hi = Float.min upper hs.hs_max in
+      lo +. ((target -. cum) /. float_of_int n *. (hi -. lo))
+    in
+    let rec walk lower cum = function
+      | [] ->
+        if hs.hs_overflow = 0 then hs.hs_max
+        else interp lower hs.hs_max hs.hs_overflow cum
+      | (bound, n) :: rest ->
+        if n > 0 && cum +. float_of_int n >= target then
+          interp lower bound n cum
+        else walk bound (cum +. float_of_int n) rest
+    in
+    let v = walk Float.neg_infinity 0. hs.hs_buckets in
+    Float.min hs.hs_max (Float.max hs.hs_min v)
+  end
+
 let find_counter s name = List.assoc_opt name s.counters
 let find_gauge s name = List.assoc_opt name s.gauges
 
@@ -210,6 +240,9 @@ let pp_summary ppf s =
     (fun (n, hs) ->
       if hs.hs_count = 0 then pf ppf "  %-40s (empty)@." n
       else
-        pf ppf "  %-40s n=%d sum=%.6g min=%.3g max=%.3g@." n hs.hs_count
-          hs.hs_sum hs.hs_min hs.hs_max)
+        pf ppf
+          "  %-40s n=%d sum=%.6g min=%.3g p50=%.3g p95=%.3g p99=%.3g \
+           max=%.3g@."
+          n hs.hs_count hs.hs_sum hs.hs_min (quantile hs 0.50)
+          (quantile hs 0.95) (quantile hs 0.99) hs.hs_max)
     s.histograms

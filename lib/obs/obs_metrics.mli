@@ -81,6 +81,14 @@ val snapshot : t -> snapshot
 
 val empty_snapshot : snapshot
 
+val quantile : hist_snapshot -> float -> float
+(** [quantile hs q] estimates the [q]-th quantile (0 to 1) by monotone
+    linear interpolation within the bucket holding the q-th observation:
+    the first bucket's lower edge is the observed minimum, the overflow
+    bucket's upper edge the observed maximum, and the result is clamped
+    to [[hs_min, hs_max]].  Returns [nan] on an empty histogram;
+    [q <= 0] gives the minimum, [q >= 1] the maximum. *)
+
 val find_counter : snapshot -> string -> int option
 val find_gauge : snapshot -> string -> float option
 

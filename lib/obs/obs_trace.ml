@@ -111,11 +111,11 @@ let instant sink ?(cat = "perf-taint") ?(args = []) name =
             { ev_name = name; ev_cat = cat; ev_ph = Instant; ev_ts_ns = now r;
               ev_tid = tid; ev_args = args })
 
-let with_span sink ?cat name f =
+let with_span sink ?cat ?args name f =
   match sink with
   | Disabled -> f ()
   | Recording _ ->
-    span_begin sink ?cat name;
+    span_begin sink ?cat ?args name;
     let finally () = span_end sink name in
     Fun.protect ~finally f
 

@@ -49,9 +49,11 @@ val span_end : sink -> ?args:(string * arg) list -> string -> unit
 
 val instant : sink -> ?cat:string -> ?args:(string * arg) list -> string -> unit
 
-val with_span : sink -> ?cat:string -> string -> (unit -> 'a) -> 'a
+val with_span :
+  sink -> ?cat:string -> ?args:(string * arg) list -> string ->
+  (unit -> 'a) -> 'a
 (** Run the thunk inside a span; the end event is recorded even when the
-    thunk raises. *)
+    thunk raises.  [args] attach to the Begin event. *)
 
 val events : sink -> event list
 (** Recorded events in chronological order (empty when disabled). *)

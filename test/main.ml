@@ -18,6 +18,7 @@ let () =
       ("soundness", Suite_soundness.tests);
       ("fuzz", Suite_fuzz.tests);
       ("resilience", Suite_resilience.tests);
+      ("profile", Suite_profile.tests);
       ("par", Suite_par.tests);
       ("cli", Suite_cli.tests);
     ]
