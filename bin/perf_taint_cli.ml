@@ -149,6 +149,25 @@ let config_of max_steps =
     (fun n -> { Interp.Machine.default_config with max_steps = n })
     max_steps
 
+let engine_arg =
+  let doc =
+    "Execution tier for PIR programs: $(b,compiled) (the slot-resolved \
+     lowered IR, the default) or $(b,interp) (the tree-walking reference \
+     interpreter).  The tiers are bit-identical — results, taint labels, \
+     observations, step counts and error messages — checked continuously \
+     by the compile-identity fuzz oracle; the compiled one is just \
+     faster."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("compiled", Interp.Engine.Compiled);
+             ("interp", Interp.Engine.Interpreted);
+             ("interpreted", Interp.Engine.Interpreted) ])
+        Interp.Engine.default_tier
+    & info [ "engine" ] ~docv:"TIER" ~doc)
+
 let jobs_arg =
   let doc =
     "Worker domains for the parallel stages (measurement coordinates, \
@@ -190,16 +209,16 @@ let error_guard f =
 
 (* Run the pipeline over a target; when [trace] names a file, record the
    full span/instant stream and dump it as Chrome trace JSON. *)
-let analyze_target ?config ?metrics ?trace ?profile t =
+let analyze_target ?engine ?config ?metrics ?trace ?profile t =
   match trace with
   | None ->
-    Perf_taint.Pipeline.analyze ?config ?metrics ?profile ~world:t.world
-      t.program ~args:t.args
+    Perf_taint.Pipeline.analyze ?engine ?config ?metrics ?profile
+      ~world:t.world t.program ~args:t.args
   | Some path ->
     let sink = Obs_trace.create () in
     let a =
-      Perf_taint.Pipeline.analyze ?config ?metrics ?profile ~trace:sink
-        ~world:t.world t.program ~args:t.args
+      Perf_taint.Pipeline.analyze ?engine ?config ?metrics ?profile
+        ~trace:sink ~world:t.world t.program ~args:t.args
     in
     (try Obs_trace.write_file sink path
      with Sys_error msg ->
@@ -244,10 +263,10 @@ let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc)
 
 let analyze_cmd =
-  let run name ranks params json trace max_steps =
+  let run name ranks params json trace max_steps engine =
     error_guard @@ fun () ->
     let t = resolve name ranks params in
-    let a = analyze_target ?config:(config_of max_steps) ?trace t in
+    let a = analyze_target ~engine ?config:(config_of max_steps) ?trace t in
     if json then
       Fmt.pr "%a@."
         Perf_taint.Export.pp
@@ -272,7 +291,7 @@ let analyze_cmd =
     Term.(
       ret
         (const run $ app_arg $ ranks_arg $ param_arg $ json_arg $ trace_arg
-        $ max_steps_arg))
+        $ max_steps_arg $ engine_arg))
 
 let select_cmd =
   let run name ranks params trace max_steps =
@@ -304,6 +323,84 @@ let print_cmd =
   Cmd.v (Cmd.info "print" ~doc)
     Term.(ret (const run $ app_arg $ ranks_arg $ param_arg))
 
+let run_cmd =
+  let run name ranks params json trace max_steps engine =
+    error_guard @@ fun () ->
+    let t = resolve name ranks params in
+    let config =
+      Option.value ~default:Interp.Machine.default_config
+        (config_of max_steps)
+    in
+    (* A clean (shadow-free) run on the selected tier: the Plain-policy
+       analogue of one measurement run, identical output either way. *)
+    let run_via (type a) (module E : Interp.Engine.S with type t = a) =
+      let sink =
+        match trace with None -> None | Some _ -> Some (Obs_trace.create ())
+      in
+      let m = E.create ~config ?trace:sink t.program in
+      Mpi_sim.Runtime.install_host (module E) t.world m;
+      let v, _ = E.run m t.args in
+      (match (trace, sink) with
+      | Some path, Some sink ->
+        (try Obs_trace.write_file sink path
+         with Sys_error msg ->
+           Fmt.epr "error: cannot write trace: %s@." msg;
+           exit 2);
+        Fmt.epr "trace: %d events written to %s@."
+          (List.length (Obs_trace.events sink))
+          path
+      | _ -> ());
+      (v, E.steps_executed m, E.observations m)
+    in
+    let v, steps, obs =
+      match engine with
+      | Interp.Engine.Interpreted -> run_via (module Interp.Plain)
+      | Interp.Engine.Compiled -> run_via (module Interp.Compiled.Plain)
+    in
+    let funcs =
+      Interp.Observations.func_list obs
+      |> List.filter (fun fo -> fo.Interp.Observations.fo_calls > 0)
+      |> List.sort (fun a b ->
+             compare a.Interp.Observations.fo_func
+               b.Interp.Observations.fo_func)
+    in
+    if json then begin
+      Fmt.pr "{\"engine\": %S, \"result\": \"%a\", \"steps\": %d, \
+              \"functions\": [@."
+        (Interp.Engine.tier_name engine)
+        Ir.Pp.pp_value v steps;
+      List.iteri
+        (fun i (fo : Interp.Observations.func_obs) ->
+          Fmt.pr "  {\"name\": %S, \"calls\": %d, \"instrs\": %d, \
+                  \"work\": %d}%s@."
+            fo.fo_func fo.fo_calls fo.fo_instrs fo.fo_work
+            (if i = List.length funcs - 1 then "" else ","))
+        funcs;
+      Fmt.pr "]}@."
+    end
+    else begin
+      Fmt.pr "result: %a (%d steps)@." Ir.Pp.pp_value v steps;
+      Fmt.pr "%-36s %10s %12s %10s@." "function" "calls" "instructions"
+        "work";
+      List.iter
+        (fun (fo : Interp.Observations.func_obs) ->
+          Fmt.pr "%-36s %10d %12d %10d@." fo.fo_func fo.fo_calls fo.fo_instrs
+            fo.fo_work)
+        funcs
+    end
+  in
+  let doc =
+    "Execute a program through the clean (shadow-free) Plain engine on \
+     the selected $(b,--engine) tier and print the result value, step \
+     count, and per-function statistics — one measurement run, without \
+     the taint analysis."
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      ret
+        (const run $ app_arg $ ranks_arg $ param_arg $ json_arg $ trace_arg
+        $ max_steps_arg $ engine_arg))
+
 let coverage_cmd =
   let blocks_arg =
     let doc =
@@ -313,7 +410,7 @@ let coverage_cmd =
     in
     Arg.(value & flag & info [ "blocks" ] ~doc)
   in
-  let run name ranks params blocks trace max_steps =
+  let run name ranks params blocks trace max_steps engine =
     error_guard @@ fun () ->
     let t = resolve name ranks params in
     if blocks then begin
@@ -321,20 +418,33 @@ let coverage_cmd =
         Option.value ~default:Interp.Machine.default_config
           (config_of max_steps)
       in
-      let m = Interp.Coverage.create ~config t.program in
-      Mpi_sim.Runtime.install_coverage t.world m;
-      ignore (Interp.Coverage.run m t.args);
-      let cov = Interp.Coverage.policy_state m in
+      (* Coverage execution on either tier: same S face, same hit
+         tables — the policy state type is pinned so both modules
+         return the shared Coverage_policy.state. *)
+      let run_via (type a)
+          (module E : Interp.Engine.S
+            with type t = a
+             and type pstate = Interp.Coverage_policy.state) =
+        let m = E.create ~config t.program in
+        Mpi_sim.Runtime.install_host (module E) t.world m;
+        ignore (E.run m t.args);
+        (E.policy_state m, E.steps_executed m)
+      in
+      let cov, steps =
+        match engine with
+        | Interp.Engine.Interpreted -> run_via (module Interp.Coverage)
+        | Interp.Engine.Compiled -> run_via (module Interp.Compiled.Coverage)
+      in
       Fmt.pr "block coverage: %d blocks, %d edges, %d steps@."
         (Interp.Coverage_policy.blocks_covered cov)
         (Interp.Coverage_policy.edges_covered cov)
-        (Interp.Coverage.steps_executed m);
+        steps;
       List.iter
         (fun ((f, b), n) -> Fmt.pr "  %-28s %-12s %10d@." f b n)
         (Interp.Coverage_policy.block_hits cov)
     end
     else begin
-      let a = analyze_target ?config:(config_of max_steps) ?trace t in
+      let a = analyze_target ~engine ?config:(config_of max_steps) ?trace t in
       let all = Ir.Cfg.SSet.elements (Perf_taint.Pipeline.observed_params a) in
       Fmt.pr "per-parameter coverage:@.";
       List.iter
@@ -352,7 +462,7 @@ let coverage_cmd =
     Term.(
       ret
         (const run $ app_arg $ ranks_arg $ param_arg $ blocks_arg $ trace_arg
-        $ max_steps_arg))
+        $ max_steps_arg $ engine_arg))
 
 let volume_cmd =
   let func_arg =
@@ -499,7 +609,8 @@ let profile_cmd =
     in
     Arg.(value & opt (some string) None & info [ "flame" ] ~docv:"FILE" ~doc)
   in
-  let run name ranks params interval top flame json trace max_steps jobs =
+  let run name ranks params interval top flame json trace max_steps jobs
+      engine =
     error_guard @@ fun () ->
     (* The tainted run is inherently serial; --jobs is accepted so that
        scripted invocations can pass one jobs count everywhere, and the
@@ -508,7 +619,8 @@ let profile_cmd =
     let t = resolve name ranks params in
     let prof = Obs_profile.create ~interval () in
     let a =
-      analyze_target ?config:(config_of max_steps) ?trace ~profile:prof t
+      analyze_target ~engine ?config:(config_of max_steps) ?trace
+        ~profile:prof t
     in
     let snap = Obs_profile.snapshot prof in
     (match flame with
@@ -548,7 +660,8 @@ let profile_cmd =
     Term.(
       ret
         (const run $ app_arg $ ranks_arg $ param_arg $ interval_arg $ top_arg
-        $ flame_arg $ json_arg $ trace_arg $ max_steps_arg $ jobs_arg))
+        $ flame_arg $ json_arg $ trace_arg $ max_steps_arg $ jobs_arg
+        $ engine_arg))
 
 let stats_cmd =
   let run name ranks params json trace max_steps =
@@ -770,8 +883,13 @@ let campaign_cmd =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
   in
   let run name ranks params faults retries backoff journal resume max_runs
-      dump reps sigma seed events trace max_steps jobs =
+      dump reps sigma seed events trace max_steps jobs (_engine : Interp.Engine.tier) =
     error_guard @@ fun () ->
+    (* Campaigns measure through the analytic simulator, which executes
+       no PIR; --engine is accepted so scripted invocations can pass one
+       tier everywhere, and the output is trivially identical either
+       way.  (Program-replaying campaigns go through
+       [Measure.Experiment.replay_runs], which honours the tier.) *)
     let t = resolve name ranks params in
     let spec =
       match t.spec with
@@ -888,7 +1006,7 @@ let campaign_cmd =
         (const run $ app_arg $ ranks_arg $ param_arg $ faults_arg
         $ retries_arg $ backoff_arg $ journal_arg $ resume_arg $ max_runs_arg
         $ dump_arg $ reps_arg $ sigma_arg $ seed_arg $ events_arg $ trace_arg
-        $ max_steps_arg $ jobs_arg))
+        $ max_steps_arg $ jobs_arg $ engine_arg))
 
 let fuzz_cmd =
   let seed_arg =
@@ -1024,8 +1142,8 @@ let report_cmd =
 let main_cmd =
   let doc = "tainted performance modeling (Perf-Taint reproduction)" in
   Cmd.group (Cmd.info "perf-taint" ~version:"1.0.0" ~doc)
-    [ analyze_cmd; select_cmd; coverage_cmd; volume_cmd; print_cmd; model_cmd;
-      campaign_cmd; profile_cmd; stats_cmd; contention_cmd; design_cmd;
-      validate_cmd; fuzz_cmd; report_cmd ]
+    [ analyze_cmd; select_cmd; run_cmd; coverage_cmd; volume_cmd; print_cmd;
+      model_cmd; campaign_cmd; profile_cmd; stats_cmd; contention_cmd;
+      design_cmd; validate_cmd; fuzz_cmd; report_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

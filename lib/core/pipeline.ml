@@ -48,19 +48,11 @@ let phase_taint_run = "pipeline.phase.taint_run_s"
 let phase_post = "pipeline.phase.post_s"
 let phase_total = "pipeline.phase.total_s"
 
-(** Run the full analysis: static classification, then one tainted run of
-    [program] with entry arguments [args] under MPI world [world].
-
-    [metrics] turns on per-instruction accounting in the interpreter and
-    collects everything into the given registry; without it a private
-    registry still captures phase durations and label-table statistics
-    (three clock reads and a handful of counters — negligible next to the
-    run itself).  [trace] records pipeline-phase spans, per-call function
-    spans and loop-entry instants.  [profile] attaches a deterministic
-    sampling profiler to the tainted run. *)
-let analyze ?(config = Interp.Machine.default_config)
-    ?(world = Mpi_sim.Runtime.default_world) ?metrics
-    ?(trace = Obs_trace.disabled) ?profile program ~args =
+(* The analysis body over any taint-policy engine: the interpreted
+   machine and the compiled tier expose the same {!Interp.Engine.S}
+   face, so one first-class-module helper serves both. *)
+let analyze_via (type a) (module E : Interp.Engine.S with type t = a) ~config
+    ~world ?metrics ~trace ?profile program ~args =
   let reg = match metrics with Some m -> m | None -> Obs_metrics.create () in
   let timed gauge_name span_name f =
     let record = Obs_metrics.set_gauge (Obs_metrics.gauge reg gauge_name) in
@@ -78,13 +70,13 @@ let analyze ?(config = Interp.Machine.default_config)
               Static_an.Classify.classify program
                 ~relevant_prim:Mpi_sim.Costdb.relevant_prim)
         in
-        let m = Interp.Machine.create ~config ?metrics ~trace ?profile program in
+        let m = E.create ~config ?metrics ~trace ?profile program in
         let entry = Ir.Types.find_func program program.Ir.Types.entry in
         timed phase_taint_run "pipeline.taint_run" (fun () ->
-            Mpi_sim.Runtime.install world m;
-            ignore (Interp.Machine.run m args));
-        let obs = Interp.Machine.observations m in
-        let labels = Interp.Machine.label_table m in
+            Mpi_sim.Runtime.install_host (module E) world m;
+            ignore (E.run m args));
+        let obs = E.observations m in
+        let labels = E.label_table m in
         let deps, mpi_params =
           timed phase_post "pipeline.post" (fun () ->
               (Deps.of_observations labels obs, Deps.routine_params labels obs))
@@ -99,7 +91,7 @@ let analyze ?(config = Interp.Machine.default_config)
     lstats.Taint.Label.dedup_hits;
   Obs_metrics.add
     (Obs_metrics.counter reg "interp.steps")
-    (Interp.Machine.steps_executed m);
+    (E.steps_executed m);
   (* Per-function instruction-count distribution: the quantile view of
      where the tainted run spent its steps.  Fed in function-name order
      so the float sum accumulates identically across runs. *)
@@ -126,9 +118,34 @@ let analyze ?(config = Interp.Machine.default_config)
     mpi_params;
     world;
     taint_args = List.combine entry.Ir.Types.fparams args;
-    steps = Interp.Machine.steps_executed m;
+    steps = E.steps_executed m;
     snapshot = Obs_metrics.snapshot reg;
   }
+
+(** Run the full analysis: static classification, then one tainted run of
+    [program] with entry arguments [args] under MPI world [world].
+
+    [engine] selects the execution tier for the tainted run (default
+    {!Interp.Engine.default_tier}, the compiled one); the tiers are
+    bit-identical, checked continuously by the [compile-identity] fuzz
+    oracle.  [metrics] turns on per-instruction accounting in the engine
+    and collects everything into the given registry; without it a private
+    registry still captures phase durations and label-table statistics
+    (three clock reads and a handful of counters — negligible next to the
+    run itself).  [trace] records pipeline-phase spans, per-call function
+    spans and loop-entry instants.  [profile] attaches a deterministic
+    sampling profiler to the tainted run. *)
+let analyze ?(engine = Interp.Engine.default_tier)
+    ?(config = Interp.Machine.default_config)
+    ?(world = Mpi_sim.Runtime.default_world) ?metrics
+    ?(trace = Obs_trace.disabled) ?profile program ~args =
+  match engine with
+  | Interp.Engine.Interpreted ->
+    analyze_via (module Interp.Machine) ~config ~world ?metrics ~trace
+      ?profile program ~args
+  | Interp.Engine.Compiled ->
+    analyze_via (module Interp.Compiled.Taint) ~config ~world ?metrics ~trace
+      ?profile program ~args
 
 (** Phase durations of this analysis, seconds, in pipeline order:
     [static], [taint_run], [post]. *)

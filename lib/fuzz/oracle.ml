@@ -595,6 +595,151 @@ let par_identity =
   in
   { name = "par-identity"; check }
 
+(* -- differential: compiled tier vs the interpreter ------------------------- *)
+
+(* The full-fidelity view of one run that the compiled tier must
+   reproduce bit-for-bit: outcome (including trap messages and budget
+   behavior), result value and label, every observation with its
+   dependency label names, metric counters, profiler samples, and the
+   label-table statistics (ids and union traffic — sensitive to the
+   exact [Label.union] call order). *)
+type tier_snapshot = {
+  ts_outcome : string;
+  ts_value : (value * string list) option;
+  ts_loops :
+    (string * string * int * string option * int * int * string list
+    * (string * string) list)
+    list;
+  ts_branches : (string * string * int * int * string list) list;
+  ts_funcs : (string * int * int * int) list;
+  ts_events : (string * string * string * (value * string list) list) list;
+  ts_steps : int;
+  ts_metrics : Obs_metrics.snapshot;
+  ts_profile : Obs_profile.snapshot;
+  ts_labels : int * int * int;  (** table stats: labels, unions, dedup hits *)
+}
+
+let tier_snapshot (type a) (module E : Interp.Engine.S with type t = a)
+    ~config p args =
+  let metrics = Obs_metrics.create () in
+  let profile = Obs_profile.create () in
+  let m = E.create ~config ~metrics ~profile p in
+  let outcome, value =
+    match E.run m args with
+    | v, l -> ("finished", Some (v, L.names (E.label_table m) l))
+    | exception M.Budget_exceeded n -> (Printf.sprintf "budget after %d" n, None)
+    | exception M.Runtime_error msg -> ("runtime error: " ^ msg, None)
+    | exception Ir_error msg -> ("invalid IR: " ^ msg, None)
+  in
+  let obs = E.observations m in
+  let tbl = E.label_table m in
+  let stats = L.table_stats tbl in
+  {
+    ts_outcome = outcome;
+    ts_value = value;
+    ts_loops =
+      O.loop_list obs
+      |> List.map (fun (lo : O.loop_obs) ->
+             ( O.callpath_key lo.O.lo_callpath,
+               lo.O.lo_header,
+               lo.O.lo_depth,
+               lo.O.lo_parent,
+               lo.O.lo_iters,
+               lo.O.lo_entries,
+               L.names tbl lo.O.lo_dep,
+               List.sort compare lo.O.lo_enclosing ))
+      |> List.sort compare;
+    ts_branches =
+      O.branch_list obs
+      |> List.map (fun (bo : O.branch_obs) ->
+             ( O.callpath_key bo.O.br_callpath,
+               bo.O.br_block,
+               bo.O.br_taken,
+               bo.O.br_not_taken,
+               L.names tbl bo.O.br_dep ))
+      |> List.sort compare;
+    ts_funcs =
+      O.func_list obs
+      |> List.map (fun (fo : O.func_obs) ->
+             (fo.O.fo_func, fo.O.fo_calls, fo.O.fo_instrs, fo.O.fo_work))
+      |> List.sort compare;
+    ts_events =
+      O.event_list obs
+      |> List.map (fun (ev : O.event) ->
+             ( ev.O.ev_func,
+               O.callpath_key ev.O.ev_callpath,
+               ev.O.ev_prim,
+               List.map (fun (v, l) -> (v, L.names tbl l)) ev.O.ev_args ));
+    ts_steps = E.steps_executed m;
+    ts_metrics = Obs_metrics.snapshot metrics;
+    ts_profile = Obs_profile.snapshot profile;
+    ts_labels = (stats.L.labels, stats.L.unions, stats.L.dedup_hits);
+  }
+
+let tier_diff a b =
+  if a.ts_outcome <> b.ts_outcome then
+    Some (Printf.sprintf "outcome (%s vs %s)" a.ts_outcome b.ts_outcome)
+  else if compare a.ts_value b.ts_value <> 0 then Some "result value or label"
+  else if a.ts_steps <> b.ts_steps then
+    Some (Printf.sprintf "step count (%d vs %d)" a.ts_steps b.ts_steps)
+  else if compare a.ts_loops b.ts_loops <> 0 then Some "loop observations"
+  else if compare a.ts_branches b.ts_branches <> 0 then
+    Some "branch observations"
+  else if compare a.ts_funcs b.ts_funcs <> 0 then Some "function statistics"
+  else if compare a.ts_events b.ts_events <> 0 then Some "primitive events"
+  else if compare a.ts_metrics b.ts_metrics <> 0 then Some "metric counters"
+  else if compare a.ts_profile b.ts_profile <> 0 then Some "profiler samples"
+  else if compare a.ts_labels b.ts_labels <> 0 then
+    Some "label-table statistics"
+  else None
+
+(* Coverage runs additionally compare the policy's own block/edge hit
+   tables, which live outside the engine's observations. *)
+let coverage_hits (type a)
+    (module E : Interp.Engine.S
+      with type t = a and type pstate = Interp.Coverage_policy.state) ~config p
+    args =
+  let m = E.create ~config p in
+  let outcome =
+    match E.run m args with
+    | _ -> "finished"
+    | exception M.Budget_exceeded n -> Printf.sprintf "budget after %d" n
+    | exception M.Runtime_error msg -> "runtime error: " ^ msg
+    | exception Ir_error msg -> "invalid IR: " ^ msg
+  in
+  let cov = E.policy_state m in
+  ( outcome,
+    Interp.Coverage_policy.block_hits cov,
+    Interp.Coverage_policy.edge_hits cov )
+
+let compile_identity_with config =
+  let check p =
+    let args = base_args p in
+    let it = tier_snapshot (module M) ~config p args in
+    let ct = tier_snapshot (module Interp.Compiled.Taint) ~config p args in
+    match tier_diff it ct with
+    | Some what ->
+      Fail (Printf.sprintf "compiled Taint run differs from interpreter: %s" what)
+    | None -> (
+      let ip = tier_snapshot (module P) ~config p args in
+      let cp = tier_snapshot (module Interp.Compiled.Plain) ~config p args in
+      match tier_diff ip cp with
+      | Some what ->
+        Fail
+          (Printf.sprintf "compiled Plain run differs from interpreter: %s" what)
+      | None ->
+        let ic = coverage_hits (module C) ~config p args in
+        let cc =
+          coverage_hits (module Interp.Compiled.Coverage) ~config p args
+        in
+        if compare ic cc <> 0 then
+          Fail "compiled Coverage run differs from interpreter (hit tables)"
+        else Pass)
+  in
+  { name = "compile-identity"; check }
+
+let compile_identity = compile_identity_with interp_config
+
 (* -- suites ---------------------------------------------------------------- *)
 
 let oracles_with config =
@@ -605,6 +750,7 @@ let oracles_with config =
     tripcount_with config;
     obs_invariance_with config;
     taint_vs_plain_with config;
+    compile_identity_with config;
     coverage_consistency_with config;
     campaign_identity;
     campaign_recovery;

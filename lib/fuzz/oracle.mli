@@ -56,6 +56,17 @@ val taint_vs_plain : t
     value, loop/branch dynamics, function statistics, event count and
     step count — identical runs modulo taint labels. *)
 
+val compile_identity : t
+(** Differential: the compiled tier ({!Interp.Compiled}) must be
+    bit-identical to the interpreter under every bundled policy —
+    outcome (result value and its label, trap messages, budget
+    behavior), loop/branch/event/function observations with their
+    dependency label names, step counts, metric counters, profiler
+    samples, label-table statistics (ids and union traffic), and the
+    Coverage policy's block/edge hit tables. *)
+
+val compile_identity_with : Interp.Machine.config -> t
+
 val coverage_consistency : t
 (** The Coverage policy's block hit counts must be consistent with the
     engine's own observations: summed over callpaths, a branch block is

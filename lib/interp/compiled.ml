@@ -1,0 +1,862 @@
+(** The compiled execution tier: the {!Engine} semantics over the
+    slot-resolved lowered form produced by {!Lower}.
+
+    Same policy split, same observations, same traps and budget
+    accounting as {!Engine.Make} — but the dispatch loop does zero name
+    lookups: registers are array slots, block transfers are array
+    indices, callees are function indices, and primitives are
+    pre-classified.  Functions are lowered lazily at first call, exactly
+    when the interpreter would build its static facts, so programs with
+    malformed never-executed functions behave identically.
+
+    The two tiers must stay bit-identical — result values, taint labels
+    (including label-table ids and stats, which depend on the
+    [Label.union] call order), loop/branch/event/function observations,
+    metric counters, profiler samples, trap messages and budget
+    behavior.  Every policy hook and observation call below is placed in
+    the same sequence as the interpreter's; the [compile_identity]
+    fuzzing oracle enforces the contract on generated programs. *)
+
+open Ir.Types
+open Lower
+module Label = Taint.Label
+module Obs = Observations
+
+let max_call_depth = 10_000
+
+(* Physically unique sentinel for "no enclosing-context merge applied
+   yet" — never [==] to a runtime active-loops list (including [[]]). *)
+let merge_pending = [ ("", "") ]
+
+(* Lowering is a pure function of the program: slot numbers, block
+   indices and callee indices are all deterministic (first-wins function
+   table, program-order blocks), so lowered code is shared across engine
+   instances of the same program — one compilation serves a whole
+   campaign of replays.  The cache is domain-local (no synchronization
+   under --jobs; each worker lowers at most once) and keeps only the
+   last few programs, keyed by physical identity, so fuzzing over
+   thousands of generated programs does not accumulate. *)
+let lower_cache_capacity = 4
+
+let lower_cache :
+    (program * (string, Lower.lfunc) Hashtbl.t) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let lowered_table (program : program) =
+  let cache = Domain.DLS.get lower_cache in
+  match !cache with
+  | (p, tbl) :: _ when p == program -> tbl
+  | entries -> (
+    match List.find_opt (fun (p, _) -> p == program) entries with
+    | Some (_, tbl) ->
+      (* Move-to-front keeps the working set resident. *)
+      cache :=
+        (program, tbl) :: List.filter (fun (p, _) -> p != program) entries;
+      tbl
+    | None ->
+      let tbl = Hashtbl.create 16 in
+      cache :=
+        (program, tbl) :: List.filteri (fun i _ -> i < lower_cache_capacity - 1) entries;
+      tbl)
+
+let count_linstr ic li =
+  let open Icounters in
+  match li with
+  | LAssign _ | LBinop _ | LUnop _ -> Obs_metrics.incr ic.ic_alu
+  | LAlloc _ ->
+    Obs_metrics.incr ic.ic_mem;
+    Obs_metrics.incr ic.ic_allocs
+  | LLoad _ ->
+    Obs_metrics.incr ic.ic_mem;
+    Obs_metrics.incr ic.ic_loads
+  | LStore _ ->
+    Obs_metrics.incr ic.ic_mem;
+    Obs_metrics.incr ic.ic_stores
+  | LCall _ -> Obs_metrics.incr ic.ic_call
+  | LPrim _ -> Obs_metrics.incr ic.ic_prim
+
+module Make (P : Engine.POLICY) : Engine.S with type pstate = P.state = struct
+  let policy_name = P.name
+
+  (* Static policy capabilities, read once at functor application: when
+     the policy carries no slot labels, every label it would produce is
+     [P.clean] by contract, so the shadow plumbing below is skipped
+     outright (the interpreter always calls the hooks, and the
+     differential oracle cross-checks the promise). *)
+  let labels = P.tracks_labels
+
+  let blocks_observed = P.observes_blocks
+
+  (* With neither capability, the policy's per-frame state is
+     unobservable — every hook that receives it is a contractual no-op —
+     so frames can be pooled per callpath edge and reused without
+     rebuilding the policy frame. *)
+  let poolable = (not labels) && not blocks_observed
+
+  type pstate = P.state
+
+  (* A compiled function together with its statistics record, built at
+     first call (the compiled analogue of the interpreter's static-info
+     cache). *)
+  type cfunc = {
+    code : Lower.lfunc;
+    sfobs : Obs.func_obs;
+    has_loops : bool;  (** any block is a loop header *)
+  }
+
+  (* Loop/branch observation records resolved once per callpath: the
+     records live in string-keyed tables on [Obs.t] (shared with the
+     interpreter), but within one callpath the (cp_key, label) keys are
+     fixed per block, so the compiled tier finds each record once and
+     thereafter reaches it by block index.  [sites] similarly caches the
+     callee's callpath entry per [LCall] site, turning the per-call
+     string-pair hash probe into an array read. *)
+  type ocache = {
+    locs : Obs.loop_obs option array;
+    bocs : Obs.branch_obs option array;
+    sites : cpentry option array;
+    selfs : (string * string) array;
+        (** per loop-header block: the interned [(cp_key, header)] pair
+            used as the active-loops entry.  Every arrival at a given
+            header within one callpath pushes the same physical pair, so
+            the membership test is [List.memq] instead of a structural
+            compare over long callpath keys (and the pair is allocated
+            once, not per arrival).  Non-header blocks hold a dummy. *)
+    keeps : (string * string) list array;
+        (** per block: the interned selfs of the loop headers enclosing
+            it ([Fstatic.bheaders] resolved first-wins by label — the
+            same resolution branch targets use, so only first-wins
+            blocks ever execute and push entries).  Active-loops pruning
+            is then a [memq] test against this list instead of a string
+            comparison per (entry, header) pair. *)
+  }
+
+  (* The cached per-edge callpath data, extended with the observation
+     cache (filled at the first call through this edge). *)
+  and cpentry = {
+    cpi_path : Obs.callpath;
+    cpi_key : string;
+    mutable cpi_cache : ocache option;
+    mutable cpi_free : frame option;
+        (** pooled frame for this edge (policies with no per-frame state
+            only, see [poolable]).  Call stacks visit a given callpath at
+            most once at a time — live paths form a strictly growing
+            chain — so one slot suffices; it is taken out for the
+            duration of the call, and a frame lost to an exception is
+            simply rebuilt on the next call. *)
+  }
+
+  and frame = {
+    code : Lower.lfunc;
+    fname : string;
+    fobs : Obs.func_obs;
+    regs : value array;   (** slot-indexed values; unset = {!Lower.vunset} *)
+    pframe : P.fstate;    (** policy context, slot-addressed *)
+    mutable active_loops : (string * string) list;
+    mutable enclosing : (string * string) list;
+        (** fixed per invocation; mutable only so pooled frames can be
+            re-armed for the next call through the same edge *)
+    mutable enc_active : (string * string) list;
+    mutable enc_list : (string * string) list;
+        (** cached [active_loops @ enclosing] keyed by the physical
+            identity of [active_loops] ([enc_active]): loops push and
+            prune [active_loops] by whole-list replacement, so physical
+            equality means the append result is unchanged.  Armed with
+            the {!merge_pending} sentinel, which is never a real active
+            list. *)
+    callpath : Obs.callpath;
+    cp_key : string;
+    ocache : ocache;
+    lmerged : (string * string) list array;
+    lmerged_enc : (string * string) list array;
+        (** per loop-header block: the [(active_loops, enclosing)] pair
+            (by physical identity) whose enclosing-context merge was last
+            applied — re-merging an identical context is a no-op, so it
+            is skipped.  Not reset on pooled reuse: stale entries only
+            match when both lists are physically unchanged, in which case
+            the merge is the same no-op.  [| |] when the function has no
+            loops. *)
+    push_key : (string * string) list array;
+    push_val : (string * string) list array;
+        (** per loop-header block: memoized [self :: active_loops] cons,
+            keyed by the physical identity of [active_loops]
+            ([push_key]).  Re-entering a header from the same context
+            then re-installs the physically same list, which is what lets
+            [lmerged]/[enc_active] hits cascade across pooled
+            invocations.  [| |] when the function has no loops. *)
+  }
+
+  type t = {
+    program : program;
+    config : Engine.config;
+    max_steps : int;  (** [config.max_steps], lifted out for the hot path *)
+    pstate : P.state;
+    ltable : Label.table;
+        (** [P.table pstate], lifted out of the per-branch path *)
+    mutable harr : value array array;
+        (** dense heap: handle = index; handles are never freed, so every
+            index below [next_alloc] is live *)
+    mutable next_alloc : int;
+    mutable steps : int;
+    mutable argv_buf : value array;
+    mutable argl_buf : P.label array;
+        (** scratch for call-argument evaluation: arguments are consumed
+            into the callee frame before any nested call re-uses the
+            buffers, so one pair per engine suffices — no per-call list *)
+    funcs : func array;
+        (** the program's functions in order, duplicate names dropped
+            (first wins, as in [find_func]) *)
+    findex : (string, int) Hashtbl.t;  (** function name -> index *)
+    compiled : cfunc option array;     (** lazily filled, same order *)
+    cp_keys : (string * string, cpentry) Hashtbl.t;
+    obs : Obs.t;
+    prims : (string, prim_fn) Hashtbl.t;
+    mutable call_depth : int;
+    im : Icounters.t option;
+    trace : Obs_trace.sink;
+    prof : Obs_profile.t option;
+  }
+
+  and prim_fn = t -> frame -> (value * Label.t) list -> value * Label.t
+
+  (* -- compilation cache --------------------------------------------------- *)
+
+  let resolve t name =
+    match Hashtbl.find_opt t.findex name with
+    | Some i -> Some (i, t.funcs.(i))
+    | None -> None
+
+  let compiled_of t idx =
+    match t.compiled.(idx) with
+    | Some cf -> cf
+    | None ->
+      let f = t.funcs.(idx) in
+      let tbl = lowered_table t.program in
+      let code =
+        match Hashtbl.find_opt tbl f.fname with
+        | Some code -> code
+        | None ->
+          let code = Lower.func ~resolve:(resolve t) f (Fstatic.of_func f) in
+          Hashtbl.add tbl f.fname code;
+          code
+      in
+      let has_loops =
+        Array.exists
+          (fun (lb : Lower.lblock) -> lb.lbi.Fstatic.bloop <> None)
+          code.lblocks
+      in
+      let cf = { code; sfobs = Obs.func_obs t.obs f.fname; has_loops } in
+      t.compiled.(idx) <- Some cf;
+      cf
+
+  let no_self = ("", "")
+
+  let fresh_ocache cp_key (code : Lower.lfunc) =
+    let n = Array.length code.lblocks in
+    let selfs =
+      Array.map
+        (fun (lb : Lower.lblock) ->
+          match lb.lbi.Fstatic.bloop with
+          | Some _ -> (cp_key, lb.lbi.Fstatic.blk.label)
+          | None -> no_self)
+        code.lblocks
+    in
+    let self_of = Hashtbl.create 8 in
+    Array.iteri
+      (fun i (lb : Lower.lblock) ->
+        let lbl = lb.lbi.Fstatic.blk.label in
+        if selfs.(i) != no_self && not (Hashtbl.mem self_of lbl) then
+          Hashtbl.add self_of lbl selfs.(i))
+      code.lblocks;
+    let keeps =
+      Array.map
+        (fun (lb : Lower.lblock) ->
+          List.filter_map (Hashtbl.find_opt self_of) lb.lbi.Fstatic.bheaders)
+        code.lblocks
+    in
+    {
+      locs = Array.make n None;
+      bocs = Array.make n None;
+      sites = Array.make (max 1 code.lnsites) None;
+      selfs;
+      keeps;
+    }
+
+  (* -- operands ------------------------------------------------------------ *)
+
+  (* Slot indices are in-bounds by construction (the lowering allocates
+     them densely below [lnslots], the frame array's size), so the reads
+     and writes are unchecked. *)
+  let lop_value frame = function
+    | LConst v -> v
+    | LSlot i ->
+      let v = Array.unsafe_get frame.regs i in
+      if v == vunset then
+        Eval.error "read of unset register %%%s in %s" frame.code.lsnames.(i)
+          frame.fname
+      else v
+
+  let lop_label frame = function
+    | LConst _ -> P.clean
+    | LSlot i -> if labels then P.read_slot frame.pframe i else P.clean
+
+  (* Matches the interpreter's argument-list evaluation order (head
+     first); builds the (value, label) list host primitives and
+     [export_args] consume. *)
+  let rec eval_args frame (args : lop array) i =
+    if i >= Array.length args then []
+    else
+      let v = lop_value frame args.(i) in
+      let l = lop_label frame args.(i) in
+      (v, l) :: eval_args frame args (i + 1)
+
+  let set_slot t frame d v l =
+    Array.unsafe_set frame.regs d v;
+    if labels then P.write_slot t.pstate frame.pframe d l
+
+  (* -- primitives ---------------------------------------------------------- *)
+
+  let register_prim t name fn = Hashtbl.replace t.prims name fn
+
+  let emit_event t frame prim args =
+    t.obs.Obs.events <-
+      { Obs.ev_func = frame.fname;
+        ev_callpath = frame.callpath;
+        ev_prim = prim;
+        ev_args = args }
+      :: t.obs.Obs.events
+
+  let builtin_print t xargs =
+    List.iter
+      (fun (v, l) ->
+        Fmt.epr "[pir] %a %a@." Ir.Pp.pp_value v
+          (Label.pp (P.table t.pstate)) l)
+      xargs;
+    (VUnit, P.clean)
+
+  (* -- allocation ---------------------------------------------------------- *)
+
+  let alloc_array t size =
+    let h = t.next_alloc in
+    if h >= Array.length t.harr then begin
+      let bigger = Array.make ((2 * Array.length t.harr) + 1) [||] in
+      Array.blit t.harr 0 bigger 0 (Array.length t.harr);
+      t.harr <- bigger
+    end;
+    t.harr.(h) <- Array.make (max size 0) (VInt 0);
+    t.next_alloc <- h + 1;
+    (match t.im with
+    | None -> ()
+    | Some ic -> Obs_metrics.add ic.Icounters.ic_heap_cells (max size 0));
+    h
+
+  (* Handles are array indices and never freed, so validity is a bounds
+     check; the trap messages match the interpreter's hashed heap. *)
+  let heap_arr t h =
+    if h >= 0 && h < t.next_alloc then Array.unsafe_get t.harr h
+    else Eval.error "dangling array handle %d" h
+
+  let heap_get t h i =
+    let a = heap_arr t h in
+    if i >= 0 && i < Array.length a then Array.unsafe_get a i
+    else Eval.error "index %d out of bounds (size %d)" i (Array.length a)
+
+  let heap_set t h i v =
+    let a = heap_arr t h in
+    if i >= 0 && i < Array.length a then a.(i) <- v
+    else Eval.error "index %d out of bounds (size %d)" i (Array.length a)
+
+  (* -- execution ----------------------------------------------------------- *)
+
+  let step t =
+    t.steps <- t.steps + 1;
+    (match t.prof with None -> () | Some p -> Obs_profile.tick p);
+    if t.steps > t.max_steps then raise (Engine.Budget_exceeded t.max_steps)
+
+  let grow_args t n =
+    let cap = max n (2 * Array.length t.argv_buf) in
+    t.argv_buf <- Array.make cap vunset;
+    t.argl_buf <- Array.make cap P.clean
+
+  let rec exec_linstr t frame li =
+    step t;
+    let fo = frame.fobs in
+    fo.Obs.fo_instrs <- fo.Obs.fo_instrs + 1;
+    (match t.im with None -> () | Some ic -> count_linstr ic li);
+    match li with
+    | LAssign (d, a) ->
+      let v = lop_value frame a and l = lop_label frame a in
+      set_slot t frame d v l
+    | LBinop (d, op, a, b) ->
+      let va = lop_value frame a and la = lop_label frame a in
+      let vb = lop_value frame b and lb = lop_label frame b in
+      (* The interpreter's argument order evaluates the label join
+         before the operation (which may trap); keep that order so label
+         tables agree even on crashing runs. *)
+      let l = if labels then P.join2 t.pstate la lb else P.clean in
+      let v = Eval.binop op va vb in
+      set_slot t frame d v l
+    | LUnop (d, op, a) ->
+      let v = lop_value frame a and l = lop_label frame a in
+      let v = Eval.unop op v in
+      set_slot t frame d v l
+    | LAlloc (d, n) ->
+      let v = lop_value frame n and l = lop_label frame n in
+      let size = Eval.as_int v in
+      let h = alloc_array t size in
+      let l = if labels then P.on_alloc t.pstate ~alloc:h ~size l else P.clean in
+      set_slot t frame d (VArr h) l
+    | LLoad (d, base, idx) ->
+      let vb = lop_value frame base and lb = lop_label frame base in
+      let vi = lop_value frame idx and li = lop_label frame idx in
+      let h = Eval.as_arr vb and i = Eval.as_int vi in
+      let v = heap_get t h i in
+      let l =
+        if labels then P.on_load t.pstate ~alloc:h ~offset:i ~base:lb ~index:li
+        else P.clean
+      in
+      set_slot t frame d v l
+    | LStore (base, idx, x) ->
+      let vb = lop_value frame base and lb = lop_label frame base in
+      let vi = lop_value frame idx and li = lop_label frame idx in
+      let vx = lop_value frame x and lx = lop_label frame x in
+      let h = Eval.as_arr vb and i = Eval.as_int vi in
+      heap_set t h i vx;
+      if labels then
+        P.on_store t.pstate frame.pframe ~alloc:h ~offset:i ~base:lb ~index:li
+          ~data:lx
+    | LCall (d, callee, args, site) ->
+      let n = Array.length args in
+      if n > Array.length t.argv_buf then grow_args t n;
+      let av = t.argv_buf and al = t.argl_buf in
+      for i = 0 to n - 1 do
+        av.(i) <- lop_value frame args.(i);
+        al.(i) <- lop_label frame args.(i)
+      done;
+      let v, l = call_site t frame callee site n in
+      if d >= 0 then set_slot t frame d v l
+    | LPrim (d, PWork, _, args) ->
+      (* [work] is pure cost accounting: charged to [fo_work] and kept
+         out of the event log (symmetric with the interpreter). *)
+      let v, l =
+        if Array.length args = 1 then (
+          match lop_value frame args.(0) with
+          | VInt n ->
+            let fo = frame.fobs in
+            fo.Obs.fo_work <- fo.Obs.fo_work + n;
+            (VUnit, P.clean)
+          | _ -> Eval.error "work expects one int argument")
+        else begin
+          (* Arguments still evaluate (and may trap) before the arity
+             error, as in the interpreter. *)
+          ignore (eval_args frame args 0);
+          Eval.error "work expects one int argument"
+        end
+      in
+      if d >= 0 then set_slot t frame d v l
+    | LPrim (d, kind, name, args) ->
+      let argv = eval_args frame args 0 in
+      let xargs = P.export_args t.pstate argv in
+      emit_event t frame name xargs;
+      let v, l =
+        match kind with
+        | PWork -> assert false (* handled above *)
+        | PPrint -> builtin_print t xargs
+        | PSource param -> (
+          match argv with
+          | [ vl ] -> P.source t.pstate ~param vl
+          | _ -> Eval.error "taint:%s expects one argument" param)
+        | PDyn -> (
+          match Hashtbl.find_opt t.prims name with
+          | Some fn ->
+            let v, l = fn t frame xargs in
+            (v, P.import t.pstate l)
+          | None -> Eval.error "unknown primitive !%s" name)
+      in
+      if d >= 0 then set_slot t frame d v l
+
+  (* Build the callee frame: slots unset, parameters not yet bound
+     (each call shape binds from its own argument source). *)
+  and callee_frame t ~enclosing (cf : cfunc) fname callpath cp_key ocache =
+    let nslots = cf.code.lnslots in
+    {
+      code = cf.code;
+      fname;
+      fobs = cf.sfobs;
+      regs = Array.make nslots vunset;
+      pframe = P.frame_slots t.pstate nslots;
+      active_loops = [];
+      enclosing;
+      enc_active = merge_pending;
+      enc_list = [];
+      callpath;
+      cp_key;
+      ocache;
+      lmerged =
+        (if cf.has_loops then
+           Array.make (Array.length cf.code.lblocks) merge_pending
+         else [||]);
+      lmerged_enc =
+        (if cf.has_loops then
+           Array.make (Array.length cf.code.lblocks) merge_pending
+         else [||]);
+      push_key =
+        (if cf.has_loops then
+           Array.make (Array.length cf.code.lblocks) merge_pending
+         else [||]);
+      push_val =
+        (if cf.has_loops then
+           Array.make (Array.length cf.code.lblocks) merge_pending
+         else [||]);
+    }
+
+  (* Count the call and run the bound frame's entry block, with the same
+     trace/profile wrapping and trap placement as the interpreter. *)
+  and run_frame t frame (cf : cfunc) =
+    let fo = frame.fobs in
+    fo.Obs.fo_calls <- fo.Obs.fo_calls + 1;
+    (match t.im with
+    | None -> ()
+    | Some ic -> Obs_metrics.incr ic.Icounters.ic_calls);
+    (* Empty functions trap exactly where the interpreter resolves the
+       entry block: after the call was counted, before the trace span. *)
+    if Array.length cf.code.lblocks = 0 then ignore (entry_block cf.code.lf);
+    let result =
+      match t.prof with
+      | None ->
+        (* No closure in the common (unprofiled, untraced) path. *)
+        if Obs_trace.enabled t.trace then begin
+          Obs_trace.span_begin t.trace ~cat:"interp" frame.fname;
+          Fun.protect
+            ~finally:(fun () -> Obs_trace.span_end t.trace frame.fname)
+            (fun () -> exec_block t frame 0 ~prev:None ~from_inside:false)
+        end
+        else exec_block t frame 0 ~prev:None ~from_inside:false
+      | Some p ->
+        let body () =
+          if Obs_trace.enabled t.trace then begin
+            Obs_trace.span_begin t.trace ~cat:"interp" frame.fname;
+            Fun.protect
+              ~finally:(fun () -> Obs_trace.span_end t.trace frame.fname)
+              (fun () -> exec_block t frame 0 ~prev:None ~from_inside:false)
+          end
+          else exec_block t frame 0 ~prev:None ~from_inside:false
+        in
+        Obs_profile.enter p frame.fname;
+        Fun.protect ~finally:(fun () -> Obs_profile.leave p) body
+    in
+    t.call_depth <- t.call_depth - 1;
+    result
+
+  (* The entry-point call shape: list arguments, fresh observation
+     cache (the root callpath is never shared). *)
+  and call t callee argv =
+    t.call_depth <- t.call_depth + 1;
+    if t.call_depth > max_call_depth then Eval.error "call depth exceeded";
+    let idx = match callee with CIdx i -> i | CTrap e -> raise e in
+    let cf = compiled_of t idx in
+    let fname = t.funcs.(idx).fname in
+    let cp = [ fname ] in
+    let cp_key = Obs.callpath_key cp in
+    let frame =
+      callee_frame t ~enclosing:[] cf fname cp cp_key
+        (fresh_ocache cp_key cf.code)
+    in
+    (* Parameters occupy slots 0 .. n-1 by construction. *)
+    List.iteri
+      (fun i (v, l) ->
+        frame.regs.(i) <- v;
+        P.bind_slot frame.pframe i l)
+      argv;
+    run_frame t frame cf
+
+  (* The in-program call shape: [nargs] arguments staged in the scratch
+     buffers, callpath data cached per [LCall] site.  Unknown-callee and
+     arity traps fire here, where the interpreter performs its lookup
+     and check — after the depth guard. *)
+  and call_site t frame callee site nargs =
+    t.call_depth <- t.call_depth + 1;
+    if t.call_depth > max_call_depth then Eval.error "call depth exceeded";
+    let idx = match callee with CIdx i -> i | CTrap e -> raise e in
+    let cf = compiled_of t idx in
+    let fname = t.funcs.(idx).fname in
+    let entry =
+      match frame.ocache.sites.(site) with
+      | Some e -> e
+      | None ->
+        let mk = (frame.cp_key, fname) in
+        let e =
+          match Hashtbl.find_opt t.cp_keys mk with
+          | Some e -> e
+          | None ->
+            let cp = frame.callpath @ [ fname ] in
+            let e =
+              { cpi_path = cp; cpi_key = Obs.callpath_key cp;
+                cpi_cache = None; cpi_free = None }
+            in
+            Hashtbl.add t.cp_keys mk e;
+            e
+        in
+        frame.ocache.sites.(site) <- Some e;
+        e
+    in
+    let ocache =
+      match entry.cpi_cache with
+      | Some oc -> oc
+      | None ->
+        let oc = fresh_ocache entry.cpi_key cf.code in
+        entry.cpi_cache <- Some oc;
+        oc
+    in
+    let enclosing =
+      match frame.active_loops with
+      | [] -> frame.enclosing
+      | al ->
+        if al == frame.enc_active then frame.enc_list
+        else begin
+          let e = al @ frame.enclosing in
+          frame.enc_active <- al;
+          frame.enc_list <- e;
+          e
+        end
+    in
+    let callee =
+      match if poolable then entry.cpi_free else None with
+      | Some f ->
+        entry.cpi_free <- None;
+        Array.fill f.regs 0 (Array.length f.regs) vunset;
+        f.active_loops <- [];
+        (* [lmerged]/[push_key] caches are keyed by physical identity,
+           so stale entries are safe and steady-state callers (whose
+           context lists are physically unchanged call over call) keep
+           hitting them; only a changed enclosing context invalidates
+           the append cache. *)
+        if f.enclosing != enclosing then begin
+          f.enclosing <- enclosing;
+          f.enc_active <- merge_pending
+        end;
+        f
+      | None ->
+        callee_frame t ~enclosing cf fname entry.cpi_path entry.cpi_key ocache
+    in
+    let av = t.argv_buf in
+    if labels then begin
+      let al = t.argl_buf in
+      for i = 0 to nargs - 1 do
+        callee.regs.(i) <- av.(i);
+        P.bind_slot callee.pframe i al.(i)
+      done
+    end
+    else for i = 0 to nargs - 1 do callee.regs.(i) <- av.(i) done;
+    let result = run_frame t callee cf in
+    if poolable then entry.cpi_free <- Some callee;
+    result
+
+  and exec_block t frame idx ~prev ~from_inside =
+    (* Block indices come from [BGo] targets and are in-bounds by
+       construction. *)
+    let lb = Array.unsafe_get frame.code.lblocks idx in
+    let bi = lb.lbi in
+    let label = bi.Fstatic.blk.label in
+    if blocks_observed then
+      P.block_enter t.pstate frame.pframe ~func:frame.fname ~block:label ~prev;
+    (match frame.active_loops with
+    | [] -> ()
+    | loops ->
+      (* Same pruning as the interpreter's unconditional [List.filter],
+         but allocation-free when nothing leaves scope (the steady state
+         of a loop body), and by physical identity against the interned
+         per-block header selfs. *)
+      let allowed = frame.ocache.keeps.(idx) in
+      let keep e = List.memq e allowed in
+      if not (List.for_all keep loops) then
+        frame.active_loops <- List.filter keep loops);
+    (match bi.Fstatic.bloop with
+    | None -> ()
+    | Some loop ->
+      let lo =
+        match frame.ocache.locs.(idx) with
+        | Some lo -> lo
+        | None ->
+          let lo =
+            Dynobs.loop_obs t.obs ~cp_key:frame.cp_key ~func:frame.fname
+              ~header:label ~callpath:frame.callpath
+              ~depth:loop.Ir.Loops.depth ~parent:loop.Ir.Loops.parent
+          in
+          frame.ocache.locs.(idx) <- Some lo;
+          lo
+      in
+      Dynobs.record_arrival lo ~from_inside;
+      (match t.im with
+      | None -> ()
+      | Some ic ->
+        if from_inside then Obs_metrics.incr ic.Icounters.ic_loop_iters
+        else Obs_metrics.incr ic.Icounters.ic_loop_entries);
+      if (not from_inside) && Obs_trace.enabled t.trace then
+        Obs_trace.instant t.trace ~cat:"loop" (frame.fname ^ "/" ^ label);
+      (* [merge_enclosing] only ever adds context keys, so re-merging a
+         physically identical (active, enclosing) context is a no-op and
+         is skipped. *)
+      let self = frame.ocache.selfs.(idx) in
+      if
+        frame.lmerged.(idx) != frame.active_loops
+        || frame.lmerged_enc.(idx) != frame.enclosing
+      then begin
+        Dynobs.merge_enclosing lo ~self ~active:frame.active_loops
+          ~enclosing:frame.enclosing;
+        frame.lmerged.(idx) <- frame.active_loops;
+        frame.lmerged_enc.(idx) <- frame.enclosing
+      end;
+      if not (List.memq self frame.active_loops) then
+        if frame.push_key.(idx) == frame.active_loops then
+          frame.active_loops <- frame.push_val.(idx)
+        else begin
+          let pushed = self :: frame.active_loops in
+          frame.push_key.(idx) <- frame.active_loops;
+          frame.push_val.(idx) <- pushed;
+          frame.active_loops <- pushed
+        end);
+    let instrs = lb.linstrs in
+    for i = 0 to Array.length instrs - 1 do
+      exec_linstr t frame (Array.unsafe_get instrs i)
+    done;
+    step t;
+    (match t.im with
+    | None -> ()
+    | Some ic -> Obs_metrics.incr ic.Icounters.ic_ctl);
+    (* [prev] is only ever read by [P.block_enter]; skip the [Some]
+       allocation per block transition when blocks are unobserved. *)
+    let pv = if blocks_observed then Some label else None in
+    match lb.lterm with
+    | LReturn op ->
+      let v = lop_value frame op and l = lop_label frame op in
+      (v, if labels then P.return_label t.pstate frame.pframe l else P.clean)
+    | LJump (BGo (tgt, fi)) -> exec_block t frame tgt ~prev:pv ~from_inside:fi
+    | LJump (BTrap e) -> raise e
+    | LBranch (c, bthen, belse) -> (
+      let v = lop_value frame c and l = lop_label frame c in
+      let dep =
+        if labels then P.branch_dep t.pstate frame.pframe l else P.clean
+      in
+      let taken = Eval.as_bool v in
+      (match t.im with
+      | None -> ()
+      | Some ic ->
+        Obs_metrics.incr ic.Icounters.ic_branches;
+        if not (P.is_clean dep) then
+          Obs_metrics.incr ic.Icounters.ic_tainted_branches);
+      let odep = if labels then P.export t.pstate dep else Label.empty in
+      let bo =
+        match frame.ocache.bocs.(idx) with
+        | Some bo -> bo
+        | None ->
+          let bo =
+            Dynobs.branch_obs t.obs ~cp_key:frame.cp_key ~func:frame.fname
+              ~block:label ~callpath:frame.callpath
+          in
+          frame.ocache.bocs.(idx) <- Some bo;
+          bo
+      in
+      Dynobs.record_branch t.ltable bo ~dep:odep ~taken;
+      (match bi.Fstatic.bexits with
+      | [] -> ()
+      | bexits ->
+        Dynobs.loop_sink t.ltable t.obs ~cp_key:frame.cp_key bexits odep);
+      (if labels && P.wants_scope t.pstate l then
+         P.scope_push t.pstate frame.pframe ~join:bi.Fstatic.bjoin l);
+      match (if taken then bthen else belse) with
+      | BGo (tgt, fi) -> exec_block t frame tgt ~prev:pv ~from_inside:fi
+      | BTrap e -> raise e)
+
+  (* -- entry points -------------------------------------------------------- *)
+
+  let create ?(config = Engine.default_config) ?metrics
+      ?(trace = Obs_trace.disabled) ?profile (program : Ir.Types.program) =
+    let hint =
+      List.fold_left
+        (fun acc (f : func) ->
+          List.fold_left
+            (fun a (b : Ir.Types.block) -> a + List.length b.instrs)
+            acc f.blocks)
+        0 program.funcs
+    in
+    let findex = Hashtbl.create 16 in
+    let funcs =
+      (* First-wins on duplicate names, matching [find_func]'s scan. *)
+      List.filter
+        (fun (f : func) ->
+          if Hashtbl.mem findex f.fname then false
+          else begin
+            Hashtbl.add findex f.fname (-1);
+            true
+          end)
+        program.funcs
+      |> Array.of_list
+    in
+    Array.iteri (fun i (f : func) -> Hashtbl.replace findex f.fname i) funcs;
+    let pstate =
+      P.create ~control_flow_taint:config.Engine.control_flow_taint ~hint
+    in
+    {
+      program;
+      config;
+      max_steps = config.Engine.max_steps;
+      pstate;
+      ltable = P.table pstate;
+      harr = Array.make 64 [||];
+      next_alloc = 0;
+      steps = 0;
+      argv_buf = Array.make 8 vunset;
+      argl_buf = Array.make 8 P.clean;
+      funcs;
+      findex;
+      compiled = Array.make (max 1 (Array.length funcs)) None;
+      cp_keys = Hashtbl.create 64;
+      obs = Obs.create ();
+      prims = Hashtbl.create 16;
+      call_depth = 0;
+      im = Option.map Icounters.of_metrics metrics;
+      trace;
+      prof = profile;
+    }
+
+  let entry_callee t =
+    (* [run] has already resolved the entry through [find_func], so the
+       name is present; the lookup cannot fail. *)
+    CIdx (Hashtbl.find t.findex t.program.entry)
+
+  let run t args =
+    let entry = find_func t.program t.program.entry in
+    if List.length entry.fparams <> List.length args then
+      Eval.error "entry %s expects %d arguments, got %d" entry.fname
+        (List.length entry.fparams) (List.length args);
+    let v, l =
+      call t (entry_callee t) (List.map (fun v -> (v, P.clean)) args)
+    in
+    (v, P.export t.pstate l)
+
+  let run_named t bindings =
+    let entry = find_func t.program t.program.entry in
+    let args =
+      List.map
+        (fun p ->
+          match List.assoc_opt p bindings with
+          | Some v -> v
+          | None -> Eval.error "missing binding for entry parameter %s" p)
+        entry.fparams
+    in
+    run t args
+
+  let observations t = t.obs
+  let label_table t = t.ltable
+  let steps_executed t = t.steps
+  let trace_sink t = t.trace
+  let policy_state t = t.pstate
+end
+
+(** The compiled tier under each bundled policy — the drop-in
+    counterparts of {!Machine}, {!Plain} and {!Coverage}. *)
+module Taint = Make (Taint_policy)
+
+module Plain = Make (Plain_policy)
+module Coverage = Make (Coverage_policy)

@@ -9,6 +9,10 @@
 
 let name = "coverage"
 
+(* No shadow labels at all, but [block_enter] is the whole point. *)
+let tracks_labels = false
+let observes_blocks = true
+
 type state = {
   labels : Taint.Label.table;
   blocks : (string * string, int ref) Hashtbl.t;
@@ -34,6 +38,10 @@ let is_clean () = true
 let read_reg () _ = ()
 let write_reg _ () _ () = ()
 let bind_param () _ () = ()
+let frame_slots _ _ = ()
+let read_slot () _ = ()
+let write_slot _ () _ () = ()
+let bind_slot () _ () = ()
 let join2 _ () () = ()
 let on_alloc _ ~alloc:_ ~size:_ () = ()
 let on_load _ ~alloc:_ ~offset:_ ~base:() ~index:() = ()

@@ -4,7 +4,13 @@
     shadow-related operation routed through the policy: the engine keeps
     program values, the heap, frames, observations, metrics, tracing and
     the step budget; the policy keeps shadow registers, shadow memory,
-    control scopes — or nothing at all. *)
+    control scopes — or nothing at all.
+
+    This tier walks the IR tree directly with string-keyed lookups; the
+    {!Compiled} tier lowers each function to a slot-resolved form first
+    and is the default executor.  The interpreter remains the semantic
+    reference: the [compile_identity] fuzzing oracle holds the two tiers
+    bit-identical. *)
 
 open Ir.Types
 module Label = Taint.Label
@@ -19,87 +25,28 @@ type config = {
 
 let default_config = { control_flow_taint = true; max_steps = 200_000_000 }
 
-(* -- per-instruction counters --------------------------------------------- *)
+(* -- execution tiers ------------------------------------------------------- *)
 
-(* The counter names are defined once, here; [instr_counters] re-exports
-   them with their meaning for the documentation and its drift test. *)
-let n_alu = "interp.instr.alu"
-let n_mem = "interp.instr.mem"
-let n_call = "interp.instr.call"
-let n_prim = "interp.instr.prim"
-let n_ctl = "interp.instr.ctl"
-let n_loads = "interp.mem.loads"
-let n_stores = "interp.mem.stores"
-let n_allocs = "interp.mem.allocs"
-let n_heap_cells = "interp.mem.heap_cells"
-let n_branches = "interp.ctl.branches"
-let n_tainted_branches = "interp.ctl.tainted_branches"
-let n_loop_entries = "interp.loop.entries"
-let n_loop_iters = "interp.loop.iterations"
-let n_calls = "interp.calls"
+type tier = Interpreted | Compiled
 
-let instr_counters =
-  [
-    (n_alu, "Assign/Binop/Unop instructions executed");
-    (n_mem, "Alloc/Load/Store instructions executed");
-    (n_call, "Call instructions executed");
-    (n_prim, "Prim instructions executed");
-    (n_ctl, "block terminators executed");
-    (n_loads, "array loads");
-    (n_stores, "array stores");
-    (n_allocs, "array allocations");
-    (n_heap_cells, "heap cells allocated");
-    (n_branches, "conditional branches executed");
-    (n_tainted_branches, "branches whose condition carried a shadow dependency");
-    (n_loop_entries, "loop-header arrivals from outside the loop");
-    (n_loop_iters, "loop-header arrivals from inside the body");
-    (n_calls, "function invocations");
-  ]
+let default_tier = Compiled
+let tier_name = function Interpreted -> "interp" | Compiled -> "compiled"
 
-(* Pre-interned instruction counters (opcode classes, memory and shadow
-   traffic, control flow, loops).  Held as an [option] on the machine:
-   the disabled path is one field load and branch per instruction, with
-   no hashing and no allocation. *)
-type icounters = {
-  ic_alu : Obs_metrics.counter;      (** Assign/Binop/Unop *)
-  ic_mem : Obs_metrics.counter;      (** Alloc/Load/Store *)
-  ic_call : Obs_metrics.counter;     (** Call instructions *)
-  ic_prim : Obs_metrics.counter;     (** Prim instructions *)
-  ic_ctl : Obs_metrics.counter;      (** block terminators *)
-  ic_loads : Obs_metrics.counter;
-  ic_stores : Obs_metrics.counter;
-  ic_allocs : Obs_metrics.counter;
-  ic_heap_cells : Obs_metrics.counter;
-  ic_branches : Obs_metrics.counter;
-  ic_tainted_branches : Obs_metrics.counter;
-  ic_loop_entries : Obs_metrics.counter;
-  ic_loop_iters : Obs_metrics.counter;
-  ic_calls : Obs_metrics.counter;    (** function invocations *)
-}
+let tier_of_name = function
+  | "interp" | "interpreted" -> Some Interpreted
+  | "compiled" -> Some Compiled
+  | _ -> None
 
-let icounters_of m =
-  let c = Obs_metrics.counter m in
-  {
-    ic_alu = c n_alu;
-    ic_mem = c n_mem;
-    ic_call = c n_call;
-    ic_prim = c n_prim;
-    ic_ctl = c n_ctl;
-    ic_loads = c n_loads;
-    ic_stores = c n_stores;
-    ic_allocs = c n_allocs;
-    ic_heap_cells = c n_heap_cells;
-    ic_branches = c n_branches;
-    ic_tainted_branches = c n_tainted_branches;
-    ic_loop_entries = c n_loop_entries;
-    ic_loop_iters = c n_loop_iters;
-    ic_calls = c n_calls;
-  }
+(* The per-instruction counters live in {!Icounters}, shared with the
+   compiled tier; re-exported here for the documentation drift test. *)
+let instr_counters = Icounters.instr_counters
 
 (* -- module types ---------------------------------------------------------- *)
 
 module type POLICY = sig
   val name : string
+  val tracks_labels : bool
+  val observes_blocks : bool
 
   type state
   type label
@@ -113,6 +60,12 @@ module type POLICY = sig
   val read_reg : fstate -> string -> label
   val write_reg : state -> fstate -> string -> label -> unit
   val bind_param : fstate -> string -> label -> unit
+
+  val frame_slots : state -> int -> fstate
+  val read_slot : fstate -> int -> label
+  val write_slot : state -> fstate -> int -> label -> unit
+  val bind_slot : fstate -> int -> label -> unit
+
   val join2 : state -> label -> label -> label
   val on_alloc : state -> alloc:int -> size:int -> label -> label
 
@@ -184,30 +137,12 @@ module Make (P : POLICY) : S with type pstate = P.state = struct
 
   type pstate = P.state
 
-  (* Static per-function facts needed during execution. *)
+  (* Static per-function facts needed during execution: the shared
+     block-resolution table plus the function's statistics record. *)
   type fstatic = {
-    cfg : Ir.Cfg.t;
-    forest : Ir.Loops.forest;
-    binfos : (string, binfo) Hashtbl.t;
-        (** block label -> pre-resolved static facts, so each control
-            transfer costs a single lookup instead of a block-list scan
-            plus separate loop-forest and exit-table queries *)
-    bentry : binfo option;  (** the function's entry block, [None] iff empty *)
+    fst : Fstatic.t;
     sfobs : Obs.func_obs;
         (** the function's statistics record, shared by every frame *)
-  }
-
-  (** Per-block static facts, resolved once when the function is first
-      called. *)
-  and binfo = {
-    blk : Ir.Types.block;
-    bloop : Ir.Loops.loop option;  (** the loop this block heads, if any *)
-    bexits : Ir.Loops.loop list;
-        (** loops for which this block is an exiting block *)
-    bheaders : string list;
-        (** headers of this function's loops whose body contains this
-            block, so the dynamic loop-stack filter is a membership test
-            on a short pre-resolved list *)
   }
 
   type frame = {
@@ -248,7 +183,7 @@ module Make (P : POLICY) : S with type pstate = P.state = struct
     obs : Obs.t;
     prims : (string, prim_fn) Hashtbl.t;
     mutable call_depth : int;
-    im : icounters option;     (** instruction metrics, when enabled *)
+    im : Icounters.t option;   (** instruction metrics, when enabled *)
     trace : Obs_trace.sink;    (** span/instant sink, [disabled] by default *)
     prof : Obs_profile.t option;
         (** deterministic sampling profiler, off by default; driven by the
@@ -257,7 +192,6 @@ module Make (P : POLICY) : S with type pstate = P.state = struct
 
   and prim_fn = t -> frame -> (value * Label.t) list -> value * Label.t
 
-  let never_join = "$never"
   let max_call_depth = 10_000
 
   (* Cached [find_func]; the fallback keeps the original error message
@@ -274,58 +208,11 @@ module Make (P : POLICY) : S with type pstate = P.state = struct
     | Some s -> s
     | None ->
       let f = func_named t fname in
-      let cfg = Ir.Cfg.build f in
-      let forest = Ir.Loops.detect cfg in
-      let exit_of = Hashtbl.create 8 in
-      List.iter
-        (fun (l : Ir.Loops.loop) ->
-          List.iter
-            (fun blk ->
-              let cur =
-                Option.value ~default:[] (Hashtbl.find_opt exit_of blk)
-              in
-              Hashtbl.replace exit_of blk (l :: cur))
-            (Ir.Loops.exiting_blocks l))
-        forest.loops;
-      let binfos = Hashtbl.create 16 in
-      let binfo_of (b : Ir.Types.block) =
-        {
-          blk = b;
-          bloop = Ir.Loops.find forest b.label;
-          bexits =
-            Option.value ~default:[] (Hashtbl.find_opt exit_of b.label);
-          bheaders =
-            List.filter_map
-              (fun (l : Ir.Loops.loop) ->
-                if Ir.Cfg.SSet.mem b.label l.body then Some l.header else None)
-              forest.loops;
-        }
-      in
-      (* First-wins on duplicate labels, matching [find_block]'s scan. *)
-      List.iter
-        (fun (b : Ir.Types.block) ->
-          if not (Hashtbl.mem binfos b.label) then
-            Hashtbl.add binfos b.label (binfo_of b))
-        f.blocks;
-      let bentry =
-        match f.blocks with b :: _ -> Some (binfo_of b) | [] -> None
-      in
-      let s = { cfg; forest; binfos; bentry; sfobs = Obs.func_obs t.obs fname } in
+      let s = { fst = Fstatic.of_func f; sfobs = Obs.func_obs t.obs fname } in
       Hashtbl.replace t.statics fname s;
       s
 
-  (* Cached variants of the [Ir.Types] lookups; the fallbacks keep the
-     original error messages for labels outside the function. *)
-  let block_in frame label =
-    match Hashtbl.find_opt frame.fstat.binfos label with
-    | Some b -> b
-    | None ->
-      {
-        blk = find_block frame.ffunc label;
-        bloop = None;
-        bexits = [];
-        bheaders = [];
-      }
+  let block_in frame label = Fstatic.block_in frame.fstat.fst frame.ffunc label
 
   (* -- operands ----------------------------------------------------------- *)
 
@@ -402,7 +289,7 @@ module Make (P : POLICY) : S with type pstate = P.state = struct
     Hashtbl.replace t.heap h (Array.make (max size 0) (VInt 0));
     (match t.im with
     | None -> ()
-    | Some ic -> Obs_metrics.add ic.ic_heap_cells (max size 0));
+    | Some ic -> Obs_metrics.add ic.Icounters.ic_heap_cells (max size 0));
     h
 
   let heap_get t h i =
@@ -425,25 +312,11 @@ module Make (P : POLICY) : S with type pstate = P.state = struct
     if t.steps > t.config.max_steps then
       raise (Budget_exceeded t.config.max_steps)
 
-  let count_instr ic = function
-    | Assign _ | Binop _ | Unop _ -> Obs_metrics.incr ic.ic_alu
-    | Alloc _ ->
-      Obs_metrics.incr ic.ic_mem;
-      Obs_metrics.incr ic.ic_allocs
-    | Load _ ->
-      Obs_metrics.incr ic.ic_mem;
-      Obs_metrics.incr ic.ic_loads
-    | Store _ ->
-      Obs_metrics.incr ic.ic_mem;
-      Obs_metrics.incr ic.ic_stores
-    | Call _ -> Obs_metrics.incr ic.ic_call
-    | Prim _ -> Obs_metrics.incr ic.ic_prim
-
   let rec exec_instr t frame instr =
     step t;
     let fo = frame.fobs in
     fo.Obs.fo_instrs <- fo.Obs.fo_instrs + 1;
-    (match t.im with None -> () | Some ic -> count_instr ic instr);
+    (match t.im with None -> () | Some ic -> Icounters.count_instr ic instr);
     match instr with
     | Assign (d, a) ->
       let v = operand_value frame a and l = operand_label frame a in
@@ -487,12 +360,16 @@ module Make (P : POLICY) : S with type pstate = P.state = struct
       (match d with Some d -> write_reg t frame d v l | None -> ())
     | Prim (d, p, args) ->
       let argv = List.map (eval_operand frame) args in
-      let xargs = P.export_args t.pstate argv in
-      emit_event t frame p xargs;
       let v, l =
+        (* [work] is pure cost accounting: charged to [fo_work] and kept
+           out of the event log (symmetric with the compiled tier). *)
         if p = "work" then builtin_work frame argv
-        else if p = "print" then builtin_print t xargs
-        else dispatch_prim t frame p argv xargs
+        else begin
+          let xargs = P.export_args t.pstate argv in
+          emit_event t frame p xargs;
+          if p = "print" then builtin_print t xargs
+          else dispatch_prim t frame p argv xargs
+        end
       in
       (match d with Some d -> write_reg t frame d v l | None -> ())
 
@@ -546,12 +423,20 @@ module Make (P : POLICY) : S with type pstate = P.state = struct
       f.fparams argv;
     let fo = frame.fobs in
     fo.Obs.fo_calls <- fo.Obs.fo_calls + 1;
-    (match t.im with None -> () | Some ic -> Obs_metrics.incr ic.ic_calls);
+    (match t.im with
+    | None -> ()
+    | Some ic -> Obs_metrics.incr ic.Icounters.ic_calls);
     let entry =
-      match fstat.bentry with
+      match fstat.fst.Fstatic.bentry with
       | Some b -> b
       | None ->
-        { blk = entry_block f; bloop = None; bexits = []; bheaders = [] }
+        {
+          Fstatic.blk = entry_block f;
+          bloop = None;
+          bexits = [];
+          bheaders = [];
+          bjoin = Fstatic.never_join;
+        }
     in
     let body () =
       if Obs_trace.enabled t.trace then begin
@@ -577,7 +462,7 @@ module Make (P : POLICY) : S with type pstate = P.state = struct
     result
 
   (* Record loop entry / iteration when arriving at [bi.blk] from [prev]. *)
-  and note_loop_arrival t frame bi ~prev =
+  and note_loop_arrival t frame (bi : Fstatic.binfo) ~prev =
     match bi.bloop with
     | None -> ()
     | Some loop ->
@@ -587,83 +472,25 @@ module Make (P : POLICY) : S with type pstate = P.state = struct
         | Some p -> Ir.Cfg.SSet.mem p loop.Ir.Loops.body
         | None -> false
       in
-      let key = (frame.cp_key, block.label) in
       let lo =
-        match Hashtbl.find_opt t.obs.Obs.loops key with
-        | Some lo -> lo
-        | None ->
-          let lo =
-            {
-              Obs.lo_func = frame.ffunc.fname;
-              lo_header = block.label;
-              lo_callpath = frame.callpath;
-              lo_depth = loop.Ir.Loops.depth;
-              lo_parent = loop.Ir.Loops.parent;
-              lo_iters = 0;
-              lo_entries = 0;
-              lo_dep = Label.empty;
-              lo_enclosing = [];
-            }
-          in
-          Hashtbl.replace t.obs.Obs.loops key lo;
-          lo
+        Dynobs.loop_obs t.obs ~cp_key:frame.cp_key ~func:frame.ffunc.fname
+          ~header:block.label ~callpath:frame.callpath
+          ~depth:loop.Ir.Loops.depth ~parent:loop.Ir.Loops.parent
       in
-      (if from_inside then lo.Obs.lo_iters <- lo.Obs.lo_iters + 1
-       else lo.Obs.lo_entries <- lo.Obs.lo_entries + 1);
+      Dynobs.record_arrival lo ~from_inside;
       (match t.im with
       | None -> ()
       | Some ic ->
-        if from_inside then Obs_metrics.incr ic.ic_loop_iters
-        else Obs_metrics.incr ic.ic_loop_entries);
+        if from_inside then Obs_metrics.incr ic.Icounters.ic_loop_iters
+        else Obs_metrics.incr ic.Icounters.ic_loop_entries);
       if (not from_inside) && Obs_trace.enabled t.trace then
         Obs_trace.instant t.trace ~cat:"loop"
           (frame.ffunc.fname ^ "/" ^ block.label);
-      let self = (frame.cp_key, block.label) in
-      let ctx =
-        List.filter (fun k -> k <> self) frame.active_loops @ frame.enclosing
-      in
-      List.iter
-        (fun k ->
-          if not (List.mem k lo.Obs.lo_enclosing) then
-            lo.Obs.lo_enclosing <- k :: lo.Obs.lo_enclosing)
-        ctx
+      Dynobs.merge_enclosing lo
+        ~self:(frame.cp_key, block.label)
+        ~active:frame.active_loops ~enclosing:frame.enclosing
 
-  (* Union [dep] into the recorded dependency of every loop for which
-     this block is an exiting block: the loop-exit taint sink. *)
-  and note_loop_sink t frame bi dep =
-    List.iter
-      (fun (l : Ir.Loops.loop) ->
-        let key = (frame.cp_key, l.Ir.Loops.header) in
-        match Hashtbl.find_opt t.obs.Obs.loops key with
-        | Some lo ->
-          lo.Obs.lo_dep <- Label.union (P.table t.pstate) lo.Obs.lo_dep dep
-        | None -> ())
-      bi.bexits
-
-  and note_branch t frame block dep taken =
-    let key = (frame.cp_key, block.label) in
-    let bo =
-      match Hashtbl.find_opt t.obs.Obs.branches key with
-      | Some bo -> bo
-      | None ->
-        let bo =
-          {
-            Obs.br_func = frame.ffunc.fname;
-            br_block = block.label;
-            br_callpath = frame.callpath;
-            br_taken = 0;
-            br_not_taken = 0;
-            br_dep = Label.empty;
-          }
-        in
-        Hashtbl.replace t.obs.Obs.branches key bo;
-        bo
-    in
-    if taken then bo.Obs.br_taken <- bo.Obs.br_taken + 1
-    else bo.Obs.br_not_taken <- bo.Obs.br_not_taken + 1;
-    bo.Obs.br_dep <- Label.union (P.table t.pstate) bo.Obs.br_dep dep
-
-  and exec_from t frame bi ~prev =
+  and exec_from t frame (bi : Fstatic.binfo) ~prev =
     let block = bi.blk in
     (* Policy block hook: pop control scopes ending here (Taint), count
        blocks and edges (Coverage). *)
@@ -686,7 +513,9 @@ module Make (P : POLICY) : S with type pstate = P.state = struct
     | None -> ());
     List.iter (exec_instr t frame) block.instrs;
     step t;
-    (match t.im with None -> () | Some ic -> Obs_metrics.incr ic.ic_ctl);
+    (match t.im with
+    | None -> ()
+    | Some ic -> Obs_metrics.incr ic.Icounters.ic_ctl);
     match block.term with
     | Return op ->
       let v = operand_value frame op and l = operand_label frame op in
@@ -700,18 +529,19 @@ module Make (P : POLICY) : S with type pstate = P.state = struct
       (match t.im with
       | None -> ()
       | Some ic ->
-        Obs_metrics.incr ic.ic_branches;
+        Obs_metrics.incr ic.Icounters.ic_branches;
         if not (P.is_clean dep) then
-          Obs_metrics.incr ic.ic_tainted_branches);
+          Obs_metrics.incr ic.Icounters.ic_tainted_branches);
       let odep = P.export t.pstate dep in
-      note_branch t frame block odep taken;
-      note_loop_sink t frame bi odep;
+      let bo =
+        Dynobs.branch_obs t.obs ~cp_key:frame.cp_key ~func:frame.ffunc.fname
+          ~block:block.label ~callpath:frame.callpath
+      in
+      Dynobs.record_branch (P.table t.pstate) bo ~dep:odep ~taken;
+      Dynobs.loop_sink (P.table t.pstate) t.obs ~cp_key:frame.cp_key bi.bexits
+        odep;
       (if P.wants_scope t.pstate l then
-         let join =
-           Option.value ~default:never_join
-             (Ir.Cfg.ipostdom frame.fstat.cfg block.label)
-         in
-         P.scope_push t.pstate frame.pframe ~join l);
+         P.scope_push t.pstate frame.pframe ~join:bi.Fstatic.bjoin l);
       let target = if taken then then_l else else_l in
       exec_from t frame (block_in frame target) ~prev:(Some block.label)
 
@@ -750,7 +580,7 @@ module Make (P : POLICY) : S with type pstate = P.state = struct
       obs = Obs.create ();
       prims = Hashtbl.create 16;
       call_depth = 0;
-      im = Option.map icounters_of metrics;
+      im = Option.map Icounters.of_metrics metrics;
       trace;
       prof = profile;
     }

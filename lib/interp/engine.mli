@@ -31,6 +31,22 @@ type config = {
 
 val default_config : config
 
+(** The two execution tiers sharing these semantics: the tree-walking
+    interpreter ({!Make}) and the slot-resolved lowered form
+    ({!Compiled.Make}).  The compiled tier is the default everywhere a
+    program is executed; the interpreter is the semantic reference the
+    [compile_identity] fuzzing oracle differences against. *)
+type tier = Interpreted | Compiled
+
+val default_tier : tier
+(** {!Compiled}. *)
+
+val tier_name : tier -> string
+(** ["interp"] / ["compiled"] — the names accepted by the CLI's
+    [--engine] flag. *)
+
+val tier_of_name : string -> tier option
+
 val instr_counters : (string * string) list
 (** The per-instruction metric names the engine registers when a metrics
     registry is attached, with a one-line meaning each.  This list is the
@@ -44,6 +60,20 @@ val instr_counters : (string * string) list
     whole-run analysis state (e.g. the label table and shadow memory). *)
 module type POLICY = sig
   val name : string
+
+  val tracks_labels : bool
+  (** Whether slot labels carry information.  [false] promises that
+      {!read_slot}/{!write_slot}/{!bind_slot}, {!join2}, {!on_alloc},
+      {!on_load}, {!on_store}, {!branch_dep} and {!return_label} are
+      pure no-ops whose every result is {!clean} (with [export clean =
+      Taint.Label.empty]), and that {!wants_scope} is constant [false].
+      The compiled tier specializes on it, skipping the label plumbing
+      altogether; the interpreter always calls the hooks, so the promise
+      is cross-checked by the differential oracle. *)
+
+  val observes_blocks : bool
+  (** Whether {!block_enter} has observable effects ([false] lets a
+      tier skip the call — true of the Plain policy only). *)
 
   type state
   type label
@@ -72,6 +102,19 @@ module type POLICY = sig
 
   val bind_param : fstate -> string -> label -> unit
   (** Bind a formal parameter at call entry (no control-scope fold). *)
+
+  val frame_slots : state -> int -> fstate
+  (** Fresh per-frame context for the compiled tier, where the lowering
+      pass has resolved the frame's registers to [n] dense integer
+      slots.  The slot accessors below must implement exactly the same
+      shadow semantics as their register-named counterparts. *)
+
+  val read_slot : fstate -> int -> label
+  val write_slot : state -> fstate -> int -> label -> unit
+  (** Slot analogue of {!write_reg} (control-scope fold included). *)
+
+  val bind_slot : fstate -> int -> label -> unit
+  (** Slot analogue of {!bind_param} (no control-scope fold). *)
 
   val join2 : state -> label -> label -> label
   (** Transfer function of two-operand ALU instructions. *)

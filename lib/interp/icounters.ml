@@ -1,0 +1,92 @@
+(** Pre-interned per-instruction metric counters, shared by the
+    interpreted and compiled execution tiers.
+
+    The counter names are defined once, here; [instr_counters] re-exports
+    them with their meaning for the documentation and its drift test.
+    Held as an [option] on the machine: the disabled path is one field
+    load and branch per instruction, with no hashing and no allocation. *)
+
+open Ir.Types
+
+let n_alu = "interp.instr.alu"
+let n_mem = "interp.instr.mem"
+let n_call = "interp.instr.call"
+let n_prim = "interp.instr.prim"
+let n_ctl = "interp.instr.ctl"
+let n_loads = "interp.mem.loads"
+let n_stores = "interp.mem.stores"
+let n_allocs = "interp.mem.allocs"
+let n_heap_cells = "interp.mem.heap_cells"
+let n_branches = "interp.ctl.branches"
+let n_tainted_branches = "interp.ctl.tainted_branches"
+let n_loop_entries = "interp.loop.entries"
+let n_loop_iters = "interp.loop.iterations"
+let n_calls = "interp.calls"
+
+let instr_counters =
+  [
+    (n_alu, "Assign/Binop/Unop instructions executed");
+    (n_mem, "Alloc/Load/Store instructions executed");
+    (n_call, "Call instructions executed");
+    (n_prim, "Prim instructions executed");
+    (n_ctl, "block terminators executed");
+    (n_loads, "array loads");
+    (n_stores, "array stores");
+    (n_allocs, "array allocations");
+    (n_heap_cells, "heap cells allocated");
+    (n_branches, "conditional branches executed");
+    (n_tainted_branches, "branches whose condition carried a shadow dependency");
+    (n_loop_entries, "loop-header arrivals from outside the loop");
+    (n_loop_iters, "loop-header arrivals from inside the body");
+    (n_calls, "function invocations");
+  ]
+
+type t = {
+  ic_alu : Obs_metrics.counter;      (** Assign/Binop/Unop *)
+  ic_mem : Obs_metrics.counter;      (** Alloc/Load/Store *)
+  ic_call : Obs_metrics.counter;     (** Call instructions *)
+  ic_prim : Obs_metrics.counter;     (** Prim instructions *)
+  ic_ctl : Obs_metrics.counter;      (** block terminators *)
+  ic_loads : Obs_metrics.counter;
+  ic_stores : Obs_metrics.counter;
+  ic_allocs : Obs_metrics.counter;
+  ic_heap_cells : Obs_metrics.counter;
+  ic_branches : Obs_metrics.counter;
+  ic_tainted_branches : Obs_metrics.counter;
+  ic_loop_entries : Obs_metrics.counter;
+  ic_loop_iters : Obs_metrics.counter;
+  ic_calls : Obs_metrics.counter;    (** function invocations *)
+}
+
+let of_metrics m =
+  let c = Obs_metrics.counter m in
+  {
+    ic_alu = c n_alu;
+    ic_mem = c n_mem;
+    ic_call = c n_call;
+    ic_prim = c n_prim;
+    ic_ctl = c n_ctl;
+    ic_loads = c n_loads;
+    ic_stores = c n_stores;
+    ic_allocs = c n_allocs;
+    ic_heap_cells = c n_heap_cells;
+    ic_branches = c n_branches;
+    ic_tainted_branches = c n_tainted_branches;
+    ic_loop_entries = c n_loop_entries;
+    ic_loop_iters = c n_loop_iters;
+    ic_calls = c n_calls;
+  }
+
+let count_instr ic = function
+  | Assign _ | Binop _ | Unop _ -> Obs_metrics.incr ic.ic_alu
+  | Alloc _ ->
+    Obs_metrics.incr ic.ic_mem;
+    Obs_metrics.incr ic.ic_allocs
+  | Load _ ->
+    Obs_metrics.incr ic.ic_mem;
+    Obs_metrics.incr ic.ic_loads
+  | Store _ ->
+    Obs_metrics.incr ic.ic_mem;
+    Obs_metrics.incr ic.ic_stores
+  | Call _ -> Obs_metrics.incr ic.ic_call
+  | Prim _ -> Obs_metrics.incr ic.ic_prim

@@ -26,6 +26,11 @@ type config = Engine.config = {
 
 val default_config : config
 
+val policy_name : string
+
+type pstate = Taint_policy.state
+(** The taint policy's whole-run analysis state. *)
+
 type t
 (** An interpreter instance: program, heap, shadow memory, label table,
     observations, primitive registry. *)
@@ -74,3 +79,8 @@ val steps_executed : t -> int
 
 val trace_sink : t -> Obs_trace.sink
 (** The sink passed at creation ([Obs_trace.disabled] otherwise). *)
+
+val policy_state : t -> pstate
+(** Direct access to the policy's analysis state.  With these, the
+    module satisfies {!Engine.S} and can be packed first-class next to
+    {!Compiled.Taint} for tier-generic code. *)

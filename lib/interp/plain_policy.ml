@@ -12,6 +12,11 @@ module Label = Taint.Label
 
 let name = "plain"
 
+(* Every hook below is a no-op producing [Label.empty]; the compiled
+   tier specializes both away. *)
+let tracks_labels = false
+let observes_blocks = false
+
 type state = { labels : Label.table }
 type label = Label.t
 type fstate = unit
@@ -24,6 +29,10 @@ let is_clean _ = true
 let read_reg () _ = Label.empty
 let write_reg _ () _ _ = ()
 let bind_param () _ _ = ()
+let frame_slots _ _ = ()
+let read_slot () _ = Label.empty
+let write_slot _ () _ _ = ()
+let bind_slot () _ _ = ()
 let join2 _ _ _ = Label.empty
 let on_alloc _ ~alloc:_ ~size:_ _ = Label.empty
 let on_load _ ~alloc:_ ~offset:_ ~base:_ ~index:_ = Label.empty

@@ -23,6 +23,10 @@ type label = Label.t
 
 type fstate = {
   rshadow : (string, Label.t) Hashtbl.t;
+      (** shadow registers by name (interpreted tier) *)
+  slots : Label.t array;
+      (** shadow registers by slot (compiled tier); [ [||] ] in frames of
+          the interpreted tier *)
   mutable ctl : (string * Label.t) list;
       (** (join label, condition taint); "$never" join is function-scoped *)
 }
@@ -32,7 +36,19 @@ let create ~control_flow_taint ~hint =
     cf = control_flow_taint }
 
 let table s = s.labels
-let frame_state _ = { rshadow = Hashtbl.create 32; ctl = [] }
+
+(* Each frame uses either the named or the slotted shadow registers,
+   never both; the unused side is a shared empty structure.  The dummy
+   table is never written: the compiled tier routes every register
+   access through slots. *)
+let no_slots : Label.t array = [||]
+let no_rshadow : (string, Label.t) Hashtbl.t = Hashtbl.create 1
+
+let frame_state _ =
+  { rshadow = Hashtbl.create 32; slots = no_slots; ctl = [] }
+
+let frame_slots _ n =
+  { rshadow = no_rshadow; slots = Array.make n Label.empty; ctl = [] }
 let clean = Label.empty
 let is_clean = Label.is_empty
 
@@ -50,6 +66,11 @@ let with_ctl s f l =
 
 let write_reg s f r l = Hashtbl.replace f.rshadow r (with_ctl s f l)
 let bind_param f p l = Hashtbl.replace f.rshadow p l
+let tracks_labels = true
+let observes_blocks = true
+let read_slot f i = f.slots.(i)
+let write_slot s f i l = f.slots.(i) <- with_ctl s f l
+let bind_slot f i l = f.slots.(i) <- l
 let join2 s a b = Label.union s.labels a b
 
 let on_alloc s ~alloc ~size l =
@@ -58,12 +79,12 @@ let on_alloc s ~alloc ~size l =
   l
 
 let on_load s ~alloc ~offset ~base ~index =
-  let lmem = Shadow.get s.shadow { Shadow.alloc; offset } in
+  let lmem = Shadow.get s.shadow ~alloc ~offset in
   Label.union_all s.labels [ base; index; lmem ]
 
 let on_store s f ~alloc ~offset ~base ~index ~data =
   let l = Label.union_all s.labels [ base; index; data ] in
-  Shadow.set s.shadow { Shadow.alloc; offset } (with_ctl s f l)
+  Shadow.set s.shadow ~alloc ~offset (with_ctl s f l)
 
 let source s ~param ((v, l) : Ir.Types.value * label) =
   let base = Label.base s.labels param in

@@ -139,7 +139,11 @@ type replay = {
   rp_calls : (string * int) list;  (** per-function invocation counts *)
 }
 
-let replay ?config ?(world = Mpi_sim.Runtime.default_world) program ~params =
+(* The replay body over any shadow-free engine: the interpreted and the
+   compiled tier expose the same {!Interp.Engine.S} face, so one
+   first-class-module helper serves both. *)
+let replay_via (type a) (module E : Interp.Engine.S with type t = a) ?config
+    ~world program ~params =
   let entry = Ir.Types.find_func program program.Ir.Types.entry in
   (* "p" doubles as the MPI world size when the entry does not take it
      explicitly: the communicator size enters through mpi_comm_size. *)
@@ -150,8 +154,8 @@ let replay ?config ?(world = Mpi_sim.Runtime.default_world) program ~params =
       | Some p -> { world with Mpi_sim.Runtime.ranks = int_of_float p }
       | None -> world
   in
-  let m = Interp.Plain.create ?config program in
-  Mpi_sim.Runtime.install_plain world m;
+  let m = E.create ?config program in
+  Mpi_sim.Runtime.install_host (module E) world m;
   let bindings =
     List.map
       (fun name ->
@@ -162,8 +166,8 @@ let replay ?config ?(world = Mpi_sim.Runtime.default_world) program ~params =
             (Printf.sprintf "replay: no value for entry parameter %s" name))
       entry.Ir.Types.fparams
   in
-  let v, _ = Interp.Plain.run_named m bindings in
-  let obs = Interp.Plain.observations m in
+  let v, _ = E.run_named m bindings in
+  let obs = E.observations m in
   let fold f =
     Hashtbl.fold
       (fun name fo acc -> (name, f fo) :: acc)
@@ -173,10 +177,18 @@ let replay ?config ?(world = Mpi_sim.Runtime.default_world) program ~params =
   {
     rp_params = params;
     rp_value = v;
-    rp_steps = Interp.Plain.steps_executed m;
+    rp_steps = E.steps_executed m;
     rp_work = fold (fun fo -> fo.Interp.Observations.fo_work);
     rp_calls = fold (fun fo -> fo.Interp.Observations.fo_calls);
   }
+
+let replay ?(engine = Interp.Engine.default_tier) ?config
+    ?(world = Mpi_sim.Runtime.default_world) program ~params =
+  match engine with
+  | Interp.Engine.Interpreted ->
+    replay_via (module Interp.Plain) ?config ~world program ~params
+  | Interp.Engine.Compiled ->
+    replay_via (module Interp.Compiled.Plain) ?config ~world program ~params
 
 let replay_work r name =
   Option.value ~default:0 (List.assoc_opt name r.rp_work)

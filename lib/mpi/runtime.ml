@@ -53,3 +53,11 @@ module Coverage_install = Install (Interp.Coverage)
 let install = Machine_install.install
 let install_plain = Plain_install.install
 let install_coverage = Coverage_install.install
+
+(* Tier-generic entry point: install against a first-class engine module,
+   so callers parameterized over Interp.Engine.S (interpreted or
+   compiled) need no per-tier install function. *)
+let install_host (type a) (module E : Interp.Engine.HOST with type t = a)
+    world (m : a) =
+  let module I = Install (E) in
+  I.install world m

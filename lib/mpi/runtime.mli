@@ -23,3 +23,8 @@ val install_plain : world -> Interp.Plain.t -> unit
 
 val install_coverage : world -> Interp.Coverage.t -> unit
 (** Same bindings on the coverage engine. *)
+
+val install_host :
+  (module Interp.Engine.HOST with type t = 'a) -> world -> 'a -> unit
+(** Tier-generic install against a first-class engine module — serves
+    both the interpreted and the compiled tier of any policy. *)

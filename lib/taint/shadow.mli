@@ -1,7 +1,6 @@
 (** Shadow memory: the taint label attached to every program memory cell,
-    kept as a parallel label array per heap allocation. *)
-
-type address = { alloc : int; offset : int }
+    kept as a parallel label array per heap allocation (a flat growable
+    table indexed by the dense allocation handle). *)
 
 type t
 
@@ -11,11 +10,11 @@ val create : ?hint:int -> unit -> t
 val on_alloc : t -> alloc:int -> size:int -> unit
 (** Register a fresh allocation; all cells start untainted. *)
 
-val get : t -> address -> Label.t
+val get : t -> alloc:int -> offset:int -> Label.t
 (** Label of a cell; empty for unknown allocations or out-of-range
     offsets. *)
 
-val set : t -> address -> Label.t -> unit
+val set : t -> alloc:int -> offset:int -> Label.t -> unit
 (** Write a cell's label; silently ignores unknown/out-of-range targets. *)
 
 val taint_all : t -> alloc:int -> Label.t -> unit

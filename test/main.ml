@@ -5,6 +5,7 @@ let () =
       ("taint", Suite_taint.tests);
       ("interp", Suite_interp.tests);
       ("engine", Suite_engine.tests);
+      ("compile", Suite_compile.tests);
       ("static", Suite_static.tests);
       ("measure", Suite_measure.tests);
       ("pipeline", Suite_pipeline.tests);

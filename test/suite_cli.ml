@@ -125,9 +125,79 @@ let test_campaign_needs_spec () =
 let test_resume_needs_journal () =
   check_failure ~expect:"--journal" [ "campaign"; "lulesh"; "--resume" ]
 
+(* -- tier identity ----------------------------------------------------------
+   The lowering pass resolves names at compile time but its traps are
+   lazy and carry the interpreter's exact exception: for any program,
+   failing or not, `--engine compiled` and `--engine interp` must be
+   byte-identical on exit code, stdout and stderr. *)
+
+let check_tier_identity ?expect args =
+  let cc, co, ce = run_cli (args @ [ "--engine"; "compiled" ]) in
+  let ic, io, ie = run_cli (args @ [ "--engine"; "interp" ]) in
+  let label = String.concat " " args in
+  Alcotest.(check int) (label ^ ": same exit code") ic cc;
+  Alcotest.(check string) (label ^ ": same stdout") io co;
+  Alcotest.(check string) (label ^ ": same stderr") ie ce;
+  match expect with
+  | None -> ()
+  | Some needle ->
+    Alcotest.(check bool)
+      (Printf.sprintf "stderr %S mentions %S" ce needle)
+      true (contains ce needle)
+
+let test_engine_unknown_function_identical () =
+  with_fixture "func @main(n) {\nentry:\n  call @nope()\n  ret ()\n}\n"
+  @@ fun path ->
+  check_tier_identity ~expect:"unknown function nope" [ "run"; path ]
+
+let test_engine_unknown_block_identical () =
+  (* `run` skips the static validator, so the unknown label surfaces as
+     the engine's own trap — precomputed by the lowering pass, raised
+     only when the jump executes. *)
+  with_fixture "func @main(n) {\nentry:\n  jump missing\n}\n" @@ fun path ->
+  check_tier_identity ~expect:"unknown block missing in main" [ "run"; path ]
+
+let test_engine_unknown_prim_identical () =
+  with_fixture "func @main(n) {\nentry:\n  %x = prim !frob()\n  ret %x\n}\n"
+  @@ fun path ->
+  check_tier_identity ~expect:"unknown primitive !frob" [ "run"; path ]
+
+let test_engine_runtime_and_budget_identical () =
+  with_fixture "func @main(n) {\nentry:\n  %z = div %n, 0\n  ret %z\n}\n"
+    (fun path ->
+      check_tier_identity ~expect:"division by zero" [ "run"; path ]);
+  check_tier_identity ~expect:"--max-steps"
+    [ "run"; "lulesh"; "--max-steps"; "10" ]
+
+let test_engine_success_identical () =
+  List.iter
+    (fun app -> check_tier_identity [ "run"; app ])
+    [ "iterate"; "matrix"; "foo" ]
+
+let test_engine_rejects_bad_tier () =
+  let code, _out, errs =
+    run_cli [ "run"; "iterate"; "--engine"; "frobnicated" ]
+  in
+  Alcotest.(check bool) "nonzero exit" true (code <> 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "stderr %S names the flag" errs)
+    true (contains errs "--engine")
+
 let tests =
   [
     Alcotest.test_case "success baseline exits 0" `Quick test_success_baseline;
+    Alcotest.test_case "tier-identical unknown-function error" `Quick
+      test_engine_unknown_function_identical;
+    Alcotest.test_case "tier-identical unknown-block error" `Quick
+      test_engine_unknown_block_identical;
+    Alcotest.test_case "tier-identical unknown-prim error" `Quick
+      test_engine_unknown_prim_identical;
+    Alcotest.test_case "tier-identical runtime/budget errors" `Quick
+      test_engine_runtime_and_budget_identical;
+    Alcotest.test_case "tier-identical run output" `Quick
+      test_engine_success_identical;
+    Alcotest.test_case "--engine rejects unknown tiers" `Quick
+      test_engine_rejects_bad_tier;
     Alcotest.test_case "unknown app" `Quick test_unknown_app;
     Alcotest.test_case "directory as program path" `Quick test_directory_path;
     Alcotest.test_case "vanished program path" `Quick test_unreadable_file;

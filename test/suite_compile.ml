@@ -1,0 +1,515 @@
+(** Tests of the compilation tier: the slot-resolved lowering pass
+    ([Interp.Lower]) and the compiled engine ([Interp.Compiled]) against
+    the tree-walking interpreter as differential oracle — slot-allocation
+    edge cases (shadowed registers, empty blocks, recursion), the
+    duplicate-label first-wins rule shared through [Interp.Fstatic], lazy
+    trap-message identity, mid-block budget cuts, bit-identity on the
+    bundled applications and [examples/heat.pir], parallel fuzz campaigns
+    of the [compile-identity] oracle at several pool sizes, and the
+    "Lowered IR" table of doc/IR.md staying in sync with
+    {!Interp.Lower.lowered_ops}. *)
+
+open Ir.Types
+module B = Ir.Builder
+module M = Interp.Machine
+module O = Fuzz.Oracle
+
+let prog funcs entry = { pname = "t"; funcs; entry }
+
+let check_identity ?(config = O.interp_config) p =
+  match O.check (O.compile_identity_with config) p with
+  | O.Pass -> ()
+  | O.Fail msg -> Alcotest.failf "tier divergence: %s" msg
+
+(* Run one program through both Taint tiers and return what each did:
+   either the result value or the trap, plus the step count. *)
+let both_tiers ?(config = M.default_config) p args =
+  let run_via (type a) (module E : Interp.Engine.S with type t = a) =
+    let m = E.create ~config p in
+    let outcome =
+      match E.run m args with
+      | v, _ -> Ok v
+      | exception M.Budget_exceeded n -> Error (Printf.sprintf "budget %d" n)
+      | exception M.Runtime_error msg -> Error ("runtime error: " ^ msg)
+      | exception Ir_error msg -> Error ("invalid IR: " ^ msg)
+    in
+    (outcome, E.steps_executed m)
+  in
+  ( run_via (module M),
+    run_via (module Interp.Compiled.Taint) )
+
+let check_both ?config ~what p args =
+  let i, c = both_tiers ?config p args in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: compiled = interpreted (%s)" what
+       (match fst i with Ok _ -> "value" | Error e -> e))
+    true (i = c);
+  i
+
+(* -- duplicate labels: the shared first-wins rule ---------------------------- *)
+
+(* Two blocks named "dup": the first returns 1, the second 2.  Both
+   tiers must resolve the jump to the first — the single definition in
+   [Interp.Fstatic] — and the lowering must drop the dead duplicate. *)
+let test_duplicate_label_first_wins () =
+  let p =
+    prog
+      [
+        {
+          fname = "f";
+          fparams = [];
+          blocks =
+            [
+              { label = "entry"; instrs = []; term = Jump "dup" };
+              { label = "dup"; instrs = []; term = Return (Int 1) };
+              { label = "dup"; instrs = []; term = Return (Int 2) };
+            ];
+        };
+      ]
+      "f"
+  in
+  let i = check_both ~what:"duplicate label" p [] in
+  Alcotest.(check bool) "first definition wins" true (fst i = Ok (VInt 1));
+  check_identity p
+
+(* Duplicate function names follow the same rule: find_func is
+   first-wins, and the compiled function table must agree. *)
+let test_duplicate_function_first_wins () =
+  let fn ret =
+    {
+      fname = "g";
+      fparams = [];
+      blocks = [ { label = "entry"; instrs = []; term = Return (Int ret) } ];
+    }
+  in
+  let main =
+    {
+      fname = "f";
+      fparams = [];
+      blocks =
+        [
+          {
+            label = "entry";
+            instrs = [ Call (Some "r", "g", []) ];
+            term = Return (Reg "r");
+          };
+        ];
+    }
+  in
+  let p = prog [ main; fn 1; fn 2 ] "f" in
+  let i = check_both ~what:"duplicate function" p [] in
+  Alcotest.(check bool) "first definition wins" true (fst i = Ok (VInt 1));
+  check_identity p
+
+(* -- slot allocation --------------------------------------------------------- *)
+
+(* A parameter reused as a scratch register and a register written in
+   several blocks must each map to one slot: parameters first, then
+   first-occurrence order. *)
+let test_shadowed_registers () =
+  let f =
+    B.define "f" ~params:[ "n" ] (fun b ->
+        B.set b "n" (B.add b (Reg "n") (Int 1));
+        B.set b "x" (Int 10);
+        B.set b "x" (B.add b (Reg "x") (Reg "n"));
+        B.ret b (Reg "x"))
+  in
+  let p = prog [ f ] "f" in
+  let lowered =
+    Interp.Lower.func
+      ~resolve:(fun _ -> None)
+      f
+      (Interp.Fstatic.of_func f)
+  in
+  (* n, x plus one builder temporary per arithmetic op. *)
+  Alcotest.(check int) "parameter occupies slot 0" 0
+    (match Array.to_list lowered.Interp.Lower.lsnames with
+    | "n" :: _ -> 0
+    | other -> Alcotest.failf "slot 0 is %s" (String.concat "," other));
+  Alcotest.(check int) "each register gets exactly one slot"
+    (List.length
+       (List.sort_uniq compare (Array.to_list lowered.Interp.Lower.lsnames)))
+    lowered.Interp.Lower.lnslots;
+  let i = check_both ~what:"shadowed registers" p [ VInt 3 ] in
+  Alcotest.(check bool) "value" true (fst i = Ok (VInt 14));
+  check_identity p
+
+(* Empty blocks (terminator only) and an empty function body. *)
+let test_empty_blocks () =
+  let p =
+    prog
+      [
+        {
+          fname = "f";
+          fparams = [];
+          blocks =
+            [
+              { label = "entry"; instrs = []; term = Jump "a" };
+              { label = "a"; instrs = []; term = Jump "b" };
+              { label = "b"; instrs = []; term = Return (Int 7) };
+            ];
+        };
+      ]
+      "f"
+  in
+  let i = check_both ~what:"empty blocks" p [] in
+  Alcotest.(check bool) "value" true (fst i = Ok (VInt 7));
+  Alcotest.(check int) "one step per terminator" 3 (snd i);
+  check_identity p;
+  (* A call to a block-less function traps identically on both tiers,
+     after the call itself was counted. *)
+  let hollow = { fname = "hollow"; fparams = []; blocks = [] } in
+  let main =
+    {
+      fname = "f";
+      fparams = [];
+      blocks =
+        [
+          {
+            label = "entry";
+            instrs = [ Call (None, "hollow", []) ];
+            term = Return Unit;
+          };
+        ];
+    }
+  in
+  let p = prog [ main; hollow ] "f" in
+  let i = check_both ~what:"empty function" p [] in
+  Alcotest.(check bool) "trap text" true
+    (fst i = Error "invalid IR: function hollow has no blocks")
+
+(* -- recursion --------------------------------------------------------------- *)
+
+let test_recursive_calls () =
+  (* Self-recursion: fib(n). *)
+  let fib =
+    B.define "fib" ~params:[ "n" ] (fun b ->
+        let c = B.gt b (Reg "n") (Int 1) in
+        B.terminate b (Branch (c, "rec", "base"));
+        B.start_block b "rec";
+        let a = B.call b "fib" [ B.sub b (Reg "n") (Int 1) ] in
+        let d = B.call b "fib" [ B.sub b (Reg "n") (Int 2) ] in
+        B.ret b (B.add b a d);
+        B.start_block b "base";
+        B.ret b (Reg "n"))
+  in
+  let p = prog [ fib ] "fib" in
+  let i = check_both ~what:"self-recursion" p [ VInt 12 ] in
+  Alcotest.(check bool) "fib 12" true (fst i = Ok (VInt 144));
+  check_identity p;
+  (* Mutual recursion: is_even/is_odd. *)
+  let even =
+    B.define "even" ~params:[ "n" ] (fun b ->
+        let c = B.gt b (Reg "n") (Int 0) in
+        B.terminate b (Branch (c, "rec", "base"));
+        B.start_block b "rec";
+        let r = B.call b "odd" [ B.sub b (Reg "n") (Int 1) ] in
+        B.ret b r;
+        B.start_block b "base";
+        B.ret b (Int 1))
+  in
+  let odd =
+    B.define "odd" ~params:[ "n" ] (fun b ->
+        let c = B.gt b (Reg "n") (Int 0) in
+        B.terminate b (Branch (c, "rec", "base"));
+        B.start_block b "rec";
+        let r = B.call b "even" [ B.sub b (Reg "n") (Int 1) ] in
+        B.ret b r;
+        B.start_block b "base";
+        B.ret b (Int 0))
+  in
+  let p = prog [ even; odd ] "even" in
+  let i = check_both ~what:"mutual recursion" p [ VInt 9 ] in
+  Alcotest.(check bool) "even 9 = false" true (fst i = Ok (VInt 0));
+  check_identity p;
+  (* Unbounded recursion trips the shared depth limit, same text. *)
+  let forever =
+    B.define "f" ~params:[] (fun b ->
+        let r = B.call b "f" [] in
+        B.ret b r)
+  in
+  let i = check_both ~what:"call depth" (prog [ forever ] "f") [] in
+  Alcotest.(check bool) "depth trap text" true
+    (fst i = Error "runtime error: call depth exceeded")
+
+(* -- the budget cutting mid-block -------------------------------------------- *)
+
+let test_budget_cut_mid_block () =
+  (* One straight-line block of many instructions: any budget below the
+     block length stops inside it, and the exception must carry exactly
+     the budget on both tiers. *)
+  let f =
+    B.define "f" ~params:[] (fun b ->
+        B.set b "x" (Int 0);
+        for _ = 1 to 50 do
+          B.set b "x" (B.add b (Reg "x") (Int 1))
+        done;
+        B.ret b (Reg "x"))
+  in
+  let p = prog [ f ] "f" in
+  List.iter
+    (fun budget ->
+      let config = { M.default_config with max_steps = budget } in
+      let i = check_both ~config ~what:"mid-block budget" p [] in
+      Alcotest.(check bool)
+        (Printf.sprintf "Budget_exceeded carries exactly %d" budget)
+        true
+        (fst i = Error (Printf.sprintf "budget %d" budget));
+      check_identity ~config:{ O.interp_config with max_steps = budget } p)
+    [ 1; 7; 33 ]
+
+(* -- lazy trap identity ------------------------------------------------------- *)
+
+let test_trap_messages_identical () =
+  let cases =
+    [
+      ( "unknown callee",
+        "{ call @nope() } traps only when executed",
+        [
+          {
+            fname = "f";
+            fparams = [];
+            blocks =
+              [
+                {
+                  label = "entry";
+                  instrs = [ Call (None, "nope", []) ];
+                  term = Return Unit;
+                };
+              ];
+          };
+        ],
+        Error "invalid IR: unknown function nope" );
+      ( "arity mismatch",
+        "wrong argument count",
+        [
+          {
+            fname = "f";
+            fparams = [];
+            blocks =
+              [
+                {
+                  label = "entry";
+                  instrs = [ Call (None, "g", [ Int 1 ]) ];
+                  term = Return Unit;
+                };
+              ];
+          };
+          {
+            fname = "g";
+            fparams = [ "a"; "b" ];
+            blocks = [ { label = "entry"; instrs = []; term = Return Unit } ];
+          };
+        ],
+        Error "runtime error: arity mismatch calling g: 2 formals, 1 actuals"
+      );
+      ( "unknown block",
+        "dangling jump",
+        [
+          {
+            fname = "f";
+            fparams = [];
+            blocks = [ { label = "entry"; instrs = []; term = Jump "gone" } ];
+          };
+        ],
+        Error "invalid IR: unknown block gone in f" );
+      ( "unknown prim",
+        "unregistered primitive",
+        [
+          {
+            fname = "f";
+            fparams = [];
+            blocks =
+              [
+                {
+                  label = "entry";
+                  instrs = [ Prim (Some "x", "frob", []) ];
+                  term = Return (Reg "x");
+                };
+              ];
+          };
+        ],
+        Error "runtime error: unknown primitive !frob" );
+      ( "unset register",
+        "read before any write",
+        [
+          {
+            fname = "f";
+            fparams = [];
+            blocks =
+              [
+                {
+                  label = "entry";
+                  instrs = [ Assign ("y", Reg "x") ];
+                  term = Return (Reg "y");
+                };
+              ];
+          };
+        ],
+        Error "runtime error: read of unset register %x in f" );
+    ]
+  in
+  List.iter
+    (fun (what, _why, funcs, expect) ->
+      let i = check_both ~what (prog funcs "f") [] in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: exact interpreter text" what)
+        true (fst i = expect))
+    cases;
+  (* A lazy trap on a dead path must NOT fire: the same unknown callee
+     behind an untaken branch runs to completion on both tiers. *)
+  let p =
+    prog
+      [
+        {
+          fname = "f";
+          fparams = [];
+          blocks =
+            [
+              { label = "entry"; instrs = []; term = Branch (Bool true, "ok", "bad") };
+              { label = "ok"; instrs = []; term = Return (Int 5) };
+              {
+                label = "bad";
+                instrs = [ Call (None, "nope", []) ];
+                term = Jump "gone";
+              };
+            ];
+        };
+      ]
+      "f"
+  in
+  let i = check_both ~what:"dead trap" p [] in
+  Alcotest.(check bool) "dead traps stay dormant" true (fst i = Ok (VInt 5))
+
+(* -- bit-identity on the bundled programs ------------------------------------- *)
+
+let test_identity_on_apps () =
+  List.iter check_identity
+    [
+      Apps.Didactic.iterate_example;
+      Apps.Didactic.foo_example;
+      Apps.Didactic.matrix_init;
+      Apps.Didactic.algorithm_selection;
+    ]
+
+(* The checked-in example program, through the full pipeline on both
+   tiers: identical classification inputs (observations digested into
+   deps) and identical step counts. *)
+let test_identity_on_heat_example () =
+  let path =
+    List.find Sys.file_exists [ "../examples/heat.pir"; "examples/heat.pir" ]
+  in
+  let p = Ir.Parser.parse_file path in
+  check_identity p;
+  let analyze engine = Perf_taint.Pipeline.analyze ~engine p ~args:[ VInt 8; VInt 4 ] in
+  let i = analyze Interp.Engine.Interpreted in
+  let c = analyze Interp.Engine.Compiled in
+  Alcotest.(check int) "same steps" i.Perf_taint.Pipeline.steps
+    c.Perf_taint.Pipeline.steps;
+  Alcotest.(check bool) "same dependency digests" true
+    (Perf_taint.Pipeline.SMap.equal ( = ) i.Perf_taint.Pipeline.deps
+       c.Perf_taint.Pipeline.deps)
+
+(* Replays through Measure.Simulator agree between tiers on the bundled
+   app with an MPI world (mpi_comm_size taint source installed). *)
+let test_replay_engines_agree () =
+  let grid = [ ("p", [ 2.; 4. ]); ("size", [ 6.; 10. ]) ] in
+  let rs e =
+    Measure.Experiment.replay_runs ~engine:e Apps.Didactic.iterate_example
+      ~grid:[ ("size", [ 4.; 8. ]); ("step", [ 1.; 2. ]) ]
+  in
+  Alcotest.(check bool) "replay_runs identical" true
+    (rs Interp.Engine.Interpreted = rs Interp.Engine.Compiled);
+  ignore grid
+
+(* -- parallel campaigns -------------------------------------------------------
+   The compile-identity oracle through the fuzz driver at several pool
+   sizes: same verdicts, same case counts, no counterexamples. *)
+
+let campaign pool =
+  Fuzz.Driver.run_campaign ?pool ~oracles:[ O.compile_identity ] ~seed:1234
+    ~budget:60 ()
+
+let test_fuzz_campaign_jobs () =
+  let serial = campaign None in
+  List.iter
+    (fun (r : Fuzz.Driver.oracle_result) ->
+      Alcotest.(check int) "all 60 cases checked" 60 r.or_runs;
+      Alcotest.(check bool) "no counterexample" true (r.or_cx = None))
+    serial.rp_results;
+  List.iter
+    (fun jobs ->
+      Par.Pool.with_pool ~jobs (fun p ->
+          let par = campaign (Some p) in
+          Alcotest.(check bool)
+            (Printf.sprintf "report at --jobs %d identical to serial" jobs)
+            true
+            (par = serial)))
+    [ 2; 7 ]
+
+(* -- documentation drift ------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  at 0
+
+(* [Interp.Lower.lowered_ops] is the single definition of the lowered
+   instruction layout; the "Lowered IR" table in doc/IR.md must list
+   every row verbatim. *)
+let test_lowered_ops_doc_in_sync () =
+  let path = List.find Sys.file_exists [ "../doc/IR.md"; "doc/IR.md" ] in
+  let doc = read_file path in
+  List.iter
+    (fun (name, descr) ->
+      let row = Printf.sprintf "| `%s` | %s |" name descr in
+      Alcotest.(check bool)
+        (Printf.sprintf "doc/IR.md lists %s with its meaning" name)
+        true (contains doc row))
+    Interp.Lower.lowered_ops
+
+let test_design_doc_mentions_tier () =
+  let path = List.find Sys.file_exists [ "../DESIGN.md"; "DESIGN.md" ] in
+  let doc = read_file path in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "DESIGN.md mentions %s" needle)
+        true (contains doc needle))
+    [ "lower.ml"; "compiled.ml"; "compile-identity" ]
+
+let tests =
+  [
+    Alcotest.test_case "duplicate block labels: first wins on both tiers"
+      `Quick test_duplicate_label_first_wins;
+    Alcotest.test_case "duplicate function names: first wins on both tiers"
+      `Quick test_duplicate_function_first_wins;
+    Alcotest.test_case "shadowed registers share one slot" `Quick
+      test_shadowed_registers;
+    Alcotest.test_case "empty blocks and block-less functions" `Quick
+      test_empty_blocks;
+    Alcotest.test_case "self- and mutual recursion" `Quick
+      test_recursive_calls;
+    Alcotest.test_case "budget cuts mid-block with the exact count" `Quick
+      test_budget_cut_mid_block;
+    Alcotest.test_case "lazy traps carry the interpreter's texts" `Quick
+      test_trap_messages_identical;
+    Alcotest.test_case "bit-identity on the bundled apps" `Quick
+      test_identity_on_apps;
+    Alcotest.test_case "bit-identity on examples/heat.pir" `Quick
+      test_identity_on_heat_example;
+    Alcotest.test_case "replay_runs identical across engines" `Quick
+      test_replay_engines_agree;
+    Alcotest.test_case "compile-identity fuzz at --jobs 1/2/7" `Quick
+      test_fuzz_campaign_jobs;
+    Alcotest.test_case "lowered-op table in sync with doc/IR.md" `Quick
+      test_lowered_ops_doc_in_sync;
+    Alcotest.test_case "DESIGN.md names the compilation tier" `Quick
+      test_design_doc_mentions_tier;
+  ]

@@ -184,6 +184,8 @@ let test_plain_budget () =
 
 module Store_count = struct
   let name = "store-count"
+  let tracks_labels = true (* [on_store] must fire *)
+  let observes_blocks = false
 
   type state = { labels : Taint.Label.table; mutable stores : int }
   type label = unit
@@ -199,6 +201,10 @@ module Store_count = struct
   let read_reg () _ = ()
   let write_reg _ () _ () = ()
   let bind_param () _ () = ()
+  let frame_slots _ _ = ()
+  let read_slot () _ = ()
+  let write_slot _ () _ () = ()
+  let bind_slot () _ () = ()
   let join2 _ () () = ()
   let on_alloc _ ~alloc:_ ~size:_ () = ()
   let on_load _ ~alloc:_ ~offset:_ ~base:_ ~index:_ = ()

@@ -73,21 +73,21 @@ let test_shadow_roundtrip () =
   let s = S.create () in
   S.on_alloc s ~alloc:0 ~size:8;
   let a = L.base tbl "a" in
-  S.set s { S.alloc = 0; offset = 3 } a;
-  Alcotest.(check bool) "read back" true (S.get s { S.alloc = 0; offset = 3 } = a);
+  S.set s ~alloc:0 ~offset:3 a;
+  Alcotest.(check bool) "read back" true (S.get s ~alloc:0 ~offset:3 = a);
   Alcotest.(check bool) "other cell clean" true
-    (L.is_empty (S.get s { S.alloc = 0; offset = 4 }))
+    (L.is_empty (S.get s ~alloc:0 ~offset:4))
 
 let test_shadow_out_of_bounds () =
   let s = S.create () in
   S.on_alloc s ~alloc:0 ~size:4;
   Alcotest.(check bool) "oob get is empty" true
-    (L.is_empty (S.get s { S.alloc = 0; offset = 99 }));
+    (L.is_empty (S.get s ~alloc:0 ~offset:99));
   (* oob set is a no-op, not a crash *)
   let tbl = L.create () in
-  S.set s { S.alloc = 0; offset = 99 } (L.base tbl "x");
+  S.set s ~alloc:0 ~offset:99 (L.base tbl "x");
   Alcotest.(check bool) "unknown alloc get is empty" true
-    (L.is_empty (S.get s { S.alloc = 42; offset = 0 }))
+    (L.is_empty (S.get s ~alloc:42 ~offset:0))
 
 let test_shadow_taint_all_and_summary () =
   let tbl = L.create () in
@@ -99,7 +99,7 @@ let test_shadow_taint_all_and_summary () =
     Alcotest.(check bool)
       (Printf.sprintf "cell %d tainted" i)
       true
-      (S.get s { S.alloc = 1; offset = i } = a)
+      (S.get s ~alloc:1 ~offset:i = a)
   done;
   Alcotest.(check bool) "summary is a" true (S.summary tbl s ~alloc:1 = a)
 
