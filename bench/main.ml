@@ -27,6 +27,8 @@ let experiments =
      Micro.resilience);
     ("parallel", "domain-pool speedup: campaign / search / fuzz at 1-8 jobs",
      Exp_parallel.run);
+    ("shard", "distributed sharding: journal write + merge overhead, identity",
+     Exp_shard.run);
   ]
 
 let usage () =

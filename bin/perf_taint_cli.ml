@@ -882,8 +882,51 @@ let campaign_cmd =
     let doc = "Measurement-noise seed of the design." in
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
   in
+  let shards_arg =
+    let doc =
+      "Coordinator mode: partition the campaign into $(docv) shards by \
+       deterministic coordinate hash, run each as a supervised worker \
+       process (restarted with --resume on death), and merge the shard \
+       journals into --journal.  The merged campaign is bit-identical \
+       to a single-process run."
+    in
+    Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"M" ~doc)
+  in
+  let shard_arg =
+    let doc =
+      "Worker mode: execute only the coordinates shard $(docv) (as K/M) \
+       owns, journaling to --journal.  Spawned by --shards, or run by \
+       hand to produce shard journals elsewhere."
+    in
+    Arg.(value & opt (some string) None & info [ "shard" ] ~docv:"K/M" ~doc)
+  in
+  let shard_timeout_arg =
+    let doc =
+      "Wall-clock seconds a shard worker may run before the coordinator \
+       kills and restarts it."
+    in
+    Arg.(
+      value & opt float 600. & info [ "shard-timeout" ] ~docv:"S" ~doc)
+  in
+  let shard_restarts_arg =
+    let doc = "Restarts per shard before the coordinator gives up." in
+    Arg.(value & opt int 3 & info [ "shard-restarts" ] ~docv:"N" ~doc)
+  in
+  let kill_shard_arg =
+    let doc =
+      "Testing hook: make shard $(i,K)'s first launch stop after $(i,N) \
+       coordinates (as K=N, repeatable), simulating a mid-shard worker \
+       death; the coordinator must detect the short journal and \
+       restart/resume it."
+    in
+    Arg.(
+      value
+      & opt_all (pair ~sep:'=' int int) []
+      & info [ "kill-shard" ] ~docv:"K=N" ~doc)
+  in
   let run name ranks params faults retries backoff journal resume max_runs
-      dump reps sigma seed events trace max_steps jobs (_engine : Interp.Engine.tier) =
+      dump reps sigma seed shards shard_spec shard_timeout shard_restarts
+      kill_shards events trace max_steps jobs (_engine : Interp.Engine.tier) =
     error_guard @@ fun () ->
     (* Campaigns measure through the analytic simulator, which executes
        no PIR; --engine is accepted so scripted invocations can pass one
@@ -906,6 +949,27 @@ let campaign_cmd =
     in
     if resume && journal = None then
       failwith "--resume requires --journal FILE";
+    let worker =
+      match shard_spec with
+      | None -> None
+      | Some s -> (
+        match Measure.Shard.of_spec s with
+        | Ok t -> Some t
+        | Error msg -> failwith msg)
+    in
+    (match (worker, shards) with
+    | Some _, Some _ -> failwith "--shard and --shards are mutually exclusive"
+    | _ -> ());
+    (match shards with
+    | Some m when m < 1 -> failwith "--shards must be >= 1"
+    | _ -> ());
+    if (shards <> None || worker <> None) && journal = None then
+      failwith "--shards/--shard requires --journal FILE";
+    if shards <> None && max_runs <> None then
+      failwith "--max-runs is a worker-side limit; it cannot be combined \
+                with --shards (use --kill-shard to inject one)";
+    if kill_shards <> [] && shards = None then
+      failwith "--kill-shard requires --shards";
     let grid =
       match name with
       | "milc" ->
@@ -933,13 +997,102 @@ let campaign_cmd =
     in
     with_jobs ~metrics jobs @@ fun pool ->
     with_events events @@ fun events ->
+    match worker with
+    | Some sh ->
+      (* Worker mode: journal only the coordinates this shard owns and
+         stop — the coordinator merges, reports, and fits. *)
+      let j = Option.get journal in
+      let report =
+        Measure.Campaign.run_journaled ?pool ~metrics ?trace:sink ~events
+          ~plan ~retry ?hang_budget:max_steps
+          ~keep:(fun params rep -> Measure.Shard.owns sh ~params ~rep)
+          ?limit:max_runs ~journal:j ~resume spec
+          Mpi_sim.Machine.skylake_cluster design
+      in
+      Fmt.pr "shard %s: %d record(s) (%d resumed%s) journaled to %s@."
+        (Measure.Shard.spec_of sh)
+        (List.length report.Measure.Campaign.cp_records)
+        report.Measure.Campaign.cp_resumed
+        (if report.Measure.Campaign.cp_interrupted then ", interrupted"
+         else "")
+        j
+    | None ->
     let report =
-      match journal with
-      | Some j ->
+      match (shards, journal) with
+      | Some m, Some j ->
+        (* Coordinator mode: spawn one worker per shard (same binary,
+           same campaign flags), supervise/restart them, then merge the
+           shard journals into [j] in global design order. *)
+        let header =
+          Measure.Campaign.header_line ~app_name:spec.Measure.Spec.aname
+            ~plan ~retry design
+        in
+        let argv ~shard ~journal:jpath ~resume =
+          let opt flag = function
+            | None -> []
+            | Some v -> [ flag; v ]
+          in
+          Array.of_list
+            ([ Sys.executable_name; "campaign"; name;
+               "--faults"; faults;
+               "--retries"; string_of_int retries;
+               "--backoff"; Printf.sprintf "%.17g" backoff;
+               "--reps"; string_of_int reps;
+               "--sigma"; Printf.sprintf "%.17g" sigma;
+               "--seed"; string_of_int seed;
+               "--jobs"; string_of_int jobs;
+               "--shard"; Measure.Shard.spec_of shard;
+               "--journal"; jpath ]
+            @ opt "--ranks" (Option.map string_of_int ranks)
+            @ opt "--max-steps" (Option.map string_of_int max_steps)
+            @ List.concat_map
+                (fun (k, v) ->
+                  [ "--set"; Printf.sprintf "%s=%d" k v ])
+                params
+            @ (if resume then [ "--resume" ] else [])
+            @ (if resume then []
+               else
+                 opt "--max-runs"
+                   (Option.map string_of_int
+                      (List.assoc_opt shard.Measure.Shard.sh_index
+                         kill_shards)))
+            )
+        in
+        (match
+           Measure.Shard.run_workers ~metrics ~events
+             ~mode:design.Measure.Experiment.mode ~expected_header:header
+             ~design ~shards:m ~journal:j ~timeout_s:shard_timeout
+             ~max_restarts:shard_restarts ~argv ()
+         with
+        | Ok () -> ()
+        | Error msg -> failwith msg);
+        let paths = List.init m (Measure.Shard.journal_path ~journal:j) in
+        (match
+           Measure.Shard.merge_journals ~metrics ~events
+             ~mode:design.Measure.Experiment.mode ~expected_header:header
+             ~design paths
+         with
+        | Error msg -> failwith msg
+        | Ok mg ->
+          if mg.Measure.Shard.mg_missing <> [] then
+            failwith
+              (Printf.sprintf
+                 "shard merge left %d coordinate(s) unmeasured"
+                 (List.length mg.Measure.Shard.mg_missing));
+          Measure.Shard.write_journal ~header
+            ~records:mg.Measure.Shard.mg_records j;
+          Fmt.epr "shards: %d journal(s) merged into %s (%d duplicate \
+                   record(s) dropped, %d torn line(s) skipped)@."
+            mg.Measure.Shard.mg_journals j mg.Measure.Shard.mg_duplicates
+            mg.Measure.Shard.mg_torn;
+          Measure.Campaign.summarize ~resumed:0 ~interrupted:false
+            mg.Measure.Shard.mg_records)
+      | Some _, None -> assert false (* checked above *)
+      | None, Some j ->
         Measure.Campaign.run_journaled ?pool ~metrics ?trace:sink ~events
           ~plan ~retry ?hang_budget:max_steps ?limit:max_runs ~journal:j
           ~resume spec Mpi_sim.Machine.skylake_cluster design
-      | None ->
+      | None, None ->
         Measure.Campaign.run ?pool ~metrics ?trace:sink ~events ~plan ~retry
           ?hang_budget:max_steps ?limit:max_runs spec
           Mpi_sim.Machine.skylake_cluster design
@@ -1005,8 +1158,9 @@ let campaign_cmd =
       ret
         (const run $ app_arg $ ranks_arg $ param_arg $ faults_arg
         $ retries_arg $ backoff_arg $ journal_arg $ resume_arg $ max_runs_arg
-        $ dump_arg $ reps_arg $ sigma_arg $ seed_arg $ events_arg $ trace_arg
-        $ max_steps_arg $ jobs_arg $ engine_arg))
+        $ dump_arg $ reps_arg $ sigma_arg $ seed_arg $ shards_arg $ shard_arg
+        $ shard_timeout_arg $ shard_restarts_arg $ kill_shard_arg $ events_arg
+        $ trace_arg $ max_steps_arg $ jobs_arg $ engine_arg))
 
 let fuzz_cmd =
   let seed_arg =

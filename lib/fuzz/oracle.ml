@@ -595,6 +595,144 @@ let par_identity =
   in
   { name = "par-identity"; check }
 
+(* Sharded-vs-single bit-identity: the same faulty campaign split over
+   M journal-writing shards (in-process workers, each narrowed to its
+   [Shard.owns] subset) and merged back must reproduce the single
+   serial campaign exactly — records, merged journal bytes, every
+   [campaign.*] counter, and the event stream (which the merge replays
+   in design order, followed by one [shard.merge] summary).  A second
+   variant kills one worker mid-shard — stops it early and tears its
+   journal's trailing line, the on-disk state a SIGKILL mid-write
+   leaves — and the restart/resume/merge path must converge on the
+   same bytes. *)
+let shard_identity =
+  let module Shd = Measure.Shard in
+  (* Tear the journal's trailing line: keep a strict nonempty prefix of
+     the final line, exactly what a writer killed mid-[output_string]
+     leaves behind. *)
+  let tear_trailing_line path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let content = really_input_string ic n in
+    close_in ic;
+    let body = String.sub content 0 (String.length content - 1) in
+    let last_nl = String.rindex body '\n' in
+    let len = String.length body - last_nl - 1 in
+    let keep = last_nl + 1 + max 1 (len / 2) in
+    let oc = open_out_bin path in
+    output_string oc (String.sub content 0 keep);
+    close_out oc
+  in
+  let check p =
+    let app, machine, design, h = campaign_fixture p in
+    let plan =
+      {
+        Flt.none with
+        Flt.fp_seed = h mod 6007;
+        fp_crash = 0.05;
+        fp_hang = 0.03;
+        fp_persistent = 0.;
+        fp_transient_attempts = 2;
+      }
+    in
+    let retry = { Camp.default_retry with Camp.rt_max_attempts = 3 } in
+    let header = Camp.header_line ~app_name:app.Sp.aname ~plan ~retry design in
+    let shards = 2 + (h mod 3) in
+    let base_metrics = Obs_metrics.create () in
+    let base_events = Obs_events.create ~ts:false () in
+    let baseline =
+      Camp.run ~metrics:base_metrics ~events:base_events ~plan ~retry app
+        machine design
+    in
+    let expected_journal =
+      String.concat ""
+        (List.map
+           (fun l -> l ^ "\n")
+           (header :: List.map Camp.record_to_line baseline.Camp.cp_records))
+    in
+    let journal = Filename.temp_file "fuzz-shard" ".jsonl" in
+    let shard_paths = List.init shards (Shd.journal_path ~journal) in
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter
+          (fun p -> if Sys.file_exists p then Sys.remove p)
+          (journal :: shard_paths))
+    @@ fun () ->
+    let run_variant ~kill =
+      List.iteri
+        (fun k path ->
+          if Sys.file_exists path then Sys.remove path;
+          let t = { Shd.sh_index = k; sh_count = shards } in
+          let keep params rep = Shd.owns t ~params ~rep in
+          let full ~resume =
+            ignore
+              (Camp.run_journaled ~plan ~retry ~keep ~journal:path ~resume
+                 app machine design)
+          in
+          let own = List.length (Shd.coordinates t design) in
+          if kill && k = h mod shards && own >= 2 then begin
+            (* Worker dies after [cut] coordinates, torn mid-write. *)
+            let cut = 1 + (h mod (own - 1)) in
+            ignore
+              (Camp.run_journaled ~plan ~retry ~keep ~limit:cut
+                 ~journal:path ~resume:false app machine design);
+            tear_trailing_line path;
+            full ~resume:true
+          end
+          else full ~resume:false)
+        shard_paths;
+      let metrics = Obs_metrics.create () in
+      let events = Obs_events.create ~ts:false () in
+      match
+        Shd.merge_journals ~metrics ~events ~mode:design.Exp.mode
+          ~expected_header:header ~design shard_paths
+      with
+      | Error e -> Error e
+      | Ok mg ->
+        Shd.write_journal ~header ~records:mg.Shd.mg_records journal;
+        let ic = open_in_bin journal in
+        let bytes = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        Ok (mg, bytes, Obs_metrics.snapshot metrics, Obs_events.lines events)
+    in
+    let check_variant label = function
+      | Error e -> Fail (Printf.sprintf "%s: merge failed: %s" label e)
+      | Ok (mg, bytes, snap, lines) ->
+        if compare mg.Shd.mg_records baseline.Camp.cp_records <> 0 then
+          Fail (label ^ ": merged records differ from the serial campaign")
+        else if not (String.equal bytes expected_journal) then
+          Fail (label ^ ": merged journal bytes differ from the serial \
+                         campaign's")
+        else begin
+          let base_snap = Obs_metrics.snapshot base_metrics in
+          let value s n = Option.value ~default:0 (Obs_metrics.find_counter s n) in
+          let drift =
+            List.find_opt
+              (fun (n, _) -> value snap n <> value base_snap n)
+              Camp.counters
+          in
+          match drift with
+          | Some (n, _) ->
+            Fail (Printf.sprintf "%s: counter %s diverged (%d vs %d)" label n
+                    (value snap n) (value base_snap n))
+          | None ->
+            let base_lines = Obs_events.lines base_events in
+            let nb = List.length base_lines in
+            if
+              List.filteri (fun i _ -> i < nb) lines <> base_lines
+              || List.length lines <> nb + 1
+            then
+              Fail (label ^ ": merged event stream is not the serial stream \
+                             plus one shard.merge event")
+            else Pass
+        end
+    in
+    match check_variant "sharded" (run_variant ~kill:false) with
+    | Fail _ as f -> f
+    | Pass -> check_variant "sharded+kill" (run_variant ~kill:true)
+  in
+  { name = "shard-identity"; check }
+
 (* -- differential: compiled tier vs the interpreter ------------------------- *)
 
 (* The full-fidelity view of one run that the compiled tier must
@@ -755,6 +893,7 @@ let oracles_with config =
     campaign_identity;
     campaign_recovery;
     par_identity;
+    shard_identity;
   ]
 
 let all_with ~max_steps = oracles_with { interp_config with max_steps }

@@ -90,6 +90,14 @@ val par_identity : t
     run, and pooled model-search scoring must select the identical model
     with identical error and candidate count. *)
 
+val shard_identity : t
+(** Sharded-vs-single bit-identity: the fixture campaign split over
+    2–4 journal-writing shards and merged back through
+    {!Measure.Shard.merge_journals} must reproduce the serial campaign
+    exactly — records, merged journal bytes, [campaign.*] counters, and
+    event stream — both on the clean path and with one worker killed
+    mid-shard (journal torn mid-line, restarted with resume). *)
+
 val validator_interp_with : Interp.Machine.config -> t
 val tripcount_with : Interp.Machine.config -> t
 val obs_invariance_with : Interp.Machine.config -> t

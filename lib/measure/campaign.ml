@@ -81,6 +81,8 @@ let counters =
     ("campaign.faults.hang", "injected hangs killed by the step-budget timeout");
     ("campaign.faults.straggler", "runs kept with straggler-inflated durations");
     ("campaign.faults.corrupt", "runs kept with corrupted outlier durations");
+    ("campaign.journal_torn", "torn trailing journal lines skipped on load");
+    ("campaign.shard_dup", "duplicate coordinates dropped by the shard merge");
   ]
 
 (* The campaign.* event vocabulary (structured JSON-lines stream);
@@ -92,6 +94,7 @@ let event_names =
     ("campaign.resume", "a coordinate was restored from the checkpoint journal");
     ("campaign.wave", "a wave of fresh coordinates was dispatched to the pool");
     ("campaign.checkpoint", "a finished record was flushed to the journal");
+    ("campaign.journal_torn", "a torn trailing journal line was skipped on load");
   ]
 
 (* -- executor -------------------------------------------------------------- *)
@@ -130,6 +133,11 @@ type instruments = {
 let instruments_of = function
   | None -> None
   | Some reg ->
+    (* Intern the journal/merge counters too, so every campaign exposes
+       the full [counters] vocabulary (at zero when nothing tore and
+       nothing was deduplicated). *)
+    ignore (Obs_metrics.counter reg "campaign.journal_torn");
+    ignore (Obs_metrics.counter reg "campaign.shard_dup");
     Some
       {
         i_attempts = Obs_metrics.counter reg "campaign.attempts";
@@ -350,12 +358,32 @@ let emit_resume_event events r =
         ]
       "campaign.resume"
 
+(* Public replay faces (the shard merge uses them): re-derive the
+   campaign.* instrument bumps and the fault/record events of an
+   already-finished record, exactly as the executor emits them. *)
+let replay_metrics reg r = bump_from_record (instruments_of (Some reg)) r
+let record_events events r = emit_record_events events r
+
+(* Reject a retry policy at entry, naming the offending field: a
+   negative backoff or a sub-1 multiplier would silently *shrink* the
+   backoff accounting, and a non-positive hang timeout would credit
+   hangs with zero waste.  The comparisons are written negated so NaN
+   fields are rejected too. *)
+let validate_retry retry =
+  if retry.rt_max_attempts < 1 then
+    invalid_arg "Measure.Campaign.run: rt_max_attempts must be >= 1";
+  if not (retry.rt_backoff_s >= 0.) then
+    invalid_arg "Measure.Campaign.run: rt_backoff_s must be >= 0";
+  if not (retry.rt_backoff_mult >= 1.) then
+    invalid_arg "Measure.Campaign.run: rt_backoff_mult must be >= 1";
+  if not (retry.rt_hang_timeout_s > 0.) then
+    invalid_arg "Measure.Campaign.run: rt_hang_timeout_s must be > 0"
+
 let run ?pool ?metrics ?(trace = Obs_trace.disabled)
     ?(events = Obs_events.disabled) ?(plan = Fault.none)
     ?(retry = default_retry) ?(hang_budget = 1_000_000)
-    ?(done_ : record list = []) ?limit ?on_record app machine design =
-  if retry.rt_max_attempts < 1 then
-    invalid_arg "Measure.Campaign.run: rt_max_attempts must be >= 1";
+    ?(done_ : record list = []) ?keep ?limit ?on_record app machine design =
+  validate_retry retry;
   (* The campaign counter matches run_design's, so a fault-free campaign
      leaves the metrics registry in exactly the run_design state. *)
   (match metrics with
@@ -368,6 +396,15 @@ let run ?pool ?metrics ?(trace = Obs_trace.disabled)
   let executed = ref 0 in
   let interrupted = ref false in
   let records = ref [] in
+  (* [keep] narrows the walk to a subset of the design (shard workers
+     pass their ownership predicate); everything downstream — limit,
+     resume, journal order — sees only the kept coordinates. *)
+  let coords =
+    match keep with
+    | None -> coordinates design
+    | Some f ->
+      List.filter (fun (params, rep) -> f params rep) (coordinates design)
+  in
   match pool with
   | Some p when Par.Pool.jobs p > 1 ->
     (* Parallel execution. The walk below replicates the serial limit
@@ -394,7 +431,7 @@ let run ?pool ?metrics ?(trace = Obs_trace.disabled)
              end;
              incr executed;
              items := `Fresh (params, rep) :: !items)
-         (coordinates design)
+         coords
      with Exit -> ());
     let items = List.rev !items in
     let emit = function
@@ -495,7 +532,7 @@ let run ?pool ?metrics ?(trace = Obs_trace.disabled)
              emit_record_events events r;
              (match on_record with None -> () | Some f -> f r);
              records := r :: !records)
-         (coordinates design)
+         coords
      with Exit -> ());
     summarize ~resumed:!resumed ~interrupted:!interrupted (List.rev !records)
 
@@ -723,40 +760,71 @@ let load_journal ~mode ~expected_header path =
        ^ ": journal header does not match this campaign (different app, \
           design, fault plan, or retry policy)")
     else
+      (* A parse failure on the *last* nonempty line is a torn write — a
+         worker killed mid-flush leaves a partial final record — and is
+         skipped (the coordinate is simply re-executed on resume).  A
+         failure anywhere earlier is genuine corruption and stays an
+         error: silently dropping an interior record would desynchronize
+         the resumed campaign from the design walk. *)
+      let body = List.filter (fun l -> String.trim l <> "") body in
       let rec go acc = function
-        | [] -> Ok (List.rev acc)
-        | line :: rest ->
-          if String.trim line = "" then go acc rest
-          else (
-            match record_of_line ~mode line with
-            | Ok r -> go (r :: acc) rest
-            | Error e -> Error (path ^ ": " ^ e))
+        | [] -> Ok (List.rev acc, 0)
+        | [ last ] -> (
+          match record_of_line ~mode last with
+          | Ok r -> Ok (List.rev (r :: acc), 0)
+          | Error _ -> Ok (List.rev acc, 1))
+        | line :: rest -> (
+          match record_of_line ~mode line with
+          | Ok r -> go (r :: acc) rest
+          | Error e -> Error (path ^ ": " ^ e))
       in
       go [] body
 
 let run_journaled ?pool ?metrics ?trace ?(events = Obs_events.disabled) ?plan
-    ?retry ?hang_budget ?limit ~journal ~resume app machine design =
+    ?retry ?hang_budget ?keep ?limit ~journal ~resume app machine design =
   let plan_v = Option.value ~default:Fault.none plan in
   let retry_v = Option.value ~default:default_retry retry in
   let header =
     header_line ~app_name:app.Spec.aname ~plan:plan_v ~retry:retry_v design
   in
-  let existing =
+  let existing, torn =
     if resume && Sys.file_exists journal then
       match
         load_journal ~mode:design.Experiment.mode ~expected_header:header
           journal
       with
-      | Ok records -> records
+      | Ok (records, torn) -> (records, torn)
       | Error e -> failwith e
-    else []
+    else ([], 0)
   in
+  if torn > 0 then begin
+    (match metrics with
+    | None -> ()
+    | Some reg ->
+      Obs_metrics.add (Obs_metrics.counter reg "campaign.journal_torn") torn);
+    if Obs_events.enabled events then
+      Obs_events.emit events ~severity:Obs_events.Warn ~component:"campaign"
+        ~fields:
+          [ ("journal", Obs_events.Str journal);
+            ("lines", Obs_events.Int torn) ]
+        "campaign.journal_torn"
+  end;
   let oc =
-    if existing <> [] then open_out_gen [ Open_append; Open_creat ] 0o644 journal
+    if existing <> [] && torn = 0 then
+      open_out_gen [ Open_append; Open_creat ] 0o644 journal
     else begin
+      (* Fresh journal, or a torn tail to cut off: rewrite header plus
+         the surviving records.  Records round-trip exactly, so the
+         rewritten prefix is byte-identical to the original clean one
+         and appending continues the canonical journal. *)
       let oc = open_out journal in
       output_string oc header;
       output_char oc '\n';
+      List.iter
+        (fun r ->
+          output_string oc (record_to_line r);
+          output_char oc '\n')
+        existing;
       flush oc;
       oc
     end
@@ -765,7 +833,7 @@ let run_journaled ?pool ?metrics ?trace ?(events = Obs_events.disabled) ?plan
     ~finally:(fun () -> close_out oc)
     (fun () ->
       run ?pool ?metrics ?trace ~events ?plan ?retry ?hang_budget
-        ~done_:existing ?limit
+        ~done_:existing ?keep ?limit
         ~on_record:(fun r ->
           output_string oc (record_to_line r);
           output_char oc '\n';

@@ -59,6 +59,22 @@ val coordinates : Experiment.design -> (Spec.params * int) list
     grid order, repetitions innermost) — {!Experiment.run_design}'s
     iteration order. *)
 
+val summarize : resumed:int -> interrupted:bool -> record list -> report
+(** Roll a record list (in design order) up into a report — the same
+    aggregation {!run} performs on its own records.  The shard merge
+    uses this to report on records reassembled from worker journals. *)
+
+val replay_metrics : Obs_metrics.t -> record -> unit
+(** Re-derive the [campaign.*] counter bumps of an already-finished
+    record: [rc_attempts] attempts, one retry per non-final attempt, one
+    fault bump per [rc_faults] entry, one abandonment if abandoned —
+    exactly what executing the coordinate would have bumped. *)
+
+val record_events : Obs_events.sink -> record -> unit
+(** Emit the [campaign.fault] events and the [campaign.record] event of
+    a finished record, exactly as the executor does — replaying merged
+    records through this in design order reproduces the serial stream. *)
+
 val run :
   ?pool:Par.Pool.t ->
   ?metrics:Obs_metrics.t ->
@@ -68,11 +84,14 @@ val run :
   ?retry:retry ->
   ?hang_budget:int ->
   ?done_:record list ->
+  ?keep:(Spec.params -> int -> bool) ->
   ?limit:int ->
   ?on_record:(record -> unit) ->
   Spec.app -> Mpi_sim.Machine.t -> Experiment.design -> report
 (** Execute the design under the fault plan.  [done_] records are
     restored verbatim instead of re-executed (checkpoint resume);
+    [keep params rep] narrows the walk to the coordinates it accepts
+    (shard workers pass {!Shard.owns}; the default keeps everything);
     [limit] stops after that many {e newly executed} coordinates and
     marks the report interrupted; [on_record] fires after each new
     coordinate finishes (journal writers hook here).  Hung runs are
@@ -92,7 +111,9 @@ val run :
     design order, and faults/noise are deterministic per coordinate.
     [limit]/resume semantics are unchanged; a kill loses at most the
     in-flight wave (roughly [4 * jobs] coordinates) instead of one.
-    @raise Invalid_argument when [retry.rt_max_attempts < 1]. *)
+    @raise Invalid_argument naming the offending [retry] field when
+    [rt_max_attempts < 1], [rt_backoff_s < 0], [rt_backoff_mult < 1],
+    or [rt_hang_timeout_s <= 0] (NaN fields are rejected too). *)
 
 (** {1 Checkpoint journal} *)
 
@@ -114,8 +135,12 @@ val record_of_line :
 
 val load_journal :
   mode:Instrument.mode -> expected_header:string -> string ->
-  (record list, string) result
-(** Parse a journal file, validating its header. *)
+  (record list * int, string) result
+(** Parse a journal file, validating its header.  Returns the records
+    plus the number of torn trailing lines skipped (0 or 1): a parse
+    failure on the last nonempty line is the partial flush of a killed
+    writer and is tolerated; a failure on any earlier line is
+    corruption and stays an [Error]. *)
 
 val run_journaled :
   ?pool:Par.Pool.t ->
@@ -125,6 +150,7 @@ val run_journaled :
   ?plan:Fault.plan ->
   ?retry:retry ->
   ?hang_budget:int ->
+  ?keep:(Spec.params -> int -> bool) ->
   ?limit:int ->
   journal:string -> resume:bool ->
   Spec.app -> Mpi_sim.Machine.t -> Experiment.design -> report
@@ -132,9 +158,12 @@ val run_journaled :
     journal exists with a matching header, finished coordinates are
     restored and new records appended; otherwise the journal is
     (re)created.  Each record is flushed as it completes, so a killed
-    campaign loses at most the in-flight coordinate.  [events]
-    additionally carries a [campaign.checkpoint] event per flushed
-    record.
+    campaign loses at most the in-flight coordinate.  A torn trailing
+    line is cut off on resume (the journal is rewritten to its clean
+    prefix, its coordinate re-executed), counted in the
+    [campaign.journal_torn] counter and reported as a
+    [campaign.journal_torn] event.  [events] additionally carries a
+    [campaign.checkpoint] event per flushed record.
     @raise Failure when resuming from an unreadable or mismatched
     journal. *)
 

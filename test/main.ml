@@ -19,6 +19,7 @@ let () =
       ("soundness", Suite_soundness.tests);
       ("fuzz", Suite_fuzz.tests);
       ("resilience", Suite_resilience.tests);
+      ("shard", Suite_shard.tests);
       ("profile", Suite_profile.tests);
       ("par", Suite_par.tests);
       ("cli", Suite_cli.tests);

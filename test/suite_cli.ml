@@ -125,6 +125,67 @@ let test_campaign_needs_spec () =
 let test_resume_needs_journal () =
   check_failure ~expect:"--journal" [ "campaign"; "lulesh"; "--resume" ]
 
+(* -- resume from a damaged or foreign journal --------------------------------
+   The two refusal paths a real recovery hits: a journal from a
+   different campaign (wrong identity header) and a journal corrupted
+   mid-file.  Both must be one clean stderr line, not a backtrace. *)
+
+let with_temp_journal f =
+  let path = Filename.temp_file "cli_journal" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let seed_journal ~seed journal =
+  let code, _, errs =
+    run_cli
+      [ "campaign"; "minicg"; "--reps"; "1"; "--max-runs"; "2"; "--journal";
+        journal; "--seed"; string_of_int seed ]
+  in
+  Alcotest.(check int) (Printf.sprintf "seeding run ok: %s" errs) 0 code
+
+let test_resume_rejects_foreign_journal () =
+  with_temp_journal @@ fun journal ->
+  seed_journal ~seed:42 journal;
+  check_failure ~expect:"journal header does not match this campaign"
+    [ "campaign"; "minicg"; "--reps"; "1"; "--journal"; journal; "--resume";
+      "--seed"; "43" ]
+
+let test_resume_rejects_corrupt_journal () =
+  with_temp_journal @@ fun journal ->
+  seed_journal ~seed:42 journal;
+  (* Damage a record line that is not the trailing one: corruption, not
+     a torn flush, so the resume must refuse. *)
+  let lines = String.split_on_char '\n' (read_file journal) in
+  let oc = open_out_bin journal in
+  List.iteri
+    (fun i l ->
+      if l <> "" then begin
+        output_string oc (if i = 1 then "{\"params\":" else l);
+        output_char oc '\n'
+      end)
+    lines;
+  close_out oc;
+  check_failure ~expect:"bad journal line"
+    [ "campaign"; "minicg"; "--reps"; "1"; "--journal"; journal; "--resume";
+      "--seed"; "42" ]
+
+(* -- sharding flag validation ------------------------------------------------- *)
+
+let test_shard_flag_validation () =
+  check_failure ~expect:"--journal"
+    [ "campaign"; "minicg"; "--shards"; "2" ];
+  check_failure ~expect:"bad shard spec"
+    [ "campaign"; "minicg"; "--shard"; "3"; "--journal"; "/tmp/x.jsonl" ];
+  check_failure ~expect:"mutually exclusive"
+    [ "campaign"; "minicg"; "--shards"; "2"; "--shard"; "0/2"; "--journal";
+      "/tmp/x.jsonl" ];
+  check_failure ~expect:"--kill-shard requires --shards"
+    [ "campaign"; "minicg"; "--kill-shard"; "0=1" ];
+  check_failure ~expect:"--max-runs"
+    [ "campaign"; "minicg"; "--shards"; "2"; "--max-runs"; "3"; "--journal";
+      "/tmp/x.jsonl" ]
+
 (* -- tier identity ----------------------------------------------------------
    The lowering pass resolves names at compile time but its traps are
    lazy and carry the interpreter's exact exception: for any program,
@@ -211,4 +272,10 @@ let tests =
       test_campaign_needs_spec;
     Alcotest.test_case "--resume requires --journal" `Quick
       test_resume_needs_journal;
+    Alcotest.test_case "resume rejects a foreign journal" `Quick
+      test_resume_rejects_foreign_journal;
+    Alcotest.test_case "resume rejects a corrupt journal" `Quick
+      test_resume_rejects_corrupt_journal;
+    Alcotest.test_case "shard flags validated" `Quick
+      test_shard_flag_validation;
   ]

@@ -30,6 +30,17 @@ let design =
   { Exp.grid = [ ("n", [ 2.; 4.; 8. ]); ("p", [ 2.; 4. ]) ];
     reps = 3; mode = Instr.Full; sigma = 0.01; seed = 7 }
 
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  at 0
+
 (* -- fault plans ------------------------------------------------------------- *)
 
 let test_fault_deterministic () =
@@ -281,6 +292,118 @@ let test_resume_rejects_mismatched_header () =
     Alcotest.fail "mismatched journal accepted"
   with Failure _ -> ()
 
+(* A journal whose last line was torn mid-write (the on-disk state a
+   SIGKILL leaves behind): resume must cut the partial record off, count
+   it in campaign.journal_torn, re-execute its coordinate, and converge
+   on the uninterrupted dataset bit-identically. *)
+let test_resume_tolerates_torn_trailing_line () =
+  with_temp_journal @@ fun journal ->
+  let retry = { Camp.default_retry with Camp.rt_max_attempts = 3 } in
+  let uninterrupted =
+    Camp.run ~plan:transient_plan ~retry tiny_app machine design
+  in
+  ignore
+    (Camp.run_journaled ~plan:transient_plan ~retry ~limit:5 ~journal
+       ~resume:false tiny_app machine design);
+  (* Tear the trailing line: keep only half of the final record. *)
+  let content = read_file journal in
+  let body = String.sub content 0 (String.length content - 1) in
+  let last_nl = String.rindex body '\n' in
+  let len = String.length body - last_nl - 1 in
+  let oc = open_out_bin journal in
+  output_string oc (String.sub content 0 (last_nl + 1 + (len / 2)));
+  close_out oc;
+  (match Camp.load_journal ~mode:design.Exp.mode
+           ~expected_header:
+             (Camp.header_line ~app_name:tiny_app.Spec.aname
+                ~plan:transient_plan ~retry design)
+           journal
+   with
+  | Error e -> Alcotest.fail e
+  | Ok (records, torn) ->
+    Alcotest.(check int) "torn line detected" 1 torn;
+    Alcotest.(check int) "clean prefix survives" 4 (List.length records));
+  let metrics = Obs_metrics.create () in
+  let resumed =
+    Camp.run_journaled ~metrics ~plan:transient_plan ~retry ~journal
+      ~resume:true tiny_app machine design
+  in
+  Alcotest.(check int) "4 coordinates restored" 4 resumed.Camp.cp_resumed;
+  Alcotest.(check (option int)) "campaign.journal_torn counted" (Some 1)
+    (Obs_metrics.find_counter (Obs_metrics.snapshot metrics)
+       "campaign.journal_torn");
+  Alcotest.(check bool) "resumed records bit-identical to uninterrupted" true
+    (compare resumed.Camp.cp_records uninterrupted.Camp.cp_records = 0);
+  (* The rewritten journal is canonical again: loading it back yields
+     every record with nothing torn. *)
+  match Camp.load_journal ~mode:design.Exp.mode
+          ~expected_header:
+            (Camp.header_line ~app_name:tiny_app.Spec.aname
+               ~plan:transient_plan ~retry design)
+          journal
+  with
+  | Error e -> Alcotest.fail e
+  | Ok (records, torn) ->
+    Alcotest.(check int) "no torn line after rewrite" 0 torn;
+    Alcotest.(check int) "full journal"
+      (List.length uninterrupted.Camp.cp_records)
+      (List.length records)
+
+(* A parse failure before the last line is corruption, not a torn
+   flush — the load must refuse, naming the journal. *)
+let test_load_rejects_mid_file_corruption () =
+  with_temp_journal @@ fun journal ->
+  let retry = { Camp.default_retry with Camp.rt_max_attempts = 3 } in
+  ignore
+    (Camp.run_journaled ~plan:transient_plan ~retry ~limit:5 ~journal
+       ~resume:false tiny_app machine design);
+  let lines = String.split_on_char '\n' (read_file journal) in
+  let oc = open_out_bin journal in
+  List.iteri
+    (fun i l ->
+      if l <> "" then begin
+        output_string oc (if i = 2 then "{\"corrupt\":" else l);
+        output_char oc '\n'
+      end)
+    lines;
+  close_out oc;
+  match Camp.load_journal ~mode:design.Exp.mode
+          ~expected_header:
+            (Camp.header_line ~app_name:tiny_app.Spec.aname
+               ~plan:transient_plan ~retry design)
+          journal
+  with
+  | Ok _ -> Alcotest.fail "mid-file corruption accepted"
+  | Error _ -> ()
+
+(* -- retry validation --------------------------------------------------------- *)
+
+let test_retry_validation () =
+  let expect_invalid field retry =
+    try
+      ignore (Camp.run ~retry tiny_app machine design);
+      Alcotest.fail (field ^ " accepted")
+    with Invalid_argument msg ->
+      Alcotest.(check bool) (field ^ " named in the message") true
+        (contains msg field)
+  in
+  expect_invalid "rt_max_attempts"
+    { Camp.default_retry with Camp.rt_max_attempts = 0 };
+  expect_invalid "rt_backoff_s"
+    { Camp.default_retry with Camp.rt_backoff_s = -1. };
+  expect_invalid "rt_backoff_s"
+    { Camp.default_retry with Camp.rt_backoff_s = Float.nan };
+  expect_invalid "rt_backoff_mult"
+    { Camp.default_retry with Camp.rt_backoff_mult = 0.5 };
+  expect_invalid "rt_backoff_mult"
+    { Camp.default_retry with Camp.rt_backoff_mult = Float.nan };
+  expect_invalid "rt_hang_timeout_s"
+    { Camp.default_retry with Camp.rt_hang_timeout_s = 0. };
+  expect_invalid "rt_hang_timeout_s"
+    { Camp.default_retry with Camp.rt_hang_timeout_s = Float.nan };
+  (* The defaults and any sane policy still pass. *)
+  ignore (Camp.run tiny_app machine design)
+
 (* -- robust fit under degradation ------------------------------------------- *)
 
 (* The term that contributes most at the top corner of the grid — the
@@ -408,17 +531,6 @@ let test_campaign_counters_in_snapshot () =
 
 (* -- documentation drift ----------------------------------------------------- *)
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-let contains hay needle =
-  let nh = String.length hay and nn = String.length needle in
-  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
-  at 0
-
 (* [Campaign.counters] is the single definition of the campaign counter
    names; the table in doc/OBSERVABILITY.md must list every row
    verbatim (same pattern as the engine's instruction counters). *)
@@ -462,6 +574,12 @@ let tests =
       test_kill_resume_bit_identity;
     Alcotest.test_case "resume rejects a mismatched journal" `Quick
       test_resume_rejects_mismatched_header;
+    Alcotest.test_case "resume tolerates a torn trailing line" `Quick
+      test_resume_tolerates_torn_trailing_line;
+    Alcotest.test_case "load rejects mid-file corruption" `Quick
+      test_load_rejects_mid_file_corruption;
+    Alcotest.test_case "retry fields validated on entry" `Quick
+      test_retry_validation;
     Alcotest.test_case "robust fit survives faults (lulesh)" `Quick
       test_robust_fit_lulesh;
     Alcotest.test_case "robust fit survives faults (minicg)" `Quick
