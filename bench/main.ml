@@ -29,6 +29,8 @@ let experiments =
      Exp_parallel.run);
     ("shard", "distributed sharding: journal write + merge overhead, identity",
      Exp_shard.run);
+    ("serve", "model serving: catalog hit latency vs cold fits, identity",
+     Exp_serve.run);
   ]
 
 let usage () =

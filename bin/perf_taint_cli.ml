@@ -1293,11 +1293,163 @@ let report_cmd =
         (const run $ bench_files_arg $ baselines_arg $ journal_report_arg
         $ stats_arg $ out_arg))
 
+(* -- serve / query ----------------------------------------------------------- *)
+
+let socket_arg =
+  let doc = "Listen on (or connect to) the Unix socket at $(docv)." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let port_arg =
+  let doc = "Listen on (or connect to) TCP 127.0.0.1:$(docv)." in
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+
+let endpoint_of socket port =
+  match (socket, port) with
+  | Some p, None -> Serve.Server.Unix_socket p
+  | None, Some p -> Serve.Server.Tcp p
+  | Some _, Some _ -> failwith "--socket and --port are mutually exclusive"
+  | None, None -> failwith "give --socket PATH or --port PORT"
+
+let serve_cmd =
+  let catalog_arg =
+    let doc =
+      "Catalog directory holding the model index ($(docv)/catalog.jsonl); \
+       must exist.  A restarted daemon pointed at the same directory \
+       serves every previously fitted model without refitting."
+    in
+    Arg.(
+      required & opt (some string) None & info [ "catalog" ] ~docv:"DIR" ~doc)
+  in
+  let capacity_arg =
+    let doc = "Decoded entries held by the in-memory LRU." in
+    Arg.(
+      value
+      & opt int Serve.Catalog.default_capacity
+      & info [ "capacity" ] ~docv:"N" ~doc)
+  in
+  let budget_arg =
+    let doc =
+      "Simulated core-hour admission budget: once cold fits have charged \
+       this much (runs + wasted attempts + backoff), further misses are \
+       refused with a one-line error while hits keep being served."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-core-hours" ] ~docv:"HOURS" ~doc)
+  in
+  let max_requests_arg =
+    let doc = "Stop after handling $(docv) request lines (tests/CI)." in
+    Arg.(
+      value & opt (some int) None & info [ "max-requests" ] ~docv:"N" ~doc)
+  in
+  let run socket port catalog capacity budget max_requests jobs events =
+    error_guard @@ fun () ->
+    let ep = endpoint_of socket port in
+    let metrics = Obs_metrics.create () in
+    with_jobs ~metrics jobs @@ fun pool ->
+    with_events events @@ fun events ->
+    let cat =
+      match
+        Serve.Catalog.open_ ~metrics ~events ~capacity ~dir:catalog ()
+      with
+      | Ok c -> c
+      | Error msg -> failwith msg
+    in
+    Fun.protect ~finally:(fun () -> Serve.Catalog.close cat) @@ fun () ->
+    let server =
+      Serve.Server.create ?pool ~metrics ~events ?max_core_hours:budget
+        ~catalog:cat ()
+    in
+    let fd =
+      match Serve.Server.bind_endpoint ep with
+      | Ok fd -> fd
+      | Error msg -> failwith msg
+    in
+    Fmt.epr "serve: listening on %s (catalog %s, %d entries)@."
+      (Serve.Server.endpoint_name ep)
+      (Serve.Catalog.index_path cat)
+      (Serve.Catalog.length cat);
+    Fun.protect ~finally:(fun () -> Serve.Server.close_endpoint ep fd)
+    @@ fun () -> Serve.Server.serve_loop ?max_requests server fd
+  in
+  let doc =
+    "Run the model-serving daemon: line-delimited JSON requests \
+     ($(b,predict), $(b,fit), $(b,invalidate), $(b,stats), $(b,shutdown)) \
+     over a Unix or TCP socket, answered from a content-addressed catalog \
+     of memoized fits (see doc/SERVE.md).  Cache-hit answers are \
+     bit-identical to cold fits."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      ret
+        (const run $ socket_arg $ port_arg $ catalog_arg $ capacity_arg
+        $ budget_arg $ max_requests_arg $ jobs_arg $ events_arg))
+
+let query_cmd =
+  let requests_arg =
+    let doc =
+      "Request lines to send (JSON objects); with none, lines are read \
+       from stdin."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"REQUEST" ~doc)
+  in
+  let attempts_arg =
+    let doc =
+      "Connection attempts, 50 ms apart (the daemon may still be \
+       starting)."
+    in
+    Arg.(value & opt int 100 & info [ "attempts" ] ~docv:"N" ~doc)
+  in
+  let run socket port requests attempts =
+    error_guard @@ fun () ->
+    let ep = endpoint_of socket port in
+    let requests =
+      match requests with
+      | [] ->
+        let rec go acc =
+          match input_line stdin with
+          | line -> go (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go []
+      | rs -> rs
+    in
+    let requests = List.filter (fun l -> String.trim l <> "") requests in
+    if requests = [] then failwith "no requests to send";
+    let ic, oc =
+      match Serve.Server.connect ~attempts ep with
+      | Ok c -> c
+      | Error msg -> failwith msg
+    in
+    List.iter
+      (fun r ->
+        output_string oc r;
+        output_char oc '\n')
+      requests;
+    flush oc;
+    List.iter
+      (fun _ ->
+        match input_line ic with
+        | line -> print_endline line
+        | exception End_of_file ->
+          failwith "connection closed before all responses arrived")
+      requests;
+    close_out_noerr oc
+  in
+  let doc =
+    "Send request lines to a running $(b,serve) daemon and print one \
+     JSON response line per request."
+  in
+  Cmd.v (Cmd.info "query" ~doc)
+    Term.(
+      ret (const run $ socket_arg $ port_arg $ requests_arg $ attempts_arg))
+
 let main_cmd =
   let doc = "tainted performance modeling (Perf-Taint reproduction)" in
   Cmd.group (Cmd.info "perf-taint" ~version:"1.0.0" ~doc)
     [ analyze_cmd; select_cmd; run_cmd; coverage_cmd; volume_cmd; print_cmd;
       model_cmd; campaign_cmd; profile_cmd; stats_cmd; contention_cmd;
-      design_cmd; validate_cmd; fuzz_cmd; report_cmd ]
+      design_cmd; validate_cmd; fuzz_cmd; report_cmd; serve_cmd; query_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -54,6 +54,12 @@ let phase_total = "pipeline.phase.total_s"
 let analyze_via (type a) (module E : Interp.Engine.S with type t = a) ~config
     ~world ?metrics ~trace ?profile program ~args =
   let reg = match metrics with Some m -> m | None -> Obs_metrics.create () in
+  (* Lowering-cache traffic of this run: the counts live in domain-local
+     refs inside Interp.Compiled (outside any engine registry, which the
+     compile-identity oracle compares across tiers), so the pipeline
+     snapshots the delta.  The interpreted tier never lowers — its delta
+     is zero. *)
+  let cache_h0, cache_m0 = Interp.Compiled.cache_stats () in
   let timed gauge_name span_name f =
     let record = Obs_metrics.set_gauge (Obs_metrics.gauge reg gauge_name) in
     Obs_clock.timed record (fun () ->
@@ -92,6 +98,13 @@ let analyze_via (type a) (module E : Interp.Engine.S with type t = a) ~config
   Obs_metrics.add
     (Obs_metrics.counter reg "interp.steps")
     (E.steps_executed m);
+  let cache_h1, cache_m1 = Interp.Compiled.cache_stats () in
+  Obs_metrics.add
+    (Obs_metrics.counter reg "compile.cache_hit")
+    (cache_h1 - cache_h0);
+  Obs_metrics.add
+    (Obs_metrics.counter reg "compile.cache_miss")
+    (cache_m1 - cache_m0);
   (* Per-function instruction-count distribution: the quantile view of
      where the tainted run spent its steps.  Fed in function-name order
      so the float sum accumulates identically across runs. *)

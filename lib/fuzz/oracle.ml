@@ -733,6 +733,93 @@ let shard_identity =
   in
   { name = "shard-identity"; check }
 
+(* Served-model identity: a model answered out of the serve catalog —
+   from the in-memory LRU, after a second cold fit, or by a fresh
+   process reopening the on-disk index (the daemon-restart path) — must
+   be bit-identical to the cold fit: the serialized entry (model
+   expression, coefficients, fit quality, campaign counters) down to the
+   byte, and the model's predictions at every grid coordinate.  The key
+   binds the generated program's printed text, so the corpus also
+   exercises ever-different catalog keys. *)
+let serve_identity =
+  let module Cat = Serve.Catalog in
+  let check p =
+    let app, machine, design, h = campaign_fixture p in
+    let plan =
+      {
+        Flt.none with
+        Flt.fp_seed = h mod 4999;
+        fp_crash = 0.05;
+        fp_hang = 0.03;
+        fp_persistent = 0.;
+        fp_transient_attempts = 2;
+      }
+    in
+    let retry = { Camp.default_retry with Camp.rt_max_attempts = 3 } in
+    let program_text = Ir.Pp.program_to_string p in
+    let key =
+      Cat.key ~app_name:app.Sp.aname ~program_text ~design ~plan ~retry
+    in
+    let cold = Cat.fit ~app ~machine ~design ~plan ~retry ~key () in
+    let cold_line = Cat.entry_to_line cold in
+    let dir = Filename.temp_file "fuzz-serve" "" in
+    Sys.remove dir;
+    Sys.mkdir dir 0o700;
+    Fun.protect
+      ~finally:(fun () ->
+        let index = Filename.concat dir "catalog.jsonl" in
+        if Sys.file_exists index then Sys.remove index;
+        if Sys.file_exists dir then Sys.rmdir dir)
+    @@ fun () ->
+    let with_catalog f =
+      match Cat.open_ ~dir () with
+      | Error e -> Fail (Printf.sprintf "catalog open failed: %s" e)
+      | Ok cat -> Fun.protect ~finally:(fun () -> Cat.close cat) (fun () -> f cat)
+    in
+    let predictions (e : Cat.entry) =
+      List.map
+        (fun v -> Model.Expr.eval e.Cat.e_model [ ("p", v) ])
+        (List.assoc "p" design.Exp.grid)
+    in
+    with_catalog @@ fun cat ->
+    if Cat.find cat key <> None then Fail "fresh catalog claims a hit"
+    else begin
+      Cat.insert cat cold;
+      match Cat.find cat key with
+      | None -> Fail "inserted entry not found (memory hit)"
+      | Some warm ->
+        if not (String.equal (Cat.entry_to_line warm) cold_line) then
+          Fail "memory-hit entry is not bit-identical to the cold fit"
+        else if
+          not
+            (String.equal
+               (Cat.entry_to_line
+                  (Cat.fit ~app ~machine ~design ~plan ~retry ~key ()))
+               cold_line)
+        then Fail "a second cold fit is not bit-identical to the first"
+        else begin
+          Cat.close cat;
+          (* the daemon-restart path: a fresh process, disk index only *)
+          with_catalog @@ fun reopened ->
+          match Cat.find reopened key with
+          | None -> Fail "reopened catalog lost the entry (restart miss)"
+          | Some restored ->
+            if not (String.equal (Cat.entry_to_line restored) cold_line)
+            then
+              Fail
+                "entry restored from the on-disk index is not bit-identical \
+                 to the cold fit"
+            else if compare (predictions restored) (predictions cold) <> 0
+            then
+              Fail
+                "restored model predicts differently from the cold fit's \
+                 model"
+            else Pass
+        end
+    end
+  in
+  { name = "serve-identity"; check }
+
 (* -- differential: compiled tier vs the interpreter ------------------------- *)
 
 (* The full-fidelity view of one run that the compiled tier must
@@ -894,6 +981,7 @@ let oracles_with config =
     campaign_recovery;
     par_identity;
     shard_identity;
+    serve_identity;
   ]
 
 let all_with ~max_steps = oracles_with { interp_config with max_steps }

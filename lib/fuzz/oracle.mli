@@ -98,6 +98,14 @@ val shard_identity : t
     event stream — both on the clean path and with one worker killed
     mid-shard (journal torn mid-line, restarted with resume). *)
 
+val serve_identity : t
+(** Served-model identity: the fixture campaign's fit, memoized through
+    a {!Serve.Catalog} in a temp directory, must come back bit-identical
+    to the cold fit — the serialized entry bytes and the model's
+    predictions — from the in-memory LRU, from a repeated cold fit, and
+    from a fresh catalog reopening the on-disk index (the daemon-restart
+    path).  The key binds the generated program's printed text. *)
+
 val validator_interp_with : Interp.Machine.config -> t
 val tripcount_with : Interp.Machine.config -> t
 val obs_invariance_with : Interp.Machine.config -> t

@@ -42,6 +42,27 @@ let lower_cache :
     (program * (string, Lower.lfunc) Hashtbl.t) list ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref [])
 
+(* Hit/miss accounting for the lowering cache.  Deliberately plain
+   domain-local refs, not engine-registry counters: the compile-identity
+   oracle compares engine-attached registries bit-for-bit between the
+   tiers, and only this tier lowers.  The pipeline reads the delta
+   around a run and publishes it as compile.cache_hit/cache_miss. *)
+let cache_hits : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+let cache_misses : int ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref 0)
+
+let cache_stats () =
+  (!(Domain.DLS.get cache_hits), !(Domain.DLS.get cache_misses))
+
+let cache_counters =
+  [
+    ( "compile.cache_hit",
+      "lowered functions reused from the domain-local cache" );
+    ( "compile.cache_miss",
+      "functions lowered afresh into the domain-local cache" );
+  ]
+
 let lowered_table (program : program) =
   let cache = Domain.DLS.get lower_cache in
   match !cache with
@@ -234,8 +255,11 @@ module Make (P : Engine.POLICY) : Engine.S with type pstate = P.state = struct
       let tbl = lowered_table t.program in
       let code =
         match Hashtbl.find_opt tbl f.fname with
-        | Some code -> code
+        | Some code ->
+          incr (Domain.DLS.get cache_hits);
+          code
         | None ->
+          incr (Domain.DLS.get cache_misses);
           let code = Lower.func ~resolve:(resolve t) f (Fstatic.of_func f) in
           Hashtbl.add tbl f.fname code;
           code

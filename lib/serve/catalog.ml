@@ -1,0 +1,400 @@
+(* The content-addressed model catalog.  An entry is the full answer a
+   cold fit produces — model, fit quality, campaign counters — written
+   as one JSON line via Measure.Jsonio (exact float round-trip), so a
+   cache hit from memory, disk, or a restarted process is bit-identical
+   to refitting. *)
+
+module J = Measure.Jsonio
+
+let default_capacity = 64
+
+(* -- keys ---------------------------------------------------------- *)
+
+let key ~app_name ~program_text ~design ~plan ~retry =
+  let header = Measure.Campaign.header_line ~app_name ~plan ~retry design in
+  Digest.to_hex
+    (Digest.string (Digest.to_hex (Digest.string program_text) ^ "\n" ^ header))
+
+(* -- entries ------------------------------------------------------- *)
+
+type entry = {
+  e_key : string;
+  e_app : string;
+  e_model : Model.Expr.model;
+  e_error : float;
+  e_rss : float;
+  e_hypotheses : int;
+  e_rejected : int;
+  e_runs : int;
+  e_core_hours : float;
+  e_attempts : int;
+  e_retries : int;
+  e_abandoned : int;
+  e_faults : (string * int) list;
+  e_wasted_core_hours : float;
+  e_backoff_core_hours : float;
+}
+
+let total_core_hours e =
+  e.e_core_hours +. e.e_wasted_core_hours +. e.e_backoff_core_hours
+
+let model_to_json (m : Model.Expr.model) =
+  J.Obj
+    [
+      ("const", J.Float m.const);
+      ( "terms",
+        J.List
+          (List.map
+             (fun (t : Model.Expr.compound_term) ->
+               J.Obj
+                 [
+                   ("coeff", J.Float t.coeff);
+                   ( "factors",
+                     J.List
+                       (List.map
+                          (fun (p, (s : Model.Expr.simple_term)) ->
+                            J.Obj
+                              [
+                                ("param", J.Str p);
+                                ("expo", J.Float s.expo);
+                                ("logexp", J.Int s.logexp);
+                              ])
+                          t.factors) );
+                 ])
+             m.terms) );
+    ]
+
+let entry_to_line e =
+  J.to_string
+    (J.Obj
+       [
+         ("key", J.Str e.e_key);
+         ("app", J.Str e.e_app);
+         ("model", model_to_json e.e_model);
+         ("error", J.Float e.e_error);
+         ("rss", J.Float e.e_rss);
+         ("hypotheses", J.Int e.e_hypotheses);
+         ("rejected", J.Int e.e_rejected);
+         ("runs", J.Int e.e_runs);
+         ("core_hours", J.Float e.e_core_hours);
+         ("attempts", J.Int e.e_attempts);
+         ("retries", J.Int e.e_retries);
+         ("abandoned", J.Int e.e_abandoned);
+         ("faults", J.Obj (List.map (fun (k, n) -> (k, J.Int n)) e.e_faults));
+         ("wasted_core_hours", J.Float e.e_wasted_core_hours);
+         ("backoff_core_hours", J.Float e.e_backoff_core_hours);
+       ])
+
+let ( let* ) = Result.bind
+
+let field name j =
+  match J.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let str_field name j =
+  let* v = field name j in
+  match J.to_str v with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "field %S: expected a string" name)
+
+let float_field name j =
+  let* v = field name j in
+  match J.to_float v with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "field %S: expected a number" name)
+
+let int_field name j =
+  let* v = field name j in
+  match J.to_int v with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "field %S: expected an integer" name)
+
+let list_field name j =
+  let* v = field name j in
+  match J.to_list v with
+  | Some l -> Ok l
+  | None -> Error (Printf.sprintf "field %S: expected a list" name)
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_result f rest in
+      Ok (y :: ys)
+
+let factor_of_json j =
+  let* p = str_field "param" j in
+  let* expo = float_field "expo" j in
+  let* logexp = int_field "logexp" j in
+  Ok (p, { Model.Expr.expo; logexp })
+
+let term_of_json j =
+  let* coeff = float_field "coeff" j in
+  let* fs = list_field "factors" j in
+  let* factors = map_result factor_of_json fs in
+  Ok { Model.Expr.coeff; factors }
+
+let model_of_json j =
+  let* const = float_field "const" j in
+  let* ts = list_field "terms" j in
+  let* terms = map_result term_of_json ts in
+  Ok { Model.Expr.const; terms }
+
+let faults_of_json j =
+  match j with
+  | J.Obj pairs ->
+      map_result
+        (fun (k, v) ->
+          match J.to_int v with
+          | Some n -> Ok (k, n)
+          | None -> Error (Printf.sprintf "fault %S: expected an integer" k))
+        pairs
+  | _ -> Error "field \"faults\": expected an object"
+
+let entry_of_line line =
+  let* j = J.parse line in
+  let* e_key = str_field "key" j in
+  let* e_app = str_field "app" j in
+  let* m = field "model" j in
+  let* e_model = model_of_json m in
+  let* e_error = float_field "error" j in
+  let* e_rss = float_field "rss" j in
+  let* e_hypotheses = int_field "hypotheses" j in
+  let* e_rejected = int_field "rejected" j in
+  let* e_runs = int_field "runs" j in
+  let* e_core_hours = float_field "core_hours" j in
+  let* e_attempts = int_field "attempts" j in
+  let* e_retries = int_field "retries" j in
+  let* e_abandoned = int_field "abandoned" j in
+  let* f = field "faults" j in
+  let* e_faults = faults_of_json f in
+  let* e_wasted_core_hours = float_field "wasted_core_hours" j in
+  let* e_backoff_core_hours = float_field "backoff_core_hours" j in
+  Ok
+    {
+      e_key;
+      e_app;
+      e_model;
+      e_error;
+      e_rss;
+      e_hypotheses;
+      e_rejected;
+      e_runs;
+      e_core_hours;
+      e_attempts;
+      e_retries;
+      e_abandoned;
+      e_faults;
+      e_wasted_core_hours;
+      e_backoff_core_hours;
+    }
+
+(* -- the cold path ------------------------------------------------- *)
+
+let fit ~app ~machine ~design ~plan ~retry ~key () =
+  let report = Measure.Campaign.run ~plan ~retry app machine design in
+  let params =
+    List.filter_map
+      (fun (p, vs) -> if List.length vs > 1 then Some p else None)
+      design.Measure.Experiment.grid
+  in
+  let dataset = Measure.Experiment.total_dataset report.cp_runs ~params in
+  let result, rejected = Model.Search.multi_robust dataset in
+  {
+    e_key = key;
+    e_app = app.Measure.Spec.aname;
+    e_model = result.model;
+    e_error = result.error;
+    e_rss = result.rss;
+    e_hypotheses = result.hypotheses_tried;
+    e_rejected = rejected;
+    e_runs = List.length report.cp_runs;
+    e_core_hours = Measure.Experiment.core_hours report.cp_runs;
+    e_attempts = report.cp_attempts;
+    e_retries = report.cp_retries;
+    e_abandoned = report.cp_abandoned;
+    e_faults = report.cp_faults;
+    e_wasted_core_hours = report.cp_wasted_core_hours;
+    e_backoff_core_hours = report.cp_backoff_core_hours;
+  }
+
+(* -- the store ----------------------------------------------------- *)
+
+type t = {
+  path : string;
+  capacity : int;
+  evictions : Obs_metrics.counter option;
+  events : Obs_events.sink;
+  disk : (string, string) Hashtbl.t; (* key -> raw index line *)
+  apps : (string, string) Hashtbl.t; (* key -> app name *)
+  mutable order : string list; (* keys, oldest first; rewrite order *)
+  mutable lru : (string * entry) list; (* decoded entries, MRU first *)
+  mutable out : out_channel option;
+}
+
+let index_path t = t.path
+let length t = Hashtbl.length t.disk
+let resident t = List.length t.lru
+
+let read_lines path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+exception Corrupt of string
+
+let load_index t =
+  if Sys.file_exists t.path then begin
+    let lines = Array.of_list (read_lines t.path) in
+    let last_nonempty = ref (-1) in
+    Array.iteri
+      (fun i l -> if String.trim l <> "" then last_nonempty := i)
+      lines;
+    Array.iteri
+      (fun i line ->
+        if String.trim line <> "" then
+          match entry_of_line line with
+          | Ok e ->
+              if not (Hashtbl.mem t.disk e.e_key) then
+                t.order <- e.e_key :: t.order;
+              Hashtbl.replace t.disk e.e_key line;
+              Hashtbl.replace t.apps e.e_key e.e_app
+          | Error msg ->
+              (* the partial flush of a killed writer is tolerated;
+                 anything earlier is corruption *)
+              if i <> !last_nonempty then
+                raise
+                  (Corrupt (Printf.sprintf "%s:%d: %s" t.path (i + 1) msg)))
+      lines;
+    t.order <- List.rev t.order
+  end
+
+let open_ ?metrics ?(events = Obs_events.disabled)
+    ?(capacity = default_capacity) ~dir () =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    Error (Printf.sprintf "catalog directory %s does not exist" dir)
+  else begin
+    let t =
+      {
+        path = Filename.concat dir "catalog.jsonl";
+        capacity = max 1 capacity;
+        evictions =
+          Option.map (fun m -> Obs_metrics.counter m "serve.evictions") metrics;
+        events;
+        disk = Hashtbl.create 64;
+        apps = Hashtbl.create 64;
+        order = [];
+        lru = [];
+        out = None;
+      }
+    in
+    match load_index t with
+    | () ->
+        t.out <-
+          Some
+            (open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 t.path);
+        Ok t
+    | exception Corrupt msg -> Error msg
+    | exception Sys_error msg -> Error msg
+  end
+
+let close t =
+  match t.out with
+  | None -> ()
+  | Some oc ->
+      t.out <- None;
+      flush oc;
+      close_out_noerr oc
+
+let promote t e =
+  let rest = List.filter (fun (k, _) -> k <> e.e_key) t.lru in
+  t.lru <- (e.e_key, e) :: rest;
+  if List.length t.lru > t.capacity then begin
+    match List.rev t.lru with
+    | (victim, _) :: kept_rev ->
+        t.lru <- List.rev kept_rev;
+        Option.iter Obs_metrics.incr t.evictions;
+        Obs_events.emit t.events ~component:"serve"
+          ~fields:[ ("key", Obs_events.Str victim) ]
+          "serve.evict"
+    | [] -> ()
+  end
+
+let find t key =
+  match List.assoc_opt key t.lru with
+  | Some e ->
+      promote t e;
+      Some e
+  | None -> (
+      match Hashtbl.find_opt t.disk key with
+      | None -> None
+      | Some line -> (
+          match entry_of_line line with
+          | Ok e ->
+              promote t e;
+              Some e
+          | Error _ -> None))
+
+let mem t key = List.mem_assoc key t.lru || Hashtbl.mem t.disk key
+
+let insert t e =
+  let line = entry_to_line e in
+  (match t.out with
+  | Some oc ->
+      output_string oc line;
+      output_char oc '\n';
+      flush oc
+  | None -> ());
+  if not (Hashtbl.mem t.disk e.e_key) then t.order <- t.order @ [ e.e_key ];
+  Hashtbl.replace t.disk e.e_key line;
+  Hashtbl.replace t.apps e.e_key e.e_app;
+  promote t e
+
+let rewrite t =
+  close t;
+  let tmp = t.path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  List.iter
+    (fun k ->
+      match Hashtbl.find_opt t.disk k with
+      | Some line ->
+          output_string oc line;
+          output_char oc '\n'
+      | None -> ())
+    t.order;
+  close_out oc;
+  Sys.rename tmp t.path;
+  t.out <-
+    Some (open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 t.path)
+
+let drop t key =
+  Hashtbl.remove t.disk key;
+  Hashtbl.remove t.apps key;
+  t.order <- List.filter (fun k -> k <> key) t.order;
+  t.lru <- List.filter (fun (k, _) -> k <> key) t.lru
+
+let invalidate t ~key =
+  if Hashtbl.mem t.disk key then begin
+    drop t key;
+    rewrite t;
+    true
+  end
+  else false
+
+let invalidate_app t ~app =
+  let victims =
+    List.filter
+      (fun k -> Hashtbl.find_opt t.apps k = Some app)
+      t.order
+  in
+  List.iter (drop t) victims;
+  if victims <> [] then rewrite t;
+  List.length victims

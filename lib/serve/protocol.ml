@@ -1,0 +1,205 @@
+module J = Measure.Jsonio
+
+type fit_spec = {
+  fs_app : string;
+  fs_grid : (string * float list) list option;
+  fs_reps : int;
+  fs_sigma : float;
+  fs_seed : int;
+  fs_faults : string;
+  fs_retries : int;
+  fs_backoff : float;
+}
+
+type request =
+  | Predict of fit_spec * (string * float) list
+  | Fit of fit_spec
+  | Invalidate_key of string
+  | Invalidate_app of string
+  | Stats
+  | Shutdown
+
+let ops =
+  [
+    ("predict", "evaluate the app's (possibly cached) model at coordinates");
+    ("fit", "run the campaign and fit on a miss; answer from the catalog \
+             on a hit");
+    ("invalidate", "drop one catalog key or every entry of an app");
+    ("stats", "serve.* counters, hit rate, and latency quantiles");
+    ("shutdown", "answer, then stop the daemon");
+  ]
+
+let ( let* ) = Result.bind
+
+let opt_field name j = J.member name j
+
+let str_field name j =
+  match J.member name j with
+  | Some v -> (
+      match J.to_str v with
+      | Some s -> Ok s
+      | None -> Error (Printf.sprintf "field %S: expected a string" name))
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let opt_int name ~default j =
+  match opt_field name j with
+  | None -> Ok default
+  | Some v -> (
+      match J.to_int v with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "field %S: expected an integer" name))
+
+let opt_float name ~default j =
+  match opt_field name j with
+  | None -> Ok default
+  | Some v -> (
+      match J.to_float v with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "field %S: expected a number" name))
+
+let opt_str name ~default j =
+  match opt_field name j with
+  | None -> Ok default
+  | Some v -> (
+      match J.to_str v with
+      | Some s -> Ok s
+      | None -> Error (Printf.sprintf "field %S: expected a string" name))
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_result f rest in
+      Ok (y :: ys)
+
+let coords_of_json j =
+  match j with
+  | J.Obj pairs ->
+      map_result
+        (fun (k, v) ->
+          match J.to_float v with
+          | Some f -> Ok (k, f)
+          | None ->
+              Error (Printf.sprintf "coordinate %S: expected a number" k))
+        pairs
+  | _ -> Error "field \"coords\": expected an object"
+
+let grid_of_json j =
+  match j with
+  | J.Obj pairs ->
+      map_result
+        (fun (k, v) ->
+          match J.to_list v with
+          | Some vs -> (
+              match map_result (fun x ->
+                  match J.to_float x with
+                  | Some f -> Ok f
+                  | None ->
+                      Error
+                        (Printf.sprintf "grid axis %S: expected numbers" k))
+                  vs
+              with
+              | Ok [] -> Error (Printf.sprintf "grid axis %S: empty" k)
+              | r -> r)
+              |> Result.map (fun fs -> (k, fs))
+          | None ->
+              Error (Printf.sprintf "grid axis %S: expected a list" k))
+        pairs
+  | _ -> Error "field \"grid\": expected an object"
+
+let fit_spec_of j =
+  let* fs_app = str_field "app" j in
+  let* fs_grid =
+    match opt_field "grid" j with
+    | None -> Ok None
+    | Some g -> Result.map Option.some (grid_of_json g)
+  in
+  let* fs_reps = opt_int "reps" ~default:5 j in
+  let* fs_sigma = opt_float "sigma" ~default:0.02 j in
+  let* fs_seed = opt_int "seed" ~default:42 j in
+  let* fs_faults = opt_str "faults" ~default:"" j in
+  let* fs_retries = opt_int "retries" ~default:3 j in
+  let* fs_backoff = opt_float "backoff" ~default:30. j in
+  Ok { fs_app; fs_grid; fs_reps; fs_sigma; fs_seed; fs_faults; fs_retries;
+       fs_backoff }
+
+let request_of_line line =
+  let* j = J.parse line in
+  let* op = str_field "op" j in
+  match op with
+  | "predict" ->
+      let* spec = fit_spec_of j in
+      let* coords =
+        match opt_field "coords" j with
+        | Some c -> coords_of_json c
+        | None -> Error "missing field \"coords\""
+      in
+      if coords = [] then Error "field \"coords\": empty"
+      else Ok (Predict (spec, coords))
+  | "fit" ->
+      let* spec = fit_spec_of j in
+      Ok (Fit spec)
+  | "invalidate" -> (
+      match (opt_field "key" j, opt_field "app" j) with
+      | Some k, None -> (
+          match J.to_str k with
+          | Some s -> Ok (Invalidate_key s)
+          | None -> Error "field \"key\": expected a string")
+      | None, Some a -> (
+          match J.to_str a with
+          | Some s -> Ok (Invalidate_app s)
+          | None -> Error "field \"app\": expected a string")
+      | Some _, Some _ -> Error "invalidate: give \"key\" or \"app\", not both"
+      | None, None -> Error "invalidate: missing \"key\" or \"app\"")
+  | "stats" -> Ok Stats
+  | "shutdown" -> Ok Shutdown
+  | op -> Error (Printf.sprintf "unknown op %S" op)
+
+(* -- responses ----------------------------------------------------- *)
+
+let error_line msg =
+  J.to_string (J.Obj [ ("ok", J.Bool false); ("error", J.Str msg) ])
+
+let predict_line ~key ~cached ~app ~prediction ~model ~smape =
+  J.to_string
+    (J.Obj
+       [
+         ("ok", J.Bool true);
+         ("op", J.Str "predict");
+         ("key", J.Str key);
+         ("cached", J.Bool cached);
+         ("app", J.Str app);
+         ("prediction", J.Float prediction);
+         ("model", J.Str model);
+         ("smape", J.Float smape);
+       ])
+
+let fit_line ~cached (e : Catalog.entry) =
+  let entry_json =
+    match J.parse (Catalog.entry_to_line e) with
+    | Ok j -> j
+    | Error _ -> J.Null (* entry_to_line always parses *)
+  in
+  J.to_string
+    (J.Obj
+       [
+         ("ok", J.Bool true);
+         ("op", J.Str "fit");
+         ("key", J.Str e.Catalog.e_key);
+         ("cached", J.Bool cached);
+         ("app", J.Str e.Catalog.e_app);
+         ("entry", entry_json);
+       ])
+
+let invalidate_line ~removed =
+  J.to_string
+    (J.Obj
+       [ ("ok", J.Bool true); ("op", J.Str "invalidate");
+         ("removed", J.Int removed) ])
+
+let shutdown_line =
+  J.to_string (J.Obj [ ("ok", J.Bool true); ("op", J.Str "shutdown") ])
+
+let stats_line fields =
+  J.to_string
+    (J.Obj ([ ("ok", J.Bool true); ("op", J.Str "stats") ] @ fields))

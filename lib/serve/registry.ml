@@ -1,0 +1,52 @@
+(* The apps the daemon can serve.  The program text entering the catalog
+   key is the printed PIR of the real program, so a change to an app's
+   code changes every key derived from it. *)
+
+type app = {
+  r_name : string;
+  r_app : Measure.Spec.app;
+  r_program_text : string Lazy.t;
+  r_grid : (string * float list) list;
+}
+
+let apps =
+  [
+    {
+      r_name = "lulesh";
+      r_app = Apps.Lulesh_spec.app;
+      r_program_text = lazy (Ir.Pp.program_to_string Apps.Lulesh.program);
+      r_grid =
+        [
+          ("p", Apps.Lulesh_spec.p_values);
+          ("size", Apps.Lulesh_spec.size_values);
+          ("r", [ 8. ]);
+        ];
+    };
+    {
+      r_name = "milc";
+      r_app = Apps.Milc_spec.app;
+      r_program_text = lazy (Ir.Pp.program_to_string Apps.Milc.program);
+      r_grid =
+        [
+          ("p", Apps.Milc_spec.p_values);
+          ("size", Apps.Milc_spec.size_values);
+          ("r", [ 8. ]);
+        ];
+    };
+    {
+      r_name = "minicg";
+      r_app = Apps.Minicg_spec.app;
+      r_program_text = lazy (Ir.Pp.program_to_string Apps.Minicg.program);
+      r_grid =
+        [
+          ("p", Apps.Minicg_spec.p_values);
+          ("n", Apps.Minicg_spec.n_values);
+          ("r", [ 8. ]);
+        ];
+    };
+  ]
+
+let names = List.map (fun a -> a.r_name) apps
+let find name = List.find_opt (fun a -> a.r_name = name) apps
+let machine = Mpi_sim.Machine.skylake_cluster
+let program_text a = Lazy.force a.r_program_text

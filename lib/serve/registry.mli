@@ -1,0 +1,20 @@
+(** The applications the daemon serves models for: each simulated app
+    with its printed program text (the code component of the catalog
+    key) and the default campaign grid — the same grid the [campaign]
+    CLI subcommand measures. *)
+
+type app = {
+  r_name : string;
+  r_app : Measure.Spec.app;
+  r_program_text : string Lazy.t;
+  r_grid : (string * float list) list;
+}
+
+val apps : app list
+val names : string list
+val find : string -> app option
+
+val machine : Mpi_sim.Machine.t
+(** The simulated cluster every served fit measures on. *)
+
+val program_text : app -> string

@@ -20,6 +20,7 @@ let () =
       ("fuzz", Suite_fuzz.tests);
       ("resilience", Suite_resilience.tests);
       ("shard", Suite_shard.tests);
+      ("serve", Suite_serve.tests);
       ("profile", Suite_profile.tests);
       ("par", Suite_par.tests);
       ("cli", Suite_cli.tests);

@@ -244,6 +244,95 @@ let test_engine_rejects_bad_tier () =
     (Printf.sprintf "stderr %S names the flag" errs)
     true (contains errs "--engine")
 
+(* -- serve daemon failure modes ----------------------------------------------
+   The daemon's contract under abuse: a missing catalog directory is a
+   clean one-line refusal naming the path; binding a socket that already
+   has a live daemon behind it is refused; and a malformed request line
+   gets a one-line JSON error while the connection (and the daemon)
+   survive to answer the next request. *)
+
+let with_tmp_catalog f =
+  let dir = Filename.temp_file "cli_catalog" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun n -> try Sys.remove (Filename.concat dir n) with _ -> ())
+        (Sys.readdir dir);
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () -> f dir)
+
+let with_daemon ~catalog ~socket f =
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let errfile = Filename.temp_file "cli_daemon" ".err" in
+  let errfd =
+    Unix.openfile errfile [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600
+  in
+  let pid =
+    Unix.create_process exe
+      [| exe; "serve"; "--catalog"; catalog; "--socket"; socket |]
+      devnull devnull errfd
+  in
+  Unix.close devnull;
+  Unix.close errfd;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+      try Sys.remove errfile with Sys_error _ -> ())
+    (fun () -> f pid)
+
+let query socket requests = run_cli ([ "query"; "--socket"; socket ] @ requests)
+
+let test_serve_unknown_catalog_dir () =
+  let missing =
+    Filename.concat (Filename.get_temp_dir_name ()) "no-such-catalog-dir"
+  in
+  let code, _out, errs =
+    run_cli [ "serve"; "--catalog"; missing; "--socket"; "/tmp/unused.sock" ]
+  in
+  Alcotest.(check bool) "nonzero exit" true (code <> 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "stderr %S names the missing directory" errs)
+    true (contains errs missing);
+  Alcotest.(check bool) "no backtrace" false (contains errs "Raised at")
+
+let test_serve_daemon_contracts () =
+  with_tmp_catalog @@ fun catalog ->
+  let socket = Filename.temp_file "cli_serve" ".sock" in
+  Sys.remove socket;
+  with_daemon ~catalog ~socket @@ fun _pid ->
+  (* wait for the daemon: stats answers once it is listening *)
+  let code, out, errs = query socket [ {|{"op":"stats"}|} ] in
+  Alcotest.(check int) (Printf.sprintf "daemon up: %s" errs) 0 code;
+  Alcotest.(check bool) "stats answered" true (contains out {|"ok":true|});
+  (* a second daemon on the same live socket must refuse by name *)
+  check_failure ~expect:socket
+    [ "serve"; "--catalog"; catalog; "--socket"; socket ];
+  (* a malformed request gets a one-line JSON error and the connection
+     survives it: the stats on the same connection still answers *)
+  let code, out, errs = query socket [ "{\"op\":"; {|{"op":"stats"}|} ] in
+  Alcotest.(check int) (Printf.sprintf "query ok: %s" errs) 0 code;
+  (match
+     List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' out)
+   with
+  | [ bad; good ] ->
+    Alcotest.(check bool)
+      (Printf.sprintf "malformed line answered with a JSON error: %s" bad)
+      true
+      (contains bad {|"ok":false|} && contains bad {|"error"|});
+    Alcotest.(check bool) "connection survived to the next request" true
+      (contains good {|"ok":true|})
+  | ls ->
+    Alcotest.fail
+      (Printf.sprintf "expected 2 responses, got %d: %s" (List.length ls) out));
+  (* clean shutdown: the daemon acknowledges and exits *)
+  let code, out, _ = query socket [ {|{"op":"shutdown"}|} ] in
+  Alcotest.(check int) "shutdown request ok" 0 code;
+  Alcotest.(check bool) "shutdown acknowledged" true
+    (contains out {|"ok":true|})
+
 let tests =
   [
     Alcotest.test_case "success baseline exits 0" `Quick test_success_baseline;
@@ -278,4 +367,8 @@ let tests =
       test_resume_rejects_corrupt_journal;
     Alcotest.test_case "shard flags validated" `Quick
       test_shard_flag_validation;
+    Alcotest.test_case "serve refuses a missing catalog dir" `Quick
+      test_serve_unknown_catalog_dir;
+    Alcotest.test_case "serve daemon survives abuse" `Quick
+      test_serve_daemon_contracts;
   ]

@@ -474,6 +474,68 @@ let test_lowered_ops_doc_in_sync () =
         true (contains doc row))
     Interp.Lower.lowered_ops
 
+(* -- the domain-local lowering cache ------------------------------------------
+   PR 7 memoizes lowered functions per domain; the cache's hit/miss
+   traffic is now observable.  The counters live outside the engines (a
+   domain-local tally, surfaced by the pipeline as a per-analysis delta)
+   precisely so the compile-identity oracle's registry comparison stays
+   bit-identical across tiers. *)
+
+let test_lower_cache_counters_move () =
+  let p =
+    prog [ B.define "main" ~params:[ "n" ] (fun b -> B.ret b (Reg "n")) ] "main"
+  in
+  let run () =
+    let m = Interp.Compiled.Taint.create ~config:M.default_config p in
+    ignore (Interp.Compiled.Taint.run m [ VInt 3 ])
+  in
+  let _, m0 = Interp.Compiled.cache_stats () in
+  run ();
+  let h1, m1 = Interp.Compiled.cache_stats () in
+  Alcotest.(check bool) "first engine lowers afresh" true (m1 > m0);
+  run ();
+  let h2, m2 = Interp.Compiled.cache_stats () in
+  Alcotest.(check bool) "second engine hits the cache" true (h2 > h1);
+  Alcotest.(check int) "nothing re-lowered" m1 m2
+
+let test_pipeline_surfaces_cache_counters () =
+  let counter reg name =
+    Option.value ~default:0
+      (Obs_metrics.find_counter reg.Perf_taint.Pipeline.snapshot name)
+  in
+  let analyze () =
+    Perf_taint.Pipeline.analyze ~engine:Interp.Engine.Compiled
+      Apps.Didactic.iterate_example ~args:[ VInt 10; VInt 2 ]
+  in
+  let first = analyze () in
+  let again = analyze () in
+  Alcotest.(check bool) "a repeated analysis reports cache hits" true
+    (counter again "compile.cache_hit" > 0);
+  Alcotest.(check int) "and re-lowers nothing" 0
+    (counter again "compile.cache_miss");
+  (* the interpreted tier reports the vocabulary too, at zero *)
+  let interp =
+    Perf_taint.Pipeline.analyze ~engine:Interp.Engine.Interpreted
+      Apps.Didactic.iterate_example ~args:[ VInt 10; VInt 2 ]
+  in
+  Alcotest.(check int) "interp tier: zero hits" 0
+    (counter interp "compile.cache_hit");
+  ignore first
+
+let test_cache_counter_doc_in_sync () =
+  let path =
+    List.find Sys.file_exists
+      [ "../doc/OBSERVABILITY.md"; "doc/OBSERVABILITY.md" ]
+  in
+  let doc = read_file path in
+  List.iter
+    (fun (name, descr) ->
+      let row = Printf.sprintf "| `%s` | %s |" name descr in
+      Alcotest.(check bool)
+        (Printf.sprintf "doc/OBSERVABILITY.md lists %s with its meaning" name)
+        true (contains doc row))
+    Interp.Compiled.cache_counters
+
 let test_design_doc_mentions_tier () =
   let path = List.find Sys.file_exists [ "../DESIGN.md"; "DESIGN.md" ] in
   let doc = read_file path in
@@ -510,6 +572,12 @@ let tests =
       test_fuzz_campaign_jobs;
     Alcotest.test_case "lowered-op table in sync with doc/IR.md" `Quick
       test_lowered_ops_doc_in_sync;
+    Alcotest.test_case "lowering cache counters move" `Quick
+      test_lower_cache_counters_move;
+    Alcotest.test_case "pipeline surfaces the cache delta" `Quick
+      test_pipeline_surfaces_cache_counters;
+    Alcotest.test_case "compile cache counter table in sync with doc" `Quick
+      test_cache_counter_doc_in_sync;
     Alcotest.test_case "DESIGN.md names the compilation tier" `Quick
       test_design_doc_mentions_tier;
   ]

@@ -548,6 +548,56 @@ let test_campaign_counter_doc_in_sync () =
         true (contains doc row))
     Camp.counters
 
+(* -- journal JSON round-trip --------------------------------------------------
+   The checkpoint journal (and now the serving catalog and the daemon's
+   wire protocol) all ride [Measure.Jsonio]; its string escaping must
+   round-trip every byte — control characters, quotes, backslashes and
+   non-ASCII bytes included — or a resumed campaign would diverge on the
+   first awkward app name. *)
+
+let any_string = QCheck.string_gen QCheck.Gen.char
+
+let prop_jsonio_string_roundtrip =
+  QCheck.Test.make ~count:1000
+    ~name:"Jsonio string escaping round-trips arbitrary bytes" any_string
+    (fun s ->
+      match Measure.Jsonio.(parse (to_string (Str s))) with
+      | Ok (Measure.Jsonio.Str s') -> String.equal s s'
+      | _ -> false)
+
+let prop_jsonio_obj_roundtrip =
+  QCheck.Test.make ~count:500
+    ~name:"Jsonio object with arbitrary keys/values round-trips"
+    QCheck.(small_list (pair any_string any_string))
+    (fun fields ->
+      let v =
+        Measure.Jsonio.Obj
+          (List.map (fun (k, x) -> (k, Measure.Jsonio.Str x)) fields)
+      in
+      match Measure.Jsonio.parse (Measure.Jsonio.to_string v) with
+      | Ok v' -> v = v'
+      | Error _ -> false)
+
+let test_jsonio_adversarial_strings () =
+  List.iter
+    (fun s ->
+      match Measure.Jsonio.(parse (to_string (Str s))) with
+      | Ok (Measure.Jsonio.Str s') ->
+        Alcotest.(check string) (Printf.sprintf "round-trip %S" s) s s'
+      | Ok _ -> Alcotest.fail (Printf.sprintf "%S came back as a non-string" s)
+      | Error e -> Alcotest.fail (Printf.sprintf "%S: %s" s e))
+    [
+      "";
+      "\"";
+      "\\";
+      "\\\\\"";
+      "a\"b\\c\nd\te\rf";
+      "\x00\x01\x1f";
+      "caf\xc3\xa9 \xff\xfe";
+      "{\"op\":\"stats\"}";
+      "trailing backslash \\";
+    ]
+
 let tests =
   [
     Alcotest.test_case "fault draws are deterministic" `Quick
@@ -588,4 +638,8 @@ let tests =
       test_campaign_counters_in_snapshot;
     Alcotest.test_case "campaign counter table in sync with doc" `Quick
       test_campaign_counter_doc_in_sync;
+    Alcotest.test_case "adversarial journal strings round-trip" `Quick
+      test_jsonio_adversarial_strings;
+    Seeded.to_alcotest prop_jsonio_string_roundtrip;
+    Seeded.to_alcotest prop_jsonio_obj_roundtrip;
   ]
